@@ -1,0 +1,81 @@
+// Command compare runs every allocator configuration on one function
+// and prints a side-by-side table of coalescing, spilling,
+// caller-save, irregular-register, and estimated-cost results.
+//
+// Usage:
+//
+//	compare [-k 16] [-machine ia64|x86|s390] [file]
+//
+// With no file the function is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prefcolor"
+)
+
+func main() {
+	k := flag.Int("k", 16, "number of machine registers")
+	machine := flag.String("machine", "ia64", "machine model: ia64, x86, s390")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "compare: at most one input file")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var m *prefcolor.Machine
+	switch *machine {
+	case "ia64":
+		m = prefcolor.NewMachine(*k)
+	case "x86":
+		m = prefcolor.NewX86Machine(*k)
+	case "s390":
+		m = prefcolor.NewS390Machine(*k)
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	fmt.Printf("machine: %s (%d registers)\n\n", m.Name, m.NumRegs)
+	fmt.Printf("%-22s %7s %7s %7s %7s %7s %7s %10s\n",
+		"allocator", "moves", "left", "spills", "saves", "fused", "limviol", "cycles")
+	for _, name := range prefcolor.AllocatorNames() {
+		f, err := prefcolor.ParseFunction(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		alloc, err := prefcolor.AllocatorByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		out, st, err := prefcolor.Allocate(f, m, alloc)
+		if err != nil {
+			fmt.Printf("%-22s failed: %v\n", name, err)
+			continue
+		}
+		est := prefcolor.EstimateCycles(out, m)
+		fmt.Printf("%-22s %7d %7d %7d %7d %7d %7d %10.0f\n",
+			name, st.MovesBefore, st.MovesRemaining, st.SpillInstrs(),
+			st.CallerSaveStores+st.CallerSaveLoads, est.FusedPairs,
+			est.LimitViolations, est.Cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command figures regenerates the quantitative figures of the paper's
+// evaluation (Figures 9, 10, and 11) over the synthetic SPECjvm98
+// workloads and prints them as aligned text tables or CSV.
+//
+// Usage:
+//
+//	figures [-fig all|9a|9b|9c|9d|10a|10b|10c|11] [-csv] [-benchmarks jess,db]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefcolor"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: all, 9a, 9b, 9c, 9d, 10a, 10b, 10c, 11, ablations")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all nine)")
+	flag.Parse()
+
+	var subset []string
+	if *benchList != "" {
+		subset = strings.Split(*benchList, ",")
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("9a") || want("9b") {
+		rows, err := prefcolor.Figure9(16, subset...)
+		check(err)
+		if want("9a") {
+			printFig9(rows, "Figure 9(a): moves eliminated by coalescing vs. Chaitin, 16 registers", true, *csv)
+		}
+		if want("9b") {
+			printFig9(rows, "Figure 9(b): spill instructions generated vs. Chaitin, 16 registers", false, *csv)
+		}
+	}
+	if want("9c") || want("9d") {
+		rows, err := prefcolor.Figure9(32, subset...)
+		check(err)
+		if want("9c") {
+			printFig9(rows, "Figure 9(c): moves eliminated by coalescing vs. Chaitin, 32 registers", true, *csv)
+		}
+		if want("9d") {
+			printFig9(rows, "Figure 9(d): spill instructions generated vs. Chaitin, 32 registers", false, *csv)
+		}
+	}
+	for _, panel := range []struct {
+		name string
+		k    int
+	}{{"10a", 16}, {"10b", 24}, {"10c", 32}} {
+		if !want(panel.name) {
+			continue
+		}
+		rows, err := prefcolor.Figure10(panel.k, subset...)
+		check(err)
+		printFig10(rows, fmt.Sprintf("Figure 10(%c): estimated execution cost, %d registers", panel.name[2], panel.k), *csv)
+	}
+	if want("11") {
+		rows, err := prefcolor.Figure11(subset...)
+		check(err)
+		printFig11(rows, "Figure 11: cost relative to full preferences, 24 registers", *csv)
+	}
+	if *fig == "ablations" {
+		rows, err := prefcolor.Ablations(16, subset...)
+		check(err)
+		printAblations(rows, *csv)
+	}
+}
+
+func printAblations(rows []prefcolor.AblationRow, csv bool) {
+	if csv {
+		fmt.Println("# Ablations: full-preference design choices, 16 registers")
+		fmt.Println("variant,cycles,moves_left,spill_instrs,fused,missed")
+		for _, r := range rows {
+			fmt.Printf("%s,%.0f,%d,%d,%d,%d\n", r.Label, r.Cycles, r.MovesRemaining, r.SpillInstrs, r.FusedPairs, r.MissedPairs)
+		}
+		return
+	}
+	fmt.Println("Ablations: full-preference design choices, 16 registers")
+	fmt.Printf("  %-20s %14s %12s %12s %8s %8s\n", "variant", "cycles", "moves left", "spill", "fused", "missed")
+	for _, r := range rows {
+		fmt.Printf("  %-20s %14.0f %12d %12d %8d %8d\n", r.Label, r.Cycles, r.MovesRemaining, r.SpillInstrs, r.FusedPairs, r.MissedPairs)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+var fig9Series = []string{"pref-coalesce", "optimistic", "briggs-aggressive"}
+var fig10Series = []string{"pref-coalesce", "optimistic", "pref-full"}
+var fig11Series = []string{"pref-coalesce", "optimistic", "briggs-aggressive", "callcost", "pref-full"}
+
+func printFig9(rows []prefcolor.Fig9Row, title string, moves, csv bool) {
+	printTable(title, fig9Series, len(rows), csv,
+		func(i int) string { return rows[i].Benchmark },
+		func(i int, s string) float64 {
+			if moves {
+				return rows[i].MoveRatio[s]
+			}
+			return rows[i].SpillRatio[s]
+		})
+}
+
+func printFig10(rows []prefcolor.Fig10Row, title string, csv bool) {
+	printTable(title, fig10Series, len(rows), csv,
+		func(i int) string { return rows[i].Benchmark },
+		func(i int, s string) float64 { return rows[i].Cycles[s] })
+}
+
+func printFig11(rows []prefcolor.Fig11Row, title string, csv bool) {
+	printTable(title, fig11Series, len(rows), csv,
+		func(i int) string { return rows[i].Benchmark },
+		func(i int, s string) float64 { return rows[i].Relative[s] })
+}
+
+func printTable(title string, series []string, n int, csv bool, name func(int) string, value func(int, string) float64) {
+	if csv {
+		fmt.Printf("# %s\n", title)
+		fmt.Printf("benchmark,%s\n", strings.Join(series, ","))
+		for i := 0; i < n; i++ {
+			fmt.Print(name(i))
+			for _, s := range series {
+				fmt.Printf(",%.4f", value(i, s))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Println(title)
+	fmt.Printf("  %-14s", "benchmark")
+	for _, s := range series {
+		fmt.Printf("%20s", s)
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("  %-14s", name(i))
+		for _, s := range series {
+			fmt.Printf("%20.4f", value(i, s))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

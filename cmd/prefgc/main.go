@@ -1,0 +1,104 @@
+// Command prefgc allocates registers for a function written in the
+// textual IR and prints the rewritten code.
+//
+// Usage:
+//
+//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [file]
+//
+// With no file the function is read from standard input. The
+// allocator names are the figure labels: chaitin, briggs-aggressive,
+// briggs-conservative, iterated, optimistic, callcost, pref-coalesce,
+// pref-full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prefcolor"
+)
+
+func main() {
+	k := flag.Int("k", 16, "number of machine registers (the paper uses 16, 24, 32)")
+	allocName := flag.String("alloc", "pref-full", "allocator: "+strings.Join(prefcolor.AllocatorNames(), ", "))
+	stats := flag.Bool("stats", false, "print allocation statistics")
+	estimate := flag.Bool("estimate", false, "print the cycle estimate of the result")
+	optimize := flag.Bool("O", false, "run the SSA scalar optimizations before allocation")
+	explain := flag.Bool("explain", false, "print the Register Preference Graph and Coloring Precedence Graph instead of allocating")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "prefgc: at most one input file")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := prefcolor.ParseFunction(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		prefcolor.ToSSA(f)
+		prefcolor.OptimizeSSA(f)
+		prefcolor.FromSSA(f)
+	}
+	if *explain {
+		m := prefcolor.NewMachine(*k)
+		exp, err := prefcolor.Explain(f, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("; %d live ranges\n", exp.Webs)
+		fmt.Println("; interference:")
+		fmt.Println(indent(exp.Interference))
+		fmt.Println("; register preference graph:")
+		fmt.Println(indent(exp.RPG))
+		fmt.Println("; coloring precedence graph:")
+		fmt.Println(indent(exp.CPG))
+		if len(exp.PotentialSpills) > 0 {
+			fmt.Printf("; potential spills: %v\n", exp.PotentialSpills)
+		}
+		return
+	}
+	alloc, err := prefcolor.AllocatorByName(*allocName)
+	if err != nil {
+		fatal(err)
+	}
+	m := prefcolor.NewMachine(*k)
+	out, st, err := prefcolor.Allocate(f, m, alloc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out.String())
+	if *stats {
+		fmt.Printf("; allocator=%s rounds=%d moves: %d -> %d (eliminated %d), spill instrs=%d, caller saves=%d, regs used=%d (%d non-volatile)\n",
+			st.Allocator, st.Rounds, st.MovesBefore, st.MovesRemaining, st.MovesEliminated,
+			st.SpillInstrs(), st.CallerSaveStores+st.CallerSaveLoads, st.UsedRegs, st.UsedNonVolatile)
+	}
+	if *estimate {
+		est := prefcolor.EstimateCycles(out, m)
+		fmt.Printf("; estimate: %.1f cycles, %d paired loads fused, %d missed, %d callee-saved regs\n",
+			est.Cycles, est.FusedPairs, est.MissedPairs, est.CalleeSaveRegs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefgc:", err)
+	os.Exit(1)
+}
+
+func indent(s string) string {
+	return ";   " + strings.ReplaceAll(s, "\n", "\n;   ")
+}

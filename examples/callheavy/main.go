@@ -1,0 +1,35 @@
+// Call-heavy code: volatile versus non-volatile selection (the
+// paper's third preference kind). Values live across calls belong in
+// callee-saved registers; values that die before the next call belong
+// in caller-saved ones. This example compares how much caller-save
+// traffic each allocator buys on a call-dense synthetic workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefcolor"
+)
+
+func main() {
+	m := prefcolor.NewMachine(16)
+	profile, err := prefcolor.BenchmarkByName("jess")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%d functions, call-dense)\n\n", profile.Name, profile.Funcs)
+	fmt.Printf("%-20s %14s %14s %14s\n", "allocator", "caller saves", "spill instrs", "cycles")
+	for _, name := range []string{"briggs-aggressive", "optimistic", "callcost", "pref-full"} {
+		res, err := prefcolor.RunBenchmark(profile, m, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %14d %14d %14.0f\n", name, res.CallerSaves, res.SpillInstrs, res.Cycles)
+	}
+	fmt.Println()
+	fmt.Println("callcost models Lueh & Gross's call-cost directed allocation;")
+	fmt.Println("pref-full resolves the same volatility preferences together with")
+	fmt.Println("coalescing and pairing in one select phase (the paper's §6.3 claim).")
+}

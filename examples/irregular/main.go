@@ -1,0 +1,60 @@
+// Irregular registers: the Figure 5(a) pathology. Two hot paired-load
+// destinations are also copied into same-parity argument registers.
+// Preference-blind coalescing gladly binds them to r0 and r2 — losing
+// the paired load on every loop iteration to save two cold copies.
+// The preference-directed allocator weighs both preferences with the
+// cost model and keeps the pair.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefcolor"
+)
+
+const fig5a = `
+func fig5a(v0) {
+b0:
+  v3 = loadimm 0
+  v4 = loadimm 100
+  jump b1
+b1:
+  v1 = load v0, 0
+  v2 = load v0, 4
+  v3 = add v3, v1
+  v3 = add v3, v2
+  v4 = addimm v4, -1
+  branch v4, b1, b2
+b2:
+  r0 = move v1
+  r2 = move v2
+  call @g r0, r2
+  ret v3
+}
+`
+
+func main() {
+	m := prefcolor.NewMachine(16)
+	for _, alloc := range []prefcolor.Allocator{
+		prefcolor.Briggs(),
+		prefcolor.OptimisticCoalescing(),
+		prefcolor.PreferenceDirected(),
+	} {
+		f, err := prefcolor.ParseFunction(fig5a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, stats, err := prefcolor.Allocate(f, m, alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := prefcolor.EstimateCycles(out, m)
+		fmt.Printf("%-20s moves left: %d, paired loads fused: %d missed: %d, cycles: %.0f\n",
+			stats.Allocator, stats.MovesRemaining, est.FusedPairs, est.MissedPairs, est.Cycles)
+	}
+	fmt.Println()
+	fmt.Println("The pair sits in a loop (the cost model weighs loop code 10x);")
+	fmt.Println("fusing it saves ~20 cycles, keeping the two cold copies saves ~2.")
+	fmt.Println("Preference-blind coalescing takes the 2 and loses the 20.")
+}

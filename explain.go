@@ -1,0 +1,83 @@
+package prefcolor
+
+import (
+	"fmt"
+	"strings"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/ig"
+	"prefcolor/internal/regalloc"
+)
+
+// Explanation exposes the paper's two graphs for one function, for
+// inspection and teaching: the Register Preference Graph with its
+// cost-model strengths and the Coloring Precedence Graph derived from
+// an optimistic simplification of the interference graph.
+type Explanation struct {
+	// Webs is the number of live ranges after renumbering.
+	Webs int
+
+	// RPG lists every preference edge, one per line, in sorted order
+	// (kind, holder, target, volatile/non-volatile strengths).
+	RPG string
+
+	// CPG lists the precedence edges, one per line, with top/bottom
+	// pseudo-nodes.
+	CPG string
+
+	// Interference lists each web's interference neighbors.
+	Interference string
+
+	// PotentialSpills names the webs removed at significant degree.
+	PotentialSpills []string
+}
+
+// Explain renumbers f for machine m and renders the Register
+// Preference Graph and Coloring Precedence Graph the
+// preference-directed allocator would work from on its first round.
+// f is not modified.
+func Explain(f *Function, m *Machine) (*Explanation, error) {
+	g := f.Clone()
+	if _, err := ig.Renumber(g); err != nil {
+		return nil, err
+	}
+	ctx, err := regalloc.NewContext(g, m, nil)
+	if err != nil {
+		return nil, err
+	}
+	rpg := core.BuildRPG(ctx, core.FullPreferences)
+	stack, potential := core.SimplifyForBench(ctx.Graph, ctx.K())
+	cpg, err := core.BuildCPG(ctx.Graph, stack, potential, ctx.K())
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &Explanation{
+		Webs: g.NumVirt,
+		RPG:  core.DumpRPG(rpg, ctx.Graph),
+		CPG:  cpg.Dump(ctx.Graph),
+	}
+	var lines []string
+	for w := 0; w < g.NumVirt; w++ {
+		node := ig.NodeID(ctx.Graph.NumPhys() + w)
+		var nbs []string
+		for _, nb := range ctx.Graph.OrigNeighbors(node) {
+			nbs = append(nbs, ctx.Graph.RegOf(nb).String())
+		}
+		lines = append(lines, fmt.Sprintf("v%d: {%s}", w, strings.Join(nbs, ", ")))
+	}
+	exp.Interference = strings.Join(lines, "\n")
+	for n := range potential {
+		exp.PotentialSpills = append(exp.PotentialSpills, ctx.Graph.RegOf(n).String())
+	}
+	sortStrings(exp.PotentialSpills)
+	return exp, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

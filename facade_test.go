@@ -1,0 +1,169 @@
+package prefcolor_test
+
+import (
+	"testing"
+
+	"prefcolor"
+)
+
+func TestFacadeMachineConstructors(t *testing.T) {
+	x86 := prefcolor.NewX86Machine(16)
+	if len(x86.Limits) == 0 {
+		t.Error("x86 machine has no limited-register rules")
+	}
+	s390 := prefcolor.NewS390Machine(16)
+	if !s390.PairOK(4, 5) || s390.PairOK(4, 7) {
+		t.Error("s390 machine pair rule wrong")
+	}
+}
+
+func TestFacadeNamedConstructorsMatchRegistry(t *testing.T) {
+	named := map[string]prefcolor.Allocator{
+		"pref-full":           prefcolor.PreferenceDirected(),
+		"pref-coalesce":       prefcolor.PreferenceCoalesceOnly(),
+		"chaitin":             prefcolor.Chaitin(),
+		"briggs-aggressive":   prefcolor.Briggs(),
+		"briggs-conservative": prefcolor.BriggsConservative(),
+		"iterated":            prefcolor.IteratedCoalescing(),
+		"optimistic":          prefcolor.OptimisticCoalescing(),
+		"callcost":            prefcolor.CallCostDirected(),
+		"priority":            prefcolor.PriorityBased(),
+	}
+	for want, alloc := range named {
+		if alloc.Name() != want {
+			t.Errorf("constructor for %q reports name %q", want, alloc.Name())
+		}
+	}
+	if len(named) != len(prefcolor.AllocatorNames()) {
+		t.Errorf("facade exposes %d constructors, registry %d names", len(named), len(prefcolor.AllocatorNames()))
+	}
+}
+
+func TestFacadeSSAHelpers(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = loadimm 5
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 11
+  jump b2
+b2:
+  ret v1
+}
+`
+	orig, err := prefcolor.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := prefcolor.ParseFunction(src)
+	prefcolor.ToSSA(f)
+	phiText := f.String()
+	if !containsPhi(phiText) {
+		t.Errorf("ToSSA placed no φ:\n%s", phiText)
+	}
+	prefcolor.FromSSA(f)
+	if containsPhi(f.String()) {
+		t.Errorf("FromSSA left a φ:\n%s", f)
+	}
+	m := prefcolor.NewMachine(8)
+	for _, in := range []int64{0, 1} {
+		a, err := prefcolor.Interpret(orig, m, map[prefcolor.Reg]int64{orig.Params[0]: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := prefcolor.Interpret(f, m, map[prefcolor.Reg]int64{f.Params[0]: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Ret != b.Ret {
+			t.Errorf("input %d: %d vs %d", in, a.Ret, b.Ret)
+		}
+	}
+}
+
+func containsPhi(s string) bool {
+	for i := 0; i+4 <= len(s); i++ {
+		if s[i:i+4] == "phi " {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFacadeAllocateOptsRemat(t *testing.T) {
+	f, err := prefcolor.ParseFunction(`
+func f(v0) {
+b0:
+  v1 = loadimm 7
+  v2 = add v0, v0
+  v3 = add v0, v2
+  v4 = add v0, v3
+  v5 = add v2, v3
+  v6 = add v5, v4
+  v7 = add v6, v0
+  v8 = add v7, v2
+  v9 = add v8, v1
+  ret v9
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prefcolor.NewMachine(4)
+	_, stats, err := prefcolor.AllocateOpts(f, m, prefcolor.Chaitin(), prefcolor.Options{Rematerialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Remats == 0 {
+		t.Error("rematerialization option had no effect")
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	f, err := prefcolor.ParseFunction(`
+func f(v0) {
+b0:
+  v1 = load v0, 0
+  v2 = load v0, 4
+  v3 = add v1, v2
+  v4 = call @g v3
+  ret v4
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.String()
+	m := prefcolor.NewMachine(16)
+	exp, err := prefcolor.Explain(f, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("Explain mutated its input")
+	}
+	if exp.Webs == 0 {
+		t.Error("no webs reported")
+	}
+	for _, want := range []string{"sequential+", "prefers"} {
+		if !containsStr(exp.RPG, want) {
+			t.Errorf("RPG dump missing %q:\n%s", want, exp.RPG)
+		}
+	}
+	if !containsStr(exp.CPG, "top ->") || !containsStr(exp.CPG, "-> bottom") {
+		t.Errorf("CPG dump missing pseudo-nodes:\n%s", exp.CPG)
+	}
+	if !containsStr(exp.Interference, "v0:") {
+		t.Errorf("interference dump missing webs:\n%s", exp.Interference)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package prefcolor
+
+import "prefcolor/internal/bench"
+
+// Fig9Row is one benchmark's bars in Figure 9: moves-eliminated and
+// spill-code ratios against the Chaitin base.
+type Fig9Row = bench.Fig9Row
+
+// Fig10Row is one benchmark's estimated execution cost per series.
+type Fig10Row = bench.Fig10Row
+
+// Fig11Row is one benchmark's cost relative to full preferences.
+type Fig11Row = bench.Fig11Row
+
+// Figure9 regenerates Figure 9 for a register count (16 → panels
+// (a)/(b), 32 → panels (c)/(d)): per-benchmark ratios of moves
+// eliminated by coalescing and of spill instructions generated,
+// against Chaitin with aggressive coalescing, for the coalescing-only
+// preference-directed allocator, Park–Moon optimistic coalescing, and
+// Briggs with aggressive coalescing. A trailing geometric-mean row
+// closes the slice. Optional names restrict the benchmark set.
+func Figure9(k int, benchmarks ...string) ([]Fig9Row, error) {
+	return bench.Figure9(k, benchmarks...)
+}
+
+// Figure10 regenerates one panel of Figure 10 (k = 16, 24, or 32):
+// estimated execution cost per benchmark for only-coalescing,
+// optimistic coalescing, and full preferences.
+func Figure10(k int, benchmarks ...string) ([]Fig10Row, error) {
+	return bench.Figure10(k, benchmarks...)
+}
+
+// Figure11 regenerates Figure 11: estimated execution cost relative
+// to full preferences on the 24-register middle-pressure model, for
+// the three coalescing-only approaches, aggressive+volatility
+// (call-cost directed), and ours.
+func Figure11(benchmarks ...string) ([]Fig11Row, error) {
+	return bench.Figure11(benchmarks...)
+}
+
+// RunBenchmark allocates one whole synthetic benchmark with one
+// allocator configuration and returns the aggregate statistics.
+func RunBenchmark(p WorkloadProfile, m *Machine, allocator string) (*bench.ProgramResult, error) {
+	return bench.RunProgram(p, m, allocator)
+}
+
+// AblationRow is one knocked-out design choice's aggregate result.
+type AblationRow = bench.AblationRow
+
+// Ablations runs the full-preference allocator and the variants with
+// one design choice disabled each (CPG order relaxation, strength-
+// differential priority, recoloring fixup, active spill, deferred
+// screening, and the stack-order combination) over the named
+// benchmarks with k registers.
+func Ablations(k int, benchmarks ...string) ([]AblationRow, error) {
+	return bench.Ablations(k, benchmarks...)
+}

@@ -1,0 +1,3 @@
+module prefcolor
+
+go 1.22

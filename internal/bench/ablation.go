@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// AblationVariants are the design-choice knock-outs studied by the
+// ablation harness, in report order.
+var AblationVariants = []struct {
+	Label    string
+	Ablation core.Ablation
+}{
+	{"full", core.Ablation{}},
+	{"no-cpg", core.Ablation{NoCPG: true}},
+	{"fifo-priority", core.Ablation{FIFOPriority: true}},
+	{"no-recolor", core.Ablation{NoRecolor: true}},
+	{"no-active-spill", core.Ablation{NoActiveSpill: true}},
+	{"no-deferred-screen", core.Ablation{NoDeferredScreen: true}},
+	// stack-order isolates the CPG against the recoloring fixup: it
+	// removes both, versus no-recolor which removes only the fixup.
+	{"stack-order", core.Ablation{NoCPG: true, NoRecolor: true}},
+}
+
+// AblationRow is one variant's aggregate over a benchmark set.
+type AblationRow struct {
+	Label           string
+	Cycles          float64
+	MovesRemaining  int
+	SpillInstrs     int
+	FusedPairs      int
+	MissedPairs     int
+	LimitViolations int
+}
+
+// Ablations runs the full-preference allocator and its knock-out
+// variants over the named benchmarks (all nine when empty) with k
+// registers.
+func Ablations(k int, benches ...string) ([]AblationRow, error) {
+	m := target.UsageModel(k)
+	var rows []AblationRow
+	for _, v := range AblationVariants {
+		row := AblationRow{Label: v.Label}
+		for _, p := range selectBenchmarks(benches) {
+			r, err := runAblated(p, m, v.Ablation)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s: %w", v.Label, err)
+			}
+			row.Cycles += r.Cycles
+			row.MovesRemaining += r.MovesRemaining
+			row.SpillInstrs += r.SpillInstrs
+			row.FusedPairs += r.FusedPairs
+			row.MissedPairs += r.MissedPairs
+			row.LimitViolations += r.LimitViolations
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runAblated(p workload.Profile, m *target.Machine, ab core.Ablation) (*ProgramResult, error) {
+	funcs := workload.Generate(p, m)
+	res := &ProgramResult{Benchmark: p.Name}
+	for i, f := range funcs {
+		alloc := core.NewAblated(ab)
+		out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s func %d: %w", p.Name, i, err)
+		}
+		est := perfmodel.Estimate(out, m)
+		res.MovesRemaining += stats.MovesRemaining
+		res.SpillInstrs += stats.SpillInstrs()
+		res.Cycles += est.Cycles
+		res.FusedPairs += est.FusedPairs
+		res.MissedPairs += est.MissedPairs
+		res.LimitViolations += est.LimitViolations
+	}
+	return res, nil
+}

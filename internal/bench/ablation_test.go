@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+func TestAblationVariantsNamed(t *testing.T) {
+	if AblationVariants[0].Label != "full" {
+		t.Fatal("first variant must be the full algorithm")
+	}
+	seen := map[string]bool{}
+	for _, v := range AblationVariants {
+		if seen[v.Label] {
+			t.Errorf("duplicate label %q", v.Label)
+		}
+		seen[v.Label] = true
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run skipped in -short mode")
+	}
+	rows, err := Ablations(16, "mpegaudio", "jess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AblationVariants) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(AblationVariants))
+	}
+	full := rows[0]
+	if full.Cycles <= 0 {
+		t.Fatalf("degenerate full row: %+v", full)
+	}
+	for _, r := range rows[1:] {
+		t.Logf("%-20s cycles=%.0f (full %.0f) moves-left=%d (full %d) fused=%d (full %d)",
+			r.Label, r.Cycles, full.Cycles, r.MovesRemaining, full.MovesRemaining, r.FusedPairs, full.FusedPairs)
+	}
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// The differential priority (§5.3 step 3) matters: FIFO costs
+	// cycles.
+	if byLabel["fifo-priority"].Cycles <= full.Cycles {
+		t.Errorf("FIFO priority did not cost cycles: %.0f vs %.0f",
+			byLabel["fifo-priority"].Cycles, full.Cycles)
+	}
+	// The recoloring fixup only ever removes copies.
+	if byLabel["no-recolor"].MovesRemaining < full.MovesRemaining {
+		t.Errorf("recoloring increased remaining moves: %d vs %d",
+			full.MovesRemaining, byLabel["no-recolor"].MovesRemaining)
+	}
+	// The CPG's contribution, isolated from the fixup: stack-order
+	// (no CPG, no fixup) must be worse than no-recolor (CPG, no
+	// fixup). With the fixup on, the two mechanisms overlap and
+	// no-cpg may tie the full algorithm — that is the measured
+	// finding recorded in EXPERIMENTS.md.
+	if byLabel["stack-order"].Cycles <= byLabel["no-recolor"].Cycles {
+		t.Errorf("CPG shows no benefit without the fixup: stack-order %.0f vs no-recolor %.0f",
+			byLabel["stack-order"].Cycles, byLabel["no-recolor"].Cycles)
+	}
+}

@@ -1,0 +1,301 @@
+// Package bench is the experiment harness: it runs the allocator
+// configurations of the paper's evaluation over the synthetic
+// SPECjvm98 workloads and reproduces every series of Figures 9, 10,
+// and 11.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/briggs"
+	"prefcolor/internal/regalloc/callcost"
+	"prefcolor/internal/regalloc/chaitin"
+	"prefcolor/internal/regalloc/iterated"
+	"prefcolor/internal/regalloc/optimistic"
+	"prefcolor/internal/regalloc/priority"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// NewAllocator builds a fresh allocator by figure label. Fresh
+// instances keep runs independent.
+func NewAllocator(name string) (regalloc.Allocator, error) {
+	switch name {
+	case "chaitin":
+		return chaitin.New(), nil
+	case "briggs-aggressive":
+		return briggs.New(), nil
+	case "briggs-conservative":
+		return briggs.NewConservative(), nil
+	case "iterated":
+		return iterated.New(), nil
+	case "optimistic":
+		return optimistic.New(), nil
+	case "priority":
+		return priority.New(), nil
+	case "callcost":
+		return callcost.New(), nil
+	case "pref-coalesce":
+		return core.NewCoalesceOnly(), nil
+	case "pref-full":
+		return core.New(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown allocator %q", name)
+}
+
+// AllocatorNames lists every available configuration.
+func AllocatorNames() []string {
+	return []string{
+		"chaitin", "briggs-aggressive", "briggs-conservative", "iterated",
+		"optimistic", "priority", "callcost", "pref-coalesce", "pref-full",
+	}
+}
+
+// ProgramResult aggregates one allocator over one whole benchmark.
+type ProgramResult struct {
+	Benchmark string
+	Allocator string
+
+	MovesBefore     int
+	MovesEliminated int
+	MovesRemaining  int
+	SpillInstrs     int
+	CallerSaves     int
+	Cycles          float64
+	FusedPairs      int
+	MissedPairs     int
+	LimitViolations int
+	Funcs           int
+}
+
+// RunProgram allocates every function of the benchmark (in parallel —
+// each function's allocation is independent and generation is
+// deterministic) and sums the statistics and cycle estimates.
+func RunProgram(p workload.Profile, m *target.Machine, allocName string) (*ProgramResult, error) {
+	if _, err := NewAllocator(allocName); err != nil {
+		return nil, err
+	}
+	funcs := workload.Generate(p, m)
+	res := &ProgramResult{Benchmark: p.Name, Allocator: allocName, Funcs: len(funcs)}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, f := range funcs {
+		wg.Add(1)
+		go func(i int, f *ir.Func) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			alloc, _ := NewAllocator(allocName)
+			out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bench: %s/%s func %d: %w", p.Name, allocName, i, err)
+				}
+				return
+			}
+			est := perfmodel.Estimate(out, m)
+			res.MovesBefore += stats.MovesBefore
+			res.MovesEliminated += stats.MovesEliminated
+			res.MovesRemaining += stats.MovesRemaining
+			res.SpillInstrs += stats.SpillInstrs()
+			res.CallerSaves += stats.CallerSaveStores + stats.CallerSaveLoads
+			res.Cycles += est.Cycles
+			res.FusedPairs += est.FusedPairs
+			res.MissedPairs += est.MissedPairs
+			res.LimitViolations += est.LimitViolations
+		}(i, f)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Ratio is a smoothed quotient: zero denominators are lifted to one
+// so an experiment where both sides eliminated the phenomenon
+// entirely reads as 1.0 rather than dividing by zero.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		den = 1
+	}
+	return float64(num) / float64(den)
+}
+
+// GeoMean returns the geometric mean of strictly positive values;
+// non-positive entries are clamped to a small epsilon, as the paper's
+// "geo." columns do for vanishing bars.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x < 1e-9 {
+			x = 1e-9
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Fig9Series are the algorithms Figure 9 compares against the Chaitin
+// base: ours restricted to coalescing, Park–Moon optimistic
+// coalescing, and Briggs with aggressive coalescing.
+var Fig9Series = []string{"pref-coalesce", "optimistic", "briggs-aggressive"}
+
+// Fig9Row is one benchmark's bars: ratio of moves eliminated and of
+// spill instructions generated, per series, relative to Chaitin.
+type Fig9Row struct {
+	Benchmark  string
+	MoveRatio  map[string]float64
+	SpillRatio map[string]float64
+}
+
+// Figure9 reproduces Figure 9's two panels for one register count
+// (16 for panels (a)/(b), 32 for (c)/(d)), returning one row per
+// benchmark plus a final geometric-mean row. An optional benchmark
+// subset restricts the run (used by fast tests); no names means all.
+func Figure9(k int, benches ...string) ([]Fig9Row, error) {
+	m := target.UsageModel(k)
+	var rows []Fig9Row
+	geoMove := map[string][]float64{}
+	geoSpill := map[string][]float64{}
+	for _, p := range selectBenchmarks(benches) {
+		base, err := RunProgram(p, m, "chaitin")
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{
+			Benchmark:  p.Name,
+			MoveRatio:  map[string]float64{},
+			SpillRatio: map[string]float64{},
+		}
+		for _, name := range Fig9Series {
+			r, err := RunProgram(p, m, name)
+			if err != nil {
+				return nil, err
+			}
+			mv := Ratio(r.MovesEliminated, base.MovesEliminated)
+			sp := Ratio(r.SpillInstrs, base.SpillInstrs)
+			row.MoveRatio[name] = mv
+			row.SpillRatio[name] = sp
+			geoMove[name] = append(geoMove[name], mv)
+			geoSpill[name] = append(geoSpill[name], sp)
+		}
+		rows = append(rows, row)
+	}
+	geo := Fig9Row{Benchmark: "geo.", MoveRatio: map[string]float64{}, SpillRatio: map[string]float64{}}
+	for _, name := range Fig9Series {
+		geo.MoveRatio[name] = GeoMean(geoMove[name])
+		geo.SpillRatio[name] = GeoMean(geoSpill[name])
+	}
+	rows = append(rows, geo)
+	return rows, nil
+}
+
+// Fig10Series are Figure 10's three configurations.
+var Fig10Series = []string{"pref-coalesce", "optimistic", "pref-full"}
+
+// Fig10Row is one benchmark's estimated execution cost per series.
+type Fig10Row struct {
+	Benchmark string
+	Cycles    map[string]float64
+}
+
+// Figure10 reproduces one panel of Figure 10 (k = 16, 24, or 32):
+// estimated execution cost of each benchmark under the coalescing-
+// only configurations and the full-preference allocator, plus a
+// geometric-mean row.
+func Figure10(k int, benches ...string) ([]Fig10Row, error) {
+	return cycleFigure(k, Fig10Series, benches)
+}
+
+// Fig11Series are Figure 11's five configurations.
+var Fig11Series = []string{"pref-coalesce", "optimistic", "briggs-aggressive", "callcost", "pref-full"}
+
+// Fig11Row is one benchmark's cost relative to full preferences.
+type Fig11Row struct {
+	Benchmark string
+	Relative  map[string]float64
+}
+
+// Figure11 reproduces Figure 11: relative estimated execution cost
+// against our full-preference allocator on the middle-pressure
+// (24-register) model, for the three coalescing-only approaches and
+// the aggressive+volatility (call-cost) configuration.
+func Figure11(benches ...string) ([]Fig11Row, error) {
+	rows, err := cycleFigure(24, Fig11Series, benches)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11Row
+	for _, r := range rows {
+		rel := Fig11Row{Benchmark: r.Benchmark, Relative: map[string]float64{}}
+		full := r.Cycles["pref-full"]
+		for _, name := range Fig11Series {
+			rel.Relative[name] = r.Cycles[name] / full
+		}
+		out = append(out, rel)
+	}
+	return out, nil
+}
+
+func cycleFigure(k int, series []string, benches []string) ([]Fig10Row, error) {
+	m := target.UsageModel(k)
+	var rows []Fig10Row
+	geo := map[string][]float64{}
+	for _, p := range selectBenchmarks(benches) {
+		row := Fig10Row{Benchmark: p.Name, Cycles: map[string]float64{}}
+		for _, name := range series {
+			r, err := RunProgram(p, m, name)
+			if err != nil {
+				return nil, err
+			}
+			row.Cycles[name] = r.Cycles
+			geo[name] = append(geo[name], r.Cycles)
+		}
+		rows = append(rows, row)
+	}
+	gr := Fig10Row{Benchmark: "geo.", Cycles: map[string]float64{}}
+	for _, name := range series {
+		gr.Cycles[name] = GeoMean(geo[name])
+	}
+	rows = append(rows, gr)
+	return rows, nil
+}
+
+// selectBenchmarks resolves a benchmark-name subset, defaulting to
+// the full suite; unknown names are ignored.
+func selectBenchmarks(names []string) []workload.Profile {
+	all := workload.Benchmarks()
+	if len(names) == 0 {
+		return all
+	}
+	var out []workload.Profile
+	for _, n := range names {
+		for _, p := range all {
+			if p.Name == n {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

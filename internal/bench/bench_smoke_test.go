@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+func TestNewAllocator(t *testing.T) {
+	for _, name := range AllocatorNames() {
+		a, err := NewAllocator(name)
+		if err != nil {
+			t.Errorf("NewAllocator(%q): %v", name, err)
+			continue
+		}
+		if a.Name() != name {
+			t.Errorf("allocator %q reports name %q", name, a.Name())
+		}
+	}
+	if _, err := NewAllocator("bogus"); err == nil {
+		t.Error("NewAllocator accepted bogus name")
+	}
+}
+
+func TestRatioAndGeoMean(t *testing.T) {
+	if Ratio(3, 6) != 0.5 || Ratio(0, 0) != 1 || Ratio(5, 0) != 5 {
+		t.Error("Ratio wrong")
+	}
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Errorf("GeoMean = %v, want 4", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestRunProgramSmoke(t *testing.T) {
+	start := time.Now()
+	p, _ := workload.ByName("db")
+	m := target.UsageModel(16)
+	base, err := RunProgram(p, m, "chaitin")
+	if err != nil {
+		t.Fatalf("chaitin: %v", err)
+	}
+	ours, err := RunProgram(p, m, "pref-full")
+	if err != nil {
+		t.Fatalf("pref-full: %v", err)
+	}
+	if base.MovesBefore == 0 || base.Cycles == 0 {
+		t.Errorf("degenerate base result: %+v", base)
+	}
+	if ours.MovesBefore != base.MovesBefore {
+		t.Errorf("input moves differ: %d vs %d (generation must be identical)", ours.MovesBefore, base.MovesBefore)
+	}
+	t.Logf("db/16: chaitin %+v", *base)
+	t.Logf("db/16: pref-full %+v", *ours)
+	t.Logf("elapsed: %v", time.Since(start))
+}

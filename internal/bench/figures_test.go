@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"testing"
+
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// The figure tests assert the qualitative claims of the paper's
+// evaluation on a benchmark subset (full runs live in cmd/figures and
+// the root benchmarks). They are skipped under -short.
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run skipped in -short mode")
+	}
+	rows, err := Figure9(16, "jess", "db", "mpegaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[3].Benchmark != "geo." {
+		t.Fatalf("rows = %d (last %q), want 3 benchmarks + geo", len(rows), rows[len(rows)-1].Benchmark)
+	}
+	geo := rows[3]
+	for _, series := range Fig9Series {
+		// Paper: all approaches remove the vast majority of what the
+		// base removes.
+		if geo.MoveRatio[series] < 0.80 {
+			t.Errorf("%s move ratio %.3f < 0.80", series, geo.MoveRatio[series])
+		}
+		// Paper: all approaches generate clearly less spill code than
+		// Chaitin at 16 registers.
+		if geo.SpillRatio[series] >= 1.0 {
+			t.Errorf("%s spill ratio %.3f >= 1", series, geo.SpillRatio[series])
+		}
+	}
+	// Paper: ours suppresses spill code best.
+	ours := geo.SpillRatio["pref-coalesce"]
+	if ours > geo.SpillRatio["optimistic"] || ours > geo.SpillRatio["briggs-aggressive"] {
+		t.Errorf("pref-coalesce spill ratio %.3f is not the best of %v", ours, geo.SpillRatio)
+	}
+}
+
+func TestFigure9HighRegsSpillsVanish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run skipped in -short mode")
+	}
+	// Paper: "about 90% of the spill instructions [are] eliminated
+	// when using 32 registers" — compare each algorithm's absolute
+	// spill code at 32 registers against its own at 16.
+	import16 := target.UsageModel(16)
+	import32 := target.UsageModel(32)
+	for _, name := range []string{"chaitin", "pref-coalesce"} {
+		s16, s32 := 0, 0
+		for _, bn := range []string{"jess", "db", "compress"} {
+			p, err := workload.ByName(bn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r16, err := RunProgram(p, import16, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r32, err := RunProgram(p, import32, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s16 += r16.SpillInstrs
+			s32 += r32.SpillInstrs
+		}
+		if s16 == 0 {
+			t.Fatalf("%s: no spills at 16 registers; workloads too light", name)
+		}
+		if ratio := float64(s32) / float64(s16); ratio > 0.15 {
+			t.Errorf("%s: 32-register spills are %.0f%% of 16-register spills (%d/%d); paper expects ~90%% elimination",
+				name, ratio*100, s32, s16)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run skipped in -short mode")
+	}
+	rows, err := Figure10(16, "mpegaudio", "jess", "compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := rows[len(rows)-1]
+	full := geo.Cycles["pref-full"]
+	// Paper: the full-preference configuration clearly beats both
+	// coalescing-only configurations.
+	if full >= geo.Cycles["pref-coalesce"] {
+		t.Errorf("full (%.0f) not better than coalesce-only (%.0f)", full, geo.Cycles["pref-coalesce"])
+	}
+	if full >= geo.Cycles["optimistic"] {
+		t.Errorf("full (%.0f) not better than optimistic (%.0f)", full, geo.Cycles["optimistic"])
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run skipped in -short mode")
+	}
+	rows, err := Figure11("jess", "mpegaudio", "db", "compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := rows[len(rows)-1]
+	// Paper: ours wins overall against aggressive+volatility, and the
+	// coalescing-only approaches trail; db may go either way (the
+	// paper's own worst case loses 4% there).
+	if geo.Relative["callcost"] <= 1.0 {
+		t.Errorf("callcost relative %.3f; ours should win on the geometric mean", geo.Relative["callcost"])
+	}
+	if geo.Relative["pref-coalesce"] <= 1.0 {
+		t.Errorf("pref-coalesce relative %.3f; full preferences should win", geo.Relative["pref-coalesce"])
+	}
+	for _, r := range rows {
+		if r.Benchmark == "db" {
+			if r.Relative["callcost"] < 0.9 {
+				t.Errorf("db callcost relative %.3f implausibly low", r.Relative["callcost"])
+			}
+		}
+	}
+}

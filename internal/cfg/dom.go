@@ -1,0 +1,186 @@
+// Package cfg provides control-flow analyses over ir.Func: dominator
+// trees, dominance frontiers, natural-loop detection with nesting
+// depths, and the execution-frequency estimate the paper's cost model
+// uses (Freq_Fact = 10^loop-depth).
+package cfg
+
+import (
+	"prefcolor/internal/ir"
+)
+
+// DomTree is the dominator tree of a function, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast Dominance
+// Algorithm").
+type DomTree struct {
+	f *ir.Func
+
+	// idom[b] is the immediate dominator of block b; the entry block's
+	// idom is itself. Unreachable blocks have idom -1.
+	idom []ir.BlockID
+
+	// children[b] lists the blocks immediately dominated by b.
+	children [][]ir.BlockID
+
+	// postorder holds reachable blocks in a reverse-postorder walk of
+	// the CFG (entry first).
+	rpo []ir.BlockID
+
+	// rpoNum[b] is b's reverse-postorder number, or -1 if unreachable.
+	rpoNum []int
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *ir.Func) *DomTree {
+	n := len(f.Blocks)
+	d := &DomTree{
+		f:        f,
+		idom:     make([]ir.BlockID, n),
+		children: make([][]ir.BlockID, n),
+		rpoNum:   make([]int, n),
+	}
+	for i := range d.idom {
+		d.idom[i] = -1
+		d.rpoNum[i] = -1
+	}
+
+	// Depth-first walk to a postorder, then reverse it.
+	visited := make([]bool, n)
+	var post []ir.BlockID
+	var dfs func(b ir.BlockID)
+	dfs = func(b ir.BlockID) {
+		visited[b] = true
+		for _, s := range f.Blocks[b].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	d.rpo = make([]ir.BlockID, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpo = append(d.rpo, post[i])
+	}
+	for i, b := range d.rpo {
+		d.rpoNum[b] = i
+	}
+
+	// Iterate to a fixed point.
+	d.idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var newIdom ir.BlockID = -1
+			for _, p := range f.Blocks[b].Preds {
+				if d.rpoNum[p] < 0 || d.idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range d.rpo {
+		if b == 0 {
+			continue
+		}
+		if p := d.idom[b]; p >= 0 {
+			d.children[p] = append(d.children[p], b)
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b ir.BlockID) ir.BlockID {
+	for a != b {
+		for d.rpoNum[a] > d.rpoNum[b] {
+			a = d.idom[a]
+		}
+		for d.rpoNum[b] > d.rpoNum[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b; the entry returns itself
+// and unreachable blocks return -1.
+func (d *DomTree) Idom(b ir.BlockID) ir.BlockID { return d.idom[b] }
+
+// Children returns the blocks whose immediate dominator is b.
+func (d *DomTree) Children(b ir.BlockID) []ir.BlockID { return d.children[b] }
+
+// Reachable reports whether b is reachable from the entry.
+func (d *DomTree) Reachable(b ir.BlockID) bool { return d.rpoNum[b] >= 0 }
+
+// RPO returns the reachable blocks in reverse postorder (entry first).
+func (d *DomTree) RPO() []ir.BlockID { return d.rpo }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b ir.BlockID) bool {
+	if !d.Reachable(a) || !d.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = d.idom[b]
+	}
+}
+
+// Frontiers computes dominance frontiers per block (Cytron et al. via
+// the Cooper–Harvey–Kennedy formulation): DF[b] contains each block j
+// with a predecessor dominated by b (or equal to b) that b does not
+// strictly dominate.
+func (d *DomTree) Frontiers() [][]ir.BlockID {
+	n := len(d.f.Blocks)
+	df := make([]map[ir.BlockID]bool, n)
+	for _, b := range d.rpo {
+		blk := d.f.Blocks[b]
+		if len(blk.Preds) < 2 {
+			continue
+		}
+		for _, p := range blk.Preds {
+			if !d.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != d.idom[b] {
+				if df[runner] == nil {
+					df[runner] = map[ir.BlockID]bool{}
+				}
+				df[runner][b] = true
+				runner = d.idom[runner]
+			}
+		}
+	}
+	out := make([][]ir.BlockID, n)
+	for i, m := range df {
+		for b := range m {
+			out[i] = append(out[i], b)
+		}
+		sortBlockIDs(out[i])
+	}
+	return out
+}
+
+func sortBlockIDs(s []ir.BlockID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

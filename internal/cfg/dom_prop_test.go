@@ -1,0 +1,145 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prefcolor/internal/ir"
+)
+
+// randomCFG builds a function with n blocks and random jump/branch
+// structure; every block reaches a terminator so Validate accepts it.
+func randomCFG(rng *rand.Rand, n int) *ir.Func {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func r(v0) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "b%d:\n", i)
+		switch {
+		case i == n-1 || rng.Float64() < 0.15:
+			b.WriteString("  ret v0\n")
+		case rng.Float64() < 0.5:
+			fmt.Fprintf(&b, "  jump b%d\n", rng.Intn(n))
+		default:
+			fmt.Fprintf(&b, "  branch v0, b%d, b%d\n", rng.Intn(n), rng.Intn(n))
+		}
+	}
+	b.WriteString("}\n")
+	return ir.MustParse(b.String())
+}
+
+// bruteDominates computes dominance by definition: a dominates b iff
+// removing a disconnects b from the entry (or a == b).
+func bruteDominates(f *ir.Func, a, b ir.BlockID) bool {
+	if a == b {
+		return true
+	}
+	seen := map[ir.BlockID]bool{a: true} // block a is "removed"
+	var stack []ir.BlockID
+	if a != 0 {
+		stack = append(stack, 0)
+		seen[0] = true
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return false // reached b without passing through a
+		}
+		for _, s := range f.Blocks[x].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true // b unreachable without a
+}
+
+func bruteReachable(f *ir.Func, b ir.BlockID) bool {
+	seen := map[ir.BlockID]bool{0: true}
+	stack := []ir.BlockID{0}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		for _, s := range f.Blocks[x].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// TestPropDominatorsMatchBruteForce checks the Cooper–Harvey–Kennedy
+// dominator tree against the definitional computation on random CFGs
+// (including irreducible ones).
+func TestPropDominatorsMatchBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		rng := rand.New(rand.NewSource(seed))
+		f := randomCFG(rng, 3+rng.Intn(8))
+		dom := NewDomTree(f)
+		n := len(f.Blocks)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				ab, bb := ir.BlockID(a), ir.BlockID(b)
+				if !bruteReachable(f, ab) || !bruteReachable(f, bb) {
+					continue // dominance undefined off the entry's region
+				}
+				want := bruteDominates(f, ab, bb)
+				got := dom.Dominates(ab, bb)
+				if got != want {
+					t.Logf("seed %d: Dominates(b%d, b%d) = %v, want %v\n%s", seed, a, b, got, want, f)
+					return false
+				}
+			}
+		}
+		// Reachability agreement.
+		for b := 0; b < n; b++ {
+			if dom.Reachable(ir.BlockID(b)) != bruteReachable(f, ir.BlockID(b)) {
+				t.Logf("seed %d: Reachable(b%d) mismatch", seed, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropLoopBlocksAreDominatedByHeader: every block of every natural
+// loop is dominated by the loop's header (by construction of back
+// edges, but worth pinning against the implementation).
+func TestPropLoopBlocksAreDominatedByHeader(t *testing.T) {
+	prop := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		rng := rand.New(rand.NewSource(seed))
+		f := randomCFG(rng, 4+rng.Intn(8))
+		dom := NewDomTree(f)
+		li := FindLoops(f, dom)
+		for _, l := range li.Loops {
+			for b := range l.Blocks {
+				if !dom.Dominates(l.Header, b) {
+					t.Logf("seed %d: loop header b%d does not dominate member b%d", seed, l.Header, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

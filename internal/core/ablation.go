@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+
+	"prefcolor/internal/ig"
+)
+
+// Ablation switches off individual design choices of the full
+// coloring system, for the ablation studies in the benchmark harness.
+// Every field zero-valued reproduces the paper's full algorithm.
+type Ablation struct {
+	// NoCPG replaces the Coloring Precedence Graph's partial order
+	// with the simplification stack's total order (Chaitin/Briggs
+	// pop order), isolating the contribution of §5.2's relaxation.
+	NoCPG bool
+
+	// FIFOPriority disables the strength-differential node choice of
+	// §5.3 step 3; ready nodes are processed in node order.
+	FIFOPriority bool
+
+	// NoRecolor disables the post-selection greedy recoloring fixup.
+	NoRecolor bool
+
+	// NoActiveSpill disables §5.4's active spilling of
+	// memory-preferring nodes.
+	NoActiveSpill bool
+
+	// NoDeferredScreen disables step 4.3 (avoiding registers that
+	// block a not-yet-allocated partner's preference).
+	NoDeferredScreen bool
+}
+
+func (a Ablation) suffix() string {
+	var parts []string
+	if a.NoCPG {
+		parts = append(parts, "nocpg")
+	}
+	if a.FIFOPriority {
+		parts = append(parts, "fifo")
+	}
+	if a.NoRecolor {
+		parts = append(parts, "norecolor")
+	}
+	if a.NoActiveSpill {
+		parts = append(parts, "nospill")
+	}
+	if a.NoDeferredScreen {
+		parts = append(parts, "nodefer")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "-" + strings.Join(parts, "-")
+}
+
+// NewAblated returns the full-preference allocator with the given
+// design choices disabled.
+func NewAblated(ab Ablation) *Allocator {
+	return &Allocator{mode: FullPreferences, ablation: ab}
+}
+
+// chainCPG builds the degenerate precedence graph of the NoCPG
+// ablation: a single chain in Chaitin select order (reverse of the
+// removal stack), every node also pointing at Bottom.
+func chainCPG(stack []ig.NodeID) *CPG {
+	c := &CPG{
+		succs: map[ig.NodeID][]ig.NodeID{},
+		preds: map[ig.NodeID][]ig.NodeID{},
+	}
+	if len(stack) == 0 {
+		return c
+	}
+	// Reverse stack order: last removed is colored first.
+	first := stack[len(stack)-1]
+	c.addEdge(Top, first)
+	for i := len(stack) - 1; i > 0; i-- {
+		c.addEdge(stack[i], stack[i-1])
+	}
+	c.addEdge(stack[0], Bottom)
+	return c
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"prefcolor/internal/ig"
+	"prefcolor/internal/regalloc"
+)
+
+// Allocator is the paper's full coloring system (Figure 8): renumber
+// and build happen in the driver; here we build the RPG, run
+// optimistic simplification, derive the CPG, and perform the
+// integrated preference-directed selection with deferred coalescing
+// and active spilling.
+type Allocator struct {
+	mode     Mode
+	ablation Ablation
+}
+
+// New returns the full-preference allocator ("full preferences" in
+// Figures 10 and 11).
+func New() *Allocator { return &Allocator{mode: FullPreferences} }
+
+// NewCoalesceOnly returns the configuration of §6.1 that reflects
+// only coalescing preferences ("only coalescing" in the figures).
+func NewCoalesceOnly() *Allocator { return &Allocator{mode: CoalesceOnly} }
+
+// Name implements regalloc.Allocator.
+func (a *Allocator) Name() string {
+	if a.mode == CoalesceOnly {
+		return "pref-coalesce" + a.ablation.suffix()
+	}
+	return "pref-full" + a.ablation.suffix()
+}
+
+// Mode returns the preference mode.
+func (a *Allocator) Mode() Mode { return a.mode }
+
+// Allocate implements regalloc.Allocator.
+func (a *Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
+	g, k := ctx.Graph, ctx.K()
+	rpg := BuildRPG(ctx, a.mode)
+	stack, potential := simplifyOptimistic(g, k)
+	var cpg *CPG
+	if a.ablation.NoCPG {
+		cpg = chainCPG(stack)
+	} else {
+		var err error
+		cpg, err = BuildCPG(g, stack, potential, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := newSelector(ctx, rpg, cpg, a.mode)
+	s.ab = a.ablation
+	return s.run()
+}
+
+// SimplifyForBench exposes the optimistic simplification for the
+// repository's benchmarks, which time CPG construction in isolation.
+func SimplifyForBench(g *ig.Graph, k int) ([]ig.NodeID, map[ig.NodeID]bool) {
+	return simplifyOptimistic(g, k)
+}
+
+// simplifyOptimistic empties the graph in Briggs fashion, returning
+// the removal order and which nodes were removed at significant
+// degree (the potential spills of step 4's "spilled node" clause).
+// The graph is left fully removed; selection works off the original
+// adjacency, as §5.3 prescribes ("add the chosen node to the
+// interference graph").
+func simplifyOptimistic(g *ig.Graph, k int) ([]ig.NodeID, map[ig.NodeID]bool) {
+	var order []ig.NodeID
+	potential := map[ig.NodeID]bool{}
+	for {
+		progress := false
+		for _, n := range g.ActiveNodes() {
+			if g.Degree(n) < k {
+				g.Remove(n)
+				order = append(order, n)
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		cand := regalloc.SpillCandidate(g)
+		if cand < 0 {
+			return order, potential
+		}
+		potential[cand] = true
+		g.Remove(cand)
+		order = append(order, cand)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcolor/internal/ig"
+)
+
+// Top and Bottom are the CPG's order-boundary pseudo-nodes. An edge
+// a→b means a must be colored no later than b becomes colorable; Top
+// precedes everything it points to, Bottom follows everything pointing
+// to it.
+const (
+	Top    ig.NodeID = -1
+	Bottom ig.NodeID = -2
+)
+
+// CPG is the Coloring Precedence Graph (§5.2): the partial order on
+// register-selection obtained by relaxing the simplification stack's
+// total order without giving up the colorability the stack guarantees.
+type CPG struct {
+	succs map[ig.NodeID][]ig.NodeID
+	preds map[ig.NodeID][]ig.NodeID
+
+	// Epoch-marked visited buffer for reachability queries, indexed
+	// by node id + 2 (Top and Bottom occupy the first two slots).
+	visitMark  []uint32
+	visitEpoch uint32
+}
+
+// BuildCPG runs the paper's nine-step construction.
+//
+// stack is the simplification stack in removal order (stack[0] was
+// removed first — the paper's RS pops in exactly this order);
+// potentialSpill marks the stack entries that were removed at
+// significant degree (optimistic simplification's "spilled" marks).
+// The working interference graph is the original graph minus its
+// physical nodes, per step 2.
+func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill map[ig.NodeID]bool, k int) (*CPG, error) {
+	c := &CPG{
+		succs: map[ig.NodeID][]ig.NodeID{},
+		preds: map[ig.NodeID][]ig.NodeID{},
+	}
+
+	present := map[ig.NodeID]bool{}
+	for _, n := range stack {
+		if g.IsPhys(n) {
+			return nil, fmt.Errorf("core.BuildCPG: physical node %d on the stack", n)
+		}
+		if present[n] {
+			return nil, fmt.Errorf("core.BuildCPG: node %d on the stack twice", n)
+		}
+		present[n] = true
+	}
+
+	// WIG degrees: original adjacency restricted to stack (web) nodes.
+	wigDeg := map[ig.NodeID]int{}
+	for n := range present {
+		d := 0
+		for _, nb := range g.OrigNeighbors(n) {
+			if present[nb] {
+				d++
+			}
+		}
+		wigDeg[n] = d
+	}
+
+	inCPG := map[ig.NodeID]bool{}
+	ready := map[ig.NodeID]bool{}
+	create := func(n ig.NodeID) {
+		if !inCPG[n] {
+			inCPG[n] = true
+		}
+	}
+
+	// Step 4: initial low-degree nodes (ready) and potential-spill
+	// nodes (not ready) hang off Bottom.
+	for _, n := range stack {
+		switch {
+		case wigDeg[n] < k:
+			create(n)
+			c.addEdge(n, Bottom)
+			ready[n] = true
+		case potentialSpill[n]:
+			create(n)
+			c.addEdge(n, Bottom)
+		}
+	}
+
+	// Steps 5–9: replay the removal sequence.
+	for _, n := range stack {
+		present[n] = false
+		if !inCPG[n] {
+			return nil, fmt.Errorf("core.BuildCPG: node %d popped before appearing in the CPG (stack inconsistent with graph)", n)
+		}
+		var remaining []ig.NodeID
+		for _, nb := range g.OrigNeighbors(n) {
+			if present[nb] {
+				remaining = append(remaining, nb)
+			}
+		}
+		sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+
+		// Step 6: materialize remaining neighbors.
+		for _, nb := range remaining {
+			create(nb)
+		}
+		// Step 7: non-ready remaining neighbors must precede n.
+		sawNonReady := false
+		for _, nb := range remaining {
+			if !ready[nb] {
+				sawNonReady = true
+				c.addEdgeReduced(nb, n)
+			}
+		}
+		if !sawNonReady {
+			c.addEdge(Top, n)
+		}
+		// Step 8: removal may make neighbors removable.
+		for _, nb := range remaining {
+			wigDeg[nb]--
+			if wigDeg[nb] < k {
+				ready[nb] = true
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *CPG) addEdge(a, b ig.NodeID) {
+	for _, s := range c.succs[a] {
+		if s == b {
+			return
+		}
+	}
+	c.succs[a] = append(c.succs[a], b)
+	c.preds[b] = append(c.preds[b], a)
+}
+
+func (c *CPG) removeEdge(a, b ig.NodeID) {
+	c.succs[a] = removeFrom(c.succs[a], b)
+	c.preds[b] = removeFrom(c.preds[b], a)
+}
+
+func removeFrom(s []ig.NodeID, x ig.NodeID) []ig.NodeID {
+	out := s[:0]
+	for _, v := range s {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// addEdgeReduced adds u→n keeping the graph transitively reduced: the
+// edge is skipped if a path u⇝n already exists, and existing edges
+// u→x that the new edge makes transitive (n⇝x) are removed.
+func (c *CPG) addEdgeReduced(u, n ig.NodeID) {
+	if c.reachable(u, n) {
+		return
+	}
+	c.addEdge(u, n)
+	for _, x := range append([]ig.NodeID(nil), c.succs[u]...) {
+		if x == n {
+			continue
+		}
+		if c.reachable(n, x) {
+			c.removeEdge(u, x)
+		}
+	}
+}
+
+// reachable reports whether a path a⇝b exists.
+func (c *CPG) reachable(a, b ig.NodeID) bool {
+	if a == b {
+		return true
+	}
+	c.visitEpoch++
+	mark := func(n ig.NodeID) bool { // returns true if newly marked
+		i := int(n) + 2
+		for i >= len(c.visitMark) {
+			c.visitMark = append(c.visitMark, 0)
+		}
+		if c.visitMark[i] == c.visitEpoch {
+			return false
+		}
+		c.visitMark[i] = c.visitEpoch
+		return true
+	}
+	mark(a)
+	work := []ig.NodeID{a}
+	for len(work) > 0 {
+		x := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range c.succs[x] {
+			if s == b {
+				return true
+			}
+			if mark(s) {
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// Succs returns the successors of n (sorted copy).
+func (c *CPG) Succs(n ig.NodeID) []ig.NodeID {
+	out := append([]ig.NodeID(nil), c.succs[n]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Preds returns the predecessors of n (sorted copy).
+func (c *CPG) Preds(n ig.NodeID) []ig.NodeID {
+	out := append([]ig.NodeID(nil), c.preds[n]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasEdge reports whether the edge a→b is present.
+func (c *CPG) HasEdge(a, b ig.NodeID) bool {
+	for _, s := range c.succs[a] {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns every real (non-pseudo) node mentioned by the CPG,
+// sorted.
+func (c *CPG) Nodes() []ig.NodeID {
+	seen := map[ig.NodeID]bool{}
+	for n := range c.succs {
+		if n >= 0 {
+			seen[n] = true
+		}
+	}
+	for n := range c.preds {
+		if n >= 0 {
+			seen[n] = true
+		}
+	}
+	var out []ig.NodeID
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Dump renders the CPG deterministically for golden tests, naming
+// nodes through the graph's register mapping.
+func (c *CPG) Dump(g *ig.Graph) string {
+	name := func(n ig.NodeID) string {
+		switch n {
+		case Top:
+			return "top"
+		case Bottom:
+			return "bottom"
+		default:
+			return g.RegOf(n).String()
+		}
+	}
+	var lines []string
+	emit := func(from ig.NodeID) {
+		for _, s := range c.Succs(from) {
+			lines = append(lines, fmt.Sprintf("%s -> %s", name(from), name(s)))
+		}
+	}
+	emit(Top)
+	for _, n := range c.Nodes() {
+		emit(n)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+)
+
+// fig7Source is the paper's Figure 7(a) sample code, transcribed with
+// our conventions: the paper's r1 (first argument and return register)
+// is our r0, its r2 (second argument) our r1, its non-volatile r3 our
+// r2.
+//
+//	i0: v0 = [arg0]
+//	i1: L1: v1 = [v0]
+//	i2: v2 = [v0+4]
+//	i3: v3 = v0
+//	i4: v4 = v1 + v2
+//	i5: arg0 = v3
+//	i6: call
+//	i7: v0 = v4+1
+//	i8: if v0 != 0 goto L1
+//	i9: ret
+const fig7Source = `
+func fig7() {
+b0:
+  v0 = load r0, 0
+  jump b1
+b1:
+  v1 = load v0, 0
+  v2 = load v0, 4
+  v3 = move v0
+  v4 = add v1, v2
+  r0 = move v3
+  call @f r0
+  v0 = addimm v4, 1
+  branch v0, b1, b2
+b2:
+  ret
+}
+`
+
+// fig7Context renumbers the sample and builds the analyses on the
+// three-register machine. Web numbering comes out the identity
+// (v0..v4 are webs 0..4).
+func fig7Context(t *testing.T) *regalloc.Context {
+	t.Helper()
+	f := ir.MustParse(fig7Source)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatalf("Renumber: %v", err)
+	}
+	ctx, err := regalloc.NewContext(f, target.Figure7Machine(), nil)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	return ctx
+}
+
+func node(ctx *regalloc.Context, w int) ig.NodeID {
+	return ctx.Graph.NodeOf(ir.Virt(w))
+}
+
+// TestFigure7Interference checks the interference graph of Figure
+// 7(b) as reconstructed in DESIGN.md: edges v0–v1, v0–v2, v1–v2,
+// v1–v3, v2–v3, v3–v4, and v4 against both volatile registers (it is
+// live across the call).
+func TestFigure7Interference(t *testing.T) {
+	ctx := fig7Context(t)
+	g := ctx.Graph
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}}
+	for _, e := range wantEdges {
+		if !g.Interferes(node(ctx, e[0]), node(ctx, e[1])) {
+			t.Errorf("v%d and v%d must interfere", e[0], e[1])
+		}
+	}
+	wantAbsent := [][2]int{{0, 3}, {0, 4}, {1, 4}, {2, 4}}
+	for _, e := range wantAbsent {
+		if g.Interferes(node(ctx, e[0]), node(ctx, e[1])) {
+			t.Errorf("v%d and v%d must not interfere", e[0], e[1])
+		}
+	}
+	for _, vol := range []int{0, 1} {
+		if !g.Interferes(node(ctx, 4), ig.NodeID(vol)) {
+			t.Errorf("v4 must interfere with volatile r%d (call clobber)", vol)
+		}
+	}
+	if g.Interferes(node(ctx, 4), ig.NodeID(2)) {
+		t.Error("v4 must not interfere with non-volatile r2")
+	}
+}
+
+// TestFigure7RPGStrengths checks every strength the paper prints in
+// Figure 7(c): the v3→v0 coalesce edge at 40/38, the v1/v2 sequential
+// edges at 50/48, and v4's non-volatile preference at 28.
+func TestFigure7RPGStrengths(t *testing.T) {
+	ctx := fig7Context(t)
+	rpg := BuildRPG(ctx, FullPreferences)
+
+	find := func(from int, kind PrefKind, to ig.NodeID, class Class) *Pref {
+		t.Helper()
+		for _, pi := range rpg.Prefs(node(ctx, from)) {
+			p := rpg.Pref(pi)
+			if p.Kind == kind && p.To == to && p.Class == class {
+				return p
+			}
+		}
+		t.Fatalf("no %v preference from v%d to %v/%v\nRPG:\n%s", kind, from, to, class, DumpRPG(rpg, ctx.Graph))
+		return nil
+	}
+
+	// v3 coalesce v0: 40 volatile / 38 non-volatile.
+	p := find(3, Coalesce, node(ctx, 0), ClassNone)
+	if p.StrVol != 40 || p.StrNonVol != 38 {
+		t.Errorf("v3 coalesce v0 = %v/%v, want 40/38", p.StrVol, p.StrNonVol)
+	}
+	// v3 coalesce arg0 (r0): same strengths.
+	p = find(3, Coalesce, ig.NodeID(0), ClassNone)
+	if p.StrVol != 40 || p.StrNonVol != 38 {
+		t.Errorf("v3 coalesce r0 = %v/%v, want 40/38", p.StrVol, p.StrNonVol)
+	}
+	// v1 sequential+ v2 and v2 sequential- v1: 50/48.
+	p = find(1, SeqPlus, node(ctx, 2), ClassNone)
+	if p.StrVol != 50 || p.StrNonVol != 48 {
+		t.Errorf("v1 seq+ v2 = %v/%v, want 50/48", p.StrVol, p.StrNonVol)
+	}
+	p = find(2, SeqMinus, node(ctx, 1), ClassNone)
+	if p.StrVol != 50 || p.StrNonVol != 48 {
+		t.Errorf("v2 seq- v1 = %v/%v, want 50/48", p.StrVol, p.StrNonVol)
+	}
+	// v4 prefers non-volatile at 28 (and volatile residence is worth
+	// exactly 0: three save/restore units per loop iteration eat the
+	// whole benefit).
+	p = find(4, Prefers, -1, ClassNonVolatile)
+	if p.StrNonVol != 28 {
+		t.Errorf("v4 prefers non-volatile = %v, want 28", p.StrNonVol)
+	}
+	p = find(4, Prefers, -1, ClassVolatile)
+	if p.StrVol != 0 {
+		t.Errorf("v4 prefers volatile = %v, want 0", p.StrVol)
+	}
+}
+
+// TestFigure7CPG feeds the construction the exact stack of Figure
+// 7(d) — removal order v0, v4, v1, v2, v3 — and expects the CPG of
+// Figure 7(e): top→{v1,v2,v3}, v1→v0, v2→v0, v3→v4, v0→bottom,
+// v4→bottom.
+func TestFigure7CPG(t *testing.T) {
+	ctx := fig7Context(t)
+	g := ctx.Graph
+	stack := []ig.NodeID{node(ctx, 0), node(ctx, 4), node(ctx, 1), node(ctx, 2), node(ctx, 3)}
+	cpg, err := BuildCPG(g, stack, nil, 3)
+	if err != nil {
+		t.Fatalf("BuildCPG: %v", err)
+	}
+	want := strings.TrimSpace(`
+top -> v1
+top -> v2
+top -> v3
+v0 -> bottom
+v1 -> v0
+v2 -> v0
+v3 -> v4
+v4 -> bottom
+`)
+	if got := cpg.Dump(g); got != want {
+		t.Errorf("CPG mismatch.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure7CPGRelaxed checks the K≥4 CPG of Figure 7(f): with four
+// colors every node is initially removable, so the order collapses to
+// top→each→bottom.
+func TestFigure7CPGFourColors(t *testing.T) {
+	f := ir.MustParse(fig7Source)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatalf("Renumber: %v", err)
+	}
+	m := target.Figure7Machine()
+	m.NumRegs = 4
+	m.Volatile = []bool{true, true, false, false}
+	ctx, err := regalloc.NewContext(f, m, nil)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	g := ctx.Graph
+	stack := []ig.NodeID{node(ctx, 0), node(ctx, 4), node(ctx, 1), node(ctx, 2), node(ctx, 3)}
+	cpg, err := BuildCPG(g, stack, nil, 4)
+	if err != nil {
+		t.Fatalf("BuildCPG: %v", err)
+	}
+	for w := 0; w < 5; w++ {
+		n := node(ctx, w)
+		if !cpg.HasEdge(Top, n) {
+			t.Errorf("K=4: want top -> v%d", w)
+		}
+		if !cpg.HasEdge(n, Bottom) {
+			t.Errorf("K=4: want v%d -> bottom", w)
+		}
+		if len(cpg.Preds(n)) != 1 || len(cpg.Succs(n)) != 1 {
+			t.Errorf("K=4: v%d should have exactly top and bottom as neighbors", w)
+		}
+	}
+}
+
+// TestFigure7Assignment runs the full allocator and expects exactly
+// the register selection of Figure 7(g): v0→r0, v1→r1, v2→r2 (paired
+// load honored with different parity), v3→r0 (both copies coalesced
+// away), v4→r2 (non-volatile preference honored).
+func TestFigure7Assignment(t *testing.T) {
+	ctx := fig7Context(t)
+	res, err := New().Allocate(ctx)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := regalloc.CheckResult(ctx, res); err != nil {
+		t.Fatalf("CheckResult: %v", err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spilled %v, want none", res.Spilled)
+	}
+	want := map[int]int{0: 0, 1: 1, 2: 2, 3: 0, 4: 2}
+	for w, reg := range want {
+		got, ok := res.ColorOf(ctx.Graph, node(ctx, w))
+		if !ok || got != reg {
+			t.Errorf("v%d -> r%d (ok=%v), want r%d", w, got, ok, reg)
+		}
+	}
+}
+
+// TestFigure7FinalCode runs the driver end to end and checks the
+// shape of Figure 7(h): both copies deleted, no spill code, the
+// paired load on different-parity registers, and semantic
+// equivalence under call clobbering.
+func TestFigure7FinalCode(t *testing.T) {
+	f := ir.MustParse(fig7Source)
+	m := target.Figure7Machine()
+	out, stats, err := regalloc.Run(f, m, New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.MovesRemaining != 0 || stats.MovesEliminated != 2 {
+		t.Errorf("moves: eliminated %d remaining %d, want 2/0", stats.MovesEliminated, stats.MovesRemaining)
+	}
+	if stats.SpillInstrs() != 0 {
+		t.Errorf("spill instructions = %d, want 0", stats.SpillInstrs())
+	}
+	if stats.CallerSaveStores != 0 {
+		t.Errorf("caller saves = %d, want 0 (v4 is in a non-volatile register)", stats.CallerSaveStores)
+	}
+	// The two loop loads must form a legal pair.
+	loop := out.Blocks[1]
+	var loads []ir.Instr
+	for _, in := range loop.Instrs {
+		if in.Op == ir.Load {
+			loads = append(loads, in)
+		}
+	}
+	if len(loads) != 2 {
+		t.Fatalf("loop has %d loads, want 2:\n%s", len(loads), out)
+	}
+	if !m.PairOK(loads[0].Defs[0].PhysNum(), loads[1].Defs[0].PhysNum()) {
+		t.Errorf("paired load destinations %v, %v violate the pair rule", loads[0].Defs[0], loads[1].Defs[0])
+	}
+	// Equivalence: seed r0 with an address; the loop runs until the
+	// chained loads hit a zero... the interpreter's synthetic memory
+	// never returns 0 for the addresses involved, so bound the check
+	// to the clobber-visible first iterations via MaxSteps and accept
+	// the step-budget error on both sides equally. Simpler: compare a
+	// bounded prefix by limiting steps identically.
+	in1, e1 := ir.Interp(f, map[ir.Reg]int64{ir.Phys(0): 1000}, ir.InterpOptions{CallClobbers: m.CallClobbers(), MaxSteps: 200})
+	in2, e2 := ir.Interp(out, map[ir.Reg]int64{ir.Phys(0): 1000}, ir.InterpOptions{CallClobbers: m.CallClobbers(), MaxSteps: 200})
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("interp termination differs: %v vs %v", e1, e2)
+	}
+	if e1 == nil && (in1.Ret != in2.Ret || in1.HasRet != in2.HasRet) {
+		t.Errorf("results differ: %+v vs %+v", in1, in2)
+	}
+}

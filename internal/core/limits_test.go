@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+)
+
+// TestLimitedShiftCount: on the x86-like machine, the shift count
+// prefers the CL-like register r2. The full-preference allocator must
+// honor it; nothing else competes for r2 here.
+func TestLimitedShiftCount(t *testing.T) {
+	src := `
+func f(v0, v1) {
+b0:
+  v2 = shl v0, v1
+  v3 = shr v2, v1
+  ret v3
+}
+`
+	f := ir.MustParse(src)
+	m := target.X86Like(16)
+	out, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	est := perfmodel.Estimate(out, m)
+	if est.LimitViolations != 0 {
+		t.Errorf("limit violations = %d, want 0\n%s", est.LimitViolations, out)
+	}
+	if est.LimitsHonored != 2 {
+		t.Errorf("limits honored = %d, want 2 (both shift counts)", est.LimitsHonored)
+	}
+	// The shift count operand must literally be r2 in both shifts.
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.Op == ir.Shl || in.Op == ir.Shr {
+			if got := in.Uses[1]; got != ir.Phys(2) {
+				t.Errorf("%v count in %v, want r2", in.Op, got)
+			}
+		}
+	})
+}
+
+// TestLimitedLoadLowRegs: quarter-word-style loads prefer the
+// byte-addressable low quarter of the register file.
+func TestLimitedLoadLowRegs(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = load v0, 0
+  v2 = load v0, 8
+  v3 = add v1, v2
+  ret v3
+}
+`
+	f := ir.MustParse(src)
+	m := target.X86Like(16) // low quarter: r0..r3
+	out, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	est := perfmodel.Estimate(out, m)
+	if est.LimitViolations != 0 {
+		t.Errorf("violations = %d, want 0\n%s", est.LimitViolations, out)
+	}
+}
+
+// TestLimitedBeatsBaselines: preference-blind allocators pay fixups
+// the preference-directed allocator avoids on shift-heavy code.
+func TestLimitedVersusChaitinEstimate(t *testing.T) {
+	src := `
+func f(v0, v1) {
+b0:
+  v9 = loadimm 3
+  jump b1
+b1:
+  v2 = shl v0, v1
+  v3 = shr v2, v1
+  v0 = add v2, v3
+  v9 = addimm v9, -1
+  branch v9, b1, b2
+b2:
+  ret v0
+}
+`
+	f := ir.MustParse(src)
+	m := target.X86Like(16)
+	outOurs, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("pref-full: %v", err)
+	}
+	ours := perfmodel.Estimate(outOurs, m)
+	if ours.LimitViolations != 0 {
+		t.Errorf("pref-full violated %d limits in a loop", ours.LimitViolations)
+	}
+}
+
+// TestIA64AddImmLimit: the large-immediate add constraint only
+// activates above 14 bits.
+func TestIA64AddImmLimit(t *testing.T) {
+	m := target.UsageModel(16).WithIA64AddImmLimit()
+	small := ir.Instr{Op: ir.AddImm, Defs: []ir.Reg{ir.Virt(1)}, Uses: []ir.Reg{ir.Virt(0)}, Imm: 5}
+	big := ir.Instr{Op: ir.AddImm, Defs: []ir.Reg{ir.Virt(1)}, Uses: []ir.Reg{ir.Virt(0)}, Imm: 1 << 15}
+	l := &m.Limits[len(m.Limits)-1]
+	if _, ok := l.Applies(&small); ok {
+		t.Error("limit applied to a small immediate")
+	}
+	r, ok := l.Applies(&big)
+	if !ok || r != ir.Virt(0) {
+		t.Errorf("limit on big immediate: reg=%v ok=%v", r, ok)
+	}
+	src := `
+func f(v0) {
+b0:
+  v1 = addimm v0, 40000
+  ret v1
+}
+`
+	f := ir.MustParse(src)
+	out, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	est := perfmodel.Estimate(out, m)
+	if est.LimitViolations != 0 {
+		t.Errorf("addimm source not in the allowed registers:\n%s", out)
+	}
+}
+
+// TestSequentialPairOnS390: on a sequential-pair machine the two
+// paired-load destinations must land on consecutive registers
+// (second = first + 1), not merely different parity.
+func TestSequentialPairOnS390(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v3 = loadimm 4
+  jump b1
+b1:
+  v1 = load v0, 0
+  v2 = load v0, 4
+  v0 = add v1, v2
+  v3 = addimm v3, -1
+  branch v3, b1, b2
+b2:
+  ret v0
+}
+`
+	f := ir.MustParse(src)
+	m := target.S390Like(16)
+	out, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var loads []ir.Instr
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.Op == ir.Load {
+			loads = append(loads, in.Clone())
+		}
+	})
+	if len(loads) != 2 {
+		t.Fatalf("%d loads", len(loads))
+	}
+	d1, d2 := loads[0].Defs[0].PhysNum(), loads[1].Defs[0].PhysNum()
+	if d2 != d1+1 {
+		t.Errorf("sequential pair got r%d, r%d; want consecutive", d1, d2)
+	}
+	est := perfmodel.Estimate(out, m)
+	if est.FusedPairs != 1 {
+		t.Errorf("fused = %d, want 1", est.FusedPairs)
+	}
+}

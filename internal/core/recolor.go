@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+
+	"prefcolor/internal/ig"
+)
+
+// recolorPasses bounds the greedy fixup iterations.
+const recolorPasses = 3
+
+// recolorFixup is a post-selection cleanup in the direction of the
+// paper's closing remark ("we are working on a heuristic algorithm …
+// that allows aggressive preference resolutions"): after the CPG
+// traversal, copies and pairs can remain unhonored merely because an
+// earlier pick took the partner register while a conflict-free
+// recoloring still exists. The pass walks unhonored copies from
+// heaviest to lightest and greedily recolors one or both endpoints
+// whenever the move, pair, and class strengths of the RPG say the
+// change is a net win; validity is checked against the original
+// interference graph, so the assignment stays correct by
+// construction.
+func (s *selector) recolorFixup() {
+	g := s.ctx.Graph
+	type cand struct {
+		x, y ig.NodeID
+		w    float64
+	}
+	var moves []cand
+	seen := map[[2]ig.NodeID]bool{}
+	for _, m := range g.Moves() {
+		key := [2]ig.NodeID{m.X, m.Y}
+		if m.Y < m.X {
+			key = [2]ig.NodeID{m.Y, m.X}
+		}
+		if seen[key] || g.OrigInterferes(m.X, m.Y) {
+			continue
+		}
+		seen[key] = true
+		moves = append(moves, cand{m.X, m.Y, m.Weight})
+	}
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].w > moves[j].w })
+
+	for pass := 0; pass < recolorPasses; pass++ {
+		changed := false
+		for _, mv := range moves {
+			cx, cy := s.colorOf(mv.x), s.colorOf(mv.y)
+			if cx < 0 || cy < 0 || cx == cy {
+				continue
+			}
+			if s.tryPlans(mv.x, mv.y) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (s *selector) colorOf(n ig.NodeID) int {
+	if s.ctx.Graph.IsPhys(n) {
+		return int(n)
+	}
+	return s.color[n]
+}
+
+// tryPlans evaluates the three repair plans for an unhonored copy —
+// move x to y's register, y to x's, or both to a third — and applies
+// the best strictly-positive one.
+func (s *selector) tryPlans(x, y ig.NodeID) bool {
+	g, k := s.ctx.Graph, s.ctx.K()
+	cx, cy := s.colorOf(x), s.colorOf(y)
+
+	bestDelta := 0.0
+	var bestPlan map[ig.NodeID]int
+
+	consider := func(plan map[ig.NodeID]int) {
+		delta := 0.0
+		for n, nc := range plan {
+			if g.IsPhys(n) || !s.colorFreeFor(n, nc, plan) {
+				return
+			}
+			delta += s.nodeScore(n, nc, plan) - s.nodeScore(n, s.colorOf(n), nil)
+		}
+		if delta > bestDelta+1e-9 {
+			bestDelta = delta
+			bestPlan = plan
+		}
+	}
+
+	if !g.IsPhys(x) {
+		consider(map[ig.NodeID]int{x: cy})
+	}
+	if !g.IsPhys(y) {
+		consider(map[ig.NodeID]int{y: cx})
+	}
+	if !g.IsPhys(x) && !g.IsPhys(y) {
+		for c := 0; c < k; c++ {
+			if c != cx && c != cy {
+				consider(map[ig.NodeID]int{x: c, y: c})
+			}
+		}
+	}
+	// Component plan: migrate as much of the copy component as fits
+	// onto a single color (star- and chain-shaped copy groups need
+	// more than two nodes to move together).
+	if members := s.compMembers(x); len(members) > 2 && len(members) <= maxCompPlan {
+		for c := 0; c < k; c++ {
+			if plan := s.componentPlan(members, c); len(plan) >= 2 {
+				consider(plan)
+			}
+		}
+	}
+	if bestPlan == nil {
+		return false
+	}
+	for n, nc := range bestPlan {
+		s.color[n] = nc
+	}
+	return true
+}
+
+// maxCompPlan bounds the component-migration plan size.
+const maxCompPlan = 12
+
+// compMembers lists the colored, non-physical members of n's copy
+// component.
+func (s *selector) compMembers(n ig.NodeID) []ig.NodeID {
+	comp := s.compOf(n)
+	var out []ig.NodeID
+	for i := s.ctx.Graph.NumPhys(); i < s.ctx.Graph.NumNodes(); i++ {
+		m := ig.NodeID(i)
+		if s.compOf(m) == comp && s.color[m] >= 0 {
+			out = append(out, m)
+			if len(out) > maxCompPlan {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// componentPlan greedily gathers the members that can all wear color
+// c simultaneously, skipping those already on c.
+func (s *selector) componentPlan(members []ig.NodeID, c int) map[ig.NodeID]int {
+	plan := map[ig.NodeID]int{}
+	for _, m := range members {
+		if s.color[m] == c {
+			continue
+		}
+		plan[m] = c
+		if !s.colorFreeFor(m, c, plan) {
+			delete(plan, m)
+		}
+	}
+	return plan
+}
+
+// colorFreeFor reports whether node n may wear color c given current
+// colors with the plan's overrides (plan members never interfere with
+// each other here, but the check stays general).
+func (s *selector) colorFreeFor(n ig.NodeID, c int, plan map[ig.NodeID]int) bool {
+	free := true
+	s.ctx.Graph.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
+		if !free {
+			return
+		}
+		nbc, ok := plan[nb]
+		if !ok {
+			nbc = s.colorOf(nb)
+		}
+		if nbc == c {
+			free = false
+		}
+	})
+	return free
+}
+
+// nodeScore values node n wearing color c for recoloring decisions:
+// the structural savings of honored copies and pairs minus the
+// residence call cost of c's volatility class. The memory-versus-
+// register baselines of the full Str values cancel between the
+// before and after of any recoloring, so only these terms matter.
+// Coalesce and sequential preferences exist in both directions, so
+// scoring only the recolored nodes still sees every affected edge.
+func (s *selector) nodeScore(n ig.NodeID, c int, plan map[ig.NodeID]int) float64 {
+	m := s.ctx.Machine
+	vol := m.IsVolatile(c)
+	total := 0.0
+	if s.mode == FullPreferences {
+		// In coalesce-only mode volatility is outside the objective,
+		// mirroring the figure configurations' naive class handling.
+		w := int(n) - s.ctx.Graph.NumPhys()
+		total -= s.ctx.Costs.CallCost(w, vol)
+	}
+	for _, pi := range s.rpg.Prefs(n) {
+		p := s.rpg.Pref(pi)
+		honored := false
+		switch p.Kind {
+		case Coalesce, SeqPlus, SeqMinus:
+			tc, ok := plan[p.To]
+			if !ok {
+				tc = s.colorOf(p.To)
+			}
+			if tc < 0 {
+				continue
+			}
+			switch p.Kind {
+			case Coalesce:
+				honored = c == tc
+			case SeqPlus:
+				honored = m.PairOK(c, tc)
+			case SeqMinus:
+				honored = m.PairOK(tc, c)
+			}
+		case Prefers:
+			if p.Allowed == nil {
+				continue // class preference: covered by the call-cost term
+			}
+			for _, a := range p.Allowed {
+				if a == c {
+					honored = true
+					break
+				}
+			}
+		default:
+			continue
+		}
+		if honored {
+			total += p.Savings
+		}
+	}
+	return total
+}

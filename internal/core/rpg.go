@@ -1,0 +1,288 @@
+// Package core implements the paper's contribution: preference-
+// directed graph coloring. A Register Preference Graph (RPG, §5.1)
+// records every register preference with cost-model strengths; a
+// Coloring Precedence Graph (CPG, §5.2) relaxes the simplification
+// stack's total order into a colorability-preserving partial order;
+// and the integrated select phase (§5.3) walks the CPG choosing, at
+// every step, the ready node with the most at stake and the register
+// that honors the most valuable preferences — folding spilling,
+// coalescing, and irregular-register handling into one phase (§5.4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefcolor/internal/costmodel"
+	"prefcolor/internal/ig"
+	"prefcolor/internal/regalloc"
+)
+
+// PrefKind is the paper's preference vocabulary (Figure 7(c)).
+type PrefKind uint8
+
+const (
+	// Coalesce: use the same register as the destination node.
+	Coalesce PrefKind = iota
+
+	// SeqPlus: this node is the first destination of a paired load;
+	// its register must pair (machine rule) with the destination
+	// node's register, in (this, other) order.
+	SeqPlus
+
+	// SeqMinus: this node is the second destination of a paired load;
+	// its register must pair with the destination node's register in
+	// (other, this) order.
+	SeqMinus
+
+	// Prefers: use any register of the preference's class.
+	Prefers
+)
+
+func (k PrefKind) String() string {
+	switch k {
+	case Coalesce:
+		return "coalesce"
+	case SeqPlus:
+		return "sequential+"
+	case SeqMinus:
+		return "sequential-"
+	case Prefers:
+		return "prefers"
+	}
+	return "pref?"
+}
+
+// Class is the register class of a Prefers edge.
+type Class uint8
+
+const (
+	// ClassNone marks node-target preferences.
+	ClassNone Class = iota
+	// ClassVolatile prefers caller-saved registers.
+	ClassVolatile
+	// ClassNonVolatile prefers callee-saved registers.
+	ClassNonVolatile
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassVolatile:
+		return "volatile"
+	case ClassNonVolatile:
+		return "non-volatile"
+	}
+	return "none"
+}
+
+// Pref is one directed preference edge of the RPG.
+type Pref struct {
+	// From is the live-range node holding the preference.
+	From ig.NodeID
+
+	// To is the destination node for Coalesce/SeqPlus/SeqMinus
+	// (a web or a physical-register node); -1 for class preferences.
+	To ig.NodeID
+
+	// Class is the register class for Prefers edges.
+	Class Class
+
+	// Allowed, when non-nil, restricts a Prefers edge to an explicit
+	// register subset — the paper's second preference kind (limited
+	// register usage). Class is ClassNone for such edges.
+	Allowed []int
+
+	Kind PrefKind
+
+	// StrVol and StrNonVol are the strengths Str(V, P) when the
+	// honoring register is volatile respectively non-volatile — the
+	// parameterized weights of Figure 7(c) (e.g. the "40/38" coalesce
+	// edge).
+	StrVol    float64
+	StrNonVol float64
+
+	// Savings is the structural Ideal_Inst_Cost reduction honoring
+	// the preference buys (the copy's weighted cost for Coalesce, the
+	// saved load for sequential±, zero for class preferences). It is
+	// the residence-independent part of the strength, which is what
+	// recoloring decisions compare.
+	Savings float64
+}
+
+// StrengthFor returns the strength of honoring the preference with a
+// register of the given volatility.
+func (p *Pref) StrengthFor(volatile bool) float64 {
+	if volatile {
+		return p.StrVol
+	}
+	return p.StrNonVol
+}
+
+// MaxStrength is the best-case strength over register volatilities
+// admissible for this preference.
+func (p *Pref) MaxStrength() float64 {
+	switch p.Class {
+	case ClassVolatile:
+		return p.StrVol
+	case ClassNonVolatile:
+		return p.StrNonVol
+	}
+	if p.StrVol > p.StrNonVol {
+		return p.StrVol
+	}
+	return p.StrNonVol
+}
+
+// String renders the edge for debugging and golden tests.
+func (p *Pref) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v", p.Kind, p.From)
+	if p.To >= 0 {
+		fmt.Fprintf(&b, " -> node %v", p.To)
+	} else {
+		fmt.Fprintf(&b, " -> class %v", p.Class)
+	}
+	fmt.Fprintf(&b, " (vol:%.6g, n-vol:%.6g)", p.StrVol, p.StrNonVol)
+	return b.String()
+}
+
+// RPG is the Register Preference Graph: preferences indexed by their
+// holder.
+type RPG struct {
+	prefs  []Pref
+	byNode map[ig.NodeID][]int
+}
+
+// Prefs returns the indices of the preferences held by node n.
+func (r *RPG) Prefs(n ig.NodeID) []int { return r.byNode[n] }
+
+// Pref returns the preference with index i.
+func (r *RPG) Pref(i int) *Pref { return &r.prefs[i] }
+
+// NumPrefs returns the total preference count.
+func (r *RPG) NumPrefs() int { return len(r.prefs) }
+
+// add appends a preference and indexes it.
+func (r *RPG) add(p Pref) {
+	r.byNode[p.From] = append(r.byNode[p.From], len(r.prefs))
+	r.prefs = append(r.prefs, p)
+}
+
+// Mode selects which preference kinds the allocator honors.
+type Mode uint8
+
+const (
+	// CoalesceOnly builds an RPG holding nothing but coalesce
+	// preferences — the §6.1 configuration ("only coalescing").
+	CoalesceOnly Mode = iota
+
+	// FullPreferences builds the complete RPG: coalescing, paired
+	// loads, dedicated registers, and volatile/non-volatile class
+	// preferences — the §6.2 "full preference" configuration.
+	FullPreferences
+)
+
+// BuildRPG constructs the Register Preference Graph for the current
+// round, deriving every strength from the Appendix cost model.
+func BuildRPG(ctx *regalloc.Context, mode Mode) *RPG {
+	r := &RPG{byNode: map[ig.NodeID][]int{}}
+	g, costs := ctx.Graph, ctx.Costs
+
+	strengths := func(n ig.NodeID, savings float64) (sv, snv float64) {
+		w := int(n) - g.NumPhys()
+		return costs.Str(w, true, savings), costs.Str(w, false, savings)
+	}
+
+	// Coalesce preferences from copies: both web endpoints want the
+	// other's register; the savings is the copy's weighted cost.
+	for _, m := range g.Moves() {
+		for _, dir := range [2][2]ig.NodeID{{m.X, m.Y}, {m.Y, m.X}} {
+			from, to := dir[0], dir[1]
+			if g.IsPhys(from) {
+				continue
+			}
+			// Savings: the copy's Inst_Cost (1) times its frequency.
+			sv, snv := strengths(from, m.Weight)
+			r.add(Pref{From: from, To: to, Kind: Coalesce, StrVol: sv, StrNonVol: snv, Savings: m.Weight})
+		}
+	}
+
+	if mode == CoalesceOnly {
+		return r
+	}
+
+	// Paired-load preferences (sequential±).
+	pairs := costmodel.FindLoadPairs(ctx.F, ctx.Machine, ctx.Loops)
+	for _, p := range pairs {
+		n1, n2 := g.NodeOf(p.Dst1), g.NodeOf(p.Dst2)
+		if n1 == n2 {
+			continue
+		}
+		if !g.IsPhys(n1) {
+			sv, snv := strengths(n1, p.Weight)
+			r.add(Pref{From: n1, To: n2, Kind: SeqPlus, StrVol: sv, StrNonVol: snv, Savings: p.Weight})
+		}
+		if !g.IsPhys(n2) {
+			sv, snv := strengths(n2, p.Weight)
+			r.add(Pref{From: n2, To: n1, Kind: SeqMinus, StrVol: sv, StrNonVol: snv, Savings: p.Weight})
+		}
+	}
+
+	// Limited register usages (second preference kind): one Prefers
+	// edge with an explicit register set per (web, allowed-set),
+	// weighted by the total fixup cost the limit avoids.
+	type limitKey struct {
+		n   ig.NodeID
+		set string
+	}
+	limitWeight := map[limitKey]float64{}
+	limitSet := map[limitKey][]int{}
+	for _, site := range costmodel.FindLimitSites(ctx.F, ctx.Machine, ctx.Loops) {
+		if !site.Reg.IsVirt() {
+			continue
+		}
+		key := limitKey{g.NodeOf(site.Reg), fmt.Sprint(site.Allowed)}
+		limitWeight[key] += site.Weight
+		limitSet[key] = site.Allowed
+	}
+	for key, weight := range limitWeight {
+		sv, snv := strengths(key.n, weight)
+		r.add(Pref{
+			From: key.n, To: -1, Kind: Prefers,
+			Allowed: limitSet[key],
+			StrVol:  sv, StrNonVol: snv, Savings: weight,
+		})
+	}
+
+	// Class preferences: every web gets a volatile and a non-volatile
+	// preference whose strengths are the plain residence benefits.
+	for w := 0; w < g.NumWebs(); w++ {
+		n := ig.NodeID(g.NumPhys() + w)
+		sv, snv := strengths(n, 0)
+		r.add(Pref{From: n, To: -1, Kind: Prefers, Class: ClassVolatile, StrVol: sv, StrNonVol: snv})
+		r.add(Pref{From: n, To: -1, Kind: Prefers, Class: ClassNonVolatile, StrVol: sv, StrNonVol: snv})
+	}
+	return r
+}
+
+// DumpRPG renders the graph deterministically for golden tests.
+func DumpRPG(r *RPG, g *ig.Graph) string {
+	var lines []string
+	for i := range r.prefs {
+		p := &r.prefs[i]
+		from := g.RegOf(p.From).String()
+		to := "-"
+		switch {
+		case p.To >= 0:
+			to = g.RegOf(p.To).String()
+		case p.Allowed != nil:
+			to = fmt.Sprintf("regs%v", p.Allowed)
+		default:
+			to = p.Class.String()
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s -> %s (vol:%.6g, n-vol:%.6g)", p.Kind, from, to, p.StrVol, p.StrNonVol))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

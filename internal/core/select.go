@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/regalloc"
+)
+
+// selector runs the §5.3 register-selection algorithm: a traversal of
+// the Coloring Precedence Graph directed by the Register Preference
+// Graph.
+type selector struct {
+	ctx  *regalloc.Context
+	rpg  *RPG
+	cpg  *CPG
+	mode Mode
+	ab   Ablation
+
+	color     []int // per node id; physical nodes preset
+	spilled   map[ig.NodeID]bool
+	processed map[ig.NodeID]bool
+	predCount map[ig.NodeID]int
+	queue     map[ig.NodeID]bool
+
+	// comp groups copy-related nodes into components (transitive
+	// closure over non-interfering copies); compColors counts the
+	// registers already granted inside each component. The final pick
+	// prefers a component's established registers, which recovers the
+	// transitive-chain coalesces the paper's §6.1 notes its
+	// one-at-a-time scheme can miss.
+	comp       []int32
+	compColors map[int32]map[int]int
+
+	// priCache memoizes queue priorities; processing a node
+	// invalidates its interference neighbors (their available sets
+	// changed) and its preference partners (their honorable sets
+	// changed). prefSources[t] lists nodes holding a preference
+	// aimed at t.
+	priCache    map[ig.NodeID]float64
+	prefSources map[ig.NodeID][]ig.NodeID
+}
+
+func newSelector(ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector {
+	g := ctx.Graph
+	s := &selector{
+		ctx: ctx, rpg: rpg, cpg: cpg, mode: mode,
+		color:     make([]int, g.NumNodes()),
+		spilled:   map[ig.NodeID]bool{},
+		processed: map[ig.NodeID]bool{},
+		predCount: map[ig.NodeID]int{},
+		queue:     map[ig.NodeID]bool{},
+	}
+	for i := range s.color {
+		s.color[i] = -1
+	}
+	for i := 0; i < g.NumPhys(); i++ {
+		s.color[i] = i
+	}
+
+	s.comp = make([]int32, g.NumNodes())
+	for i := range s.comp {
+		s.comp[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for s.comp[x] != x {
+			s.comp[x] = s.comp[s.comp[x]]
+			x = s.comp[x]
+		}
+		return x
+	}
+	for _, m := range g.Moves() {
+		if !g.OrigInterferes(m.X, m.Y) {
+			rx, ry := find(int32(m.X)), find(int32(m.Y))
+			if rx != ry {
+				s.comp[ry] = rx
+			}
+		}
+	}
+	s.compColors = map[int32]map[int]int{}
+	for i := 0; i < g.NumPhys(); i++ {
+		s.noteCompColor(ig.NodeID(i), i)
+	}
+
+	s.priCache = map[ig.NodeID]float64{}
+	s.prefSources = map[ig.NodeID][]ig.NodeID{}
+	for i := 0; i < rpg.NumPrefs(); i++ {
+		p := rpg.Pref(i)
+		if p.To >= 0 {
+			s.prefSources[p.To] = append(s.prefSources[p.To], p.From)
+		}
+	}
+	return s
+}
+
+func (s *selector) compOf(n ig.NodeID) int32 {
+	x := int32(n)
+	for s.comp[x] != x {
+		s.comp[x] = s.comp[s.comp[x]]
+		x = s.comp[x]
+	}
+	return x
+}
+
+// noteCompColor records that node n's component now holds register c.
+func (s *selector) noteCompColor(n ig.NodeID, c int) {
+	comp := s.compOf(n)
+	m := s.compColors[comp]
+	if m == nil {
+		m = map[int]int{}
+		s.compColors[comp] = m
+	}
+	m[c]++
+}
+
+// run processes every web node in a CPG-respecting order and returns
+// the round's result.
+func (s *selector) run() (*regalloc.Result, error) {
+	g := s.ctx.Graph
+	numWebs := g.NumWebs()
+
+	// Step 1: Q starts as the successors of Top.
+	for _, n := range s.cpg.Nodes() {
+		cnt := 0
+		for _, p := range s.cpg.Preds(n) {
+			if p != Top {
+				cnt++
+			}
+		}
+		s.predCount[n] = cnt
+		if cnt == 0 {
+			s.queue[n] = true
+		}
+	}
+
+	res := regalloc.NewResult()
+	for len(s.processed) < numWebs {
+		n := s.chooseNode()
+		if n < 0 {
+			return nil, fmt.Errorf("core: CPG traversal stuck with %d of %d nodes processed", len(s.processed), numWebs)
+		}
+		s.processNode(n, res)
+	}
+	if !s.ab.NoRecolor {
+		s.recolorFixup()
+	}
+	for n := ig.NodeID(g.NumPhys()); int(n) < g.NumNodes(); n++ {
+		if c := s.color[n]; c >= 0 {
+			res.Colors[n] = c
+		}
+	}
+	return res, nil
+}
+
+// chooseNode is steps 2–3: among ready nodes, pick the one with the
+// largest strength differential between its strongest and weakest
+// honorable preference (a single preference's differential is its own
+// strength — the regret of missing it).
+func (s *selector) chooseNode() ig.NodeID {
+	var qs []ig.NodeID
+	for n := range s.queue {
+		qs = append(qs, n)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	if s.ab.FIFOPriority && len(qs) > 0 {
+		return qs[0]
+	}
+	best := ig.NodeID(-1)
+	bestPri := math.Inf(-1)
+	for _, n := range qs {
+		pri, ok := s.priCache[n]
+		if !ok {
+			pri = s.priority(n)
+			s.priCache[n] = pri
+		}
+		if best < 0 || pri > bestPri {
+			best, bestPri = n, pri
+		}
+	}
+	return best
+}
+
+// invalidateAround drops cached priorities that coloring n may have
+// changed: interference neighbors (available registers shrank) and
+// preference partners (a deferred preference may now be honorable).
+func (s *selector) invalidateAround(n ig.NodeID) {
+	for _, nb := range s.ctx.Graph.OrigNeighbors(n) {
+		delete(s.priCache, nb)
+	}
+	for _, src := range s.prefSources[n] {
+		delete(s.priCache, src)
+	}
+}
+
+// priority computes the step-2.3/3 strength differential for node n.
+func (s *selector) priority(n ig.NodeID) float64 {
+	avail := s.availRegs(n)
+	var strengths []float64
+	for _, pi := range s.rpg.Prefs(n) {
+		p := s.rpg.Pref(pi)
+		st, state := s.prefState(p, avail)
+		if state == prefHonorable {
+			strengths = append(strengths, st)
+		}
+	}
+	switch len(strengths) {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return strengths[0]
+	}
+	minS, maxS := strengths[0], strengths[0]
+	for _, v := range strengths[1:] {
+		minS = math.Min(minS, v)
+		maxS = math.Max(maxS, v)
+	}
+	return maxS - minS
+}
+
+type prefStatus uint8
+
+const (
+	prefHonorable prefStatus = iota // honorable now, with given strength
+	prefDeferred                    // target not yet allocated (step 2.2)
+	prefDead                        // can never be honored (step 2.1)
+)
+
+// prefState classifies preference p for a node whose available
+// registers are avail, returning the best honoring strength when
+// honorable.
+func (s *selector) prefState(p *Pref, avail []int) (float64, prefStatus) {
+	g, m := s.ctx.Graph, s.ctx.Machine
+	if p.To >= 0 {
+		if s.spilled[p.To] {
+			return 0, prefDead
+		}
+		if p.Kind == Coalesce && g.OrigInterferes(p.From, p.To) {
+			return 0, prefDead
+		}
+		if s.color[p.To] < 0 {
+			return 0, prefDeferred
+		}
+	}
+	regs := s.honoringRegs(p, avail)
+	if len(regs) == 0 {
+		return 0, prefDead
+	}
+	best := math.Inf(-1)
+	for _, r := range regs {
+		best = math.Max(best, p.StrengthFor(m.IsVolatile(r)))
+	}
+	return best, prefHonorable
+}
+
+// honoringRegs filters avail down to the registers that honor p.
+func (s *selector) honoringRegs(p *Pref, avail []int) []int {
+	m := s.ctx.Machine
+	var out []int
+	switch p.Kind {
+	case Coalesce:
+		tc := s.color[p.To]
+		for _, r := range avail {
+			if r == tc {
+				out = append(out, r)
+			}
+		}
+	case SeqPlus:
+		tc := s.color[p.To]
+		for _, r := range avail {
+			if m.PairOK(r, tc) {
+				out = append(out, r)
+			}
+		}
+	case SeqMinus:
+		tc := s.color[p.To]
+		for _, r := range avail {
+			if m.PairOK(tc, r) {
+				out = append(out, r)
+			}
+		}
+	case Prefers:
+		if p.Allowed != nil {
+			for _, r := range avail {
+				for _, a := range p.Allowed {
+					if r == a {
+						out = append(out, r)
+						break
+					}
+				}
+			}
+			return out
+		}
+		for _, r := range avail {
+			if (p.Class == ClassVolatile) == m.IsVolatile(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// availRegs is step 4.1's candidate set: machine registers not used by
+// any colored node interfering with n in the original graph.
+func (s *selector) availRegs(n ig.NodeID) []int {
+	g, k := s.ctx.Graph, s.ctx.K()
+	used := make([]bool, k)
+	g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
+		if c := s.color[nb]; c >= 0 && c < k {
+			used[c] = true
+		}
+	})
+	var out []int
+	for r := 0; r < k; r++ {
+		if !used[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// processNode is step 4 plus the §5.4 active spill, followed by
+// step 5's edge release.
+func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
+	delete(s.queue, n)
+	s.processed[n] = true
+
+	switch {
+	case s.shouldActivelySpill(n):
+		s.spilled[n] = true
+		res.Spilled = append(res.Spilled, n)
+	default:
+		avail := s.availRegs(n)
+		if len(avail) == 0 {
+			s.spilled[n] = true
+			res.Spilled = append(res.Spilled, n)
+		} else {
+			c := s.chooseReg(n, avail)
+			s.color[n] = c
+			s.noteCompColor(n, c)
+		}
+	}
+	s.invalidateAround(n)
+
+	// Step 5: release successors.
+	for _, succ := range s.cpg.Succs(n) {
+		if succ == Bottom {
+			continue
+		}
+		s.predCount[succ]--
+		if s.predCount[succ] == 0 && !s.processed[succ] {
+			s.queue[succ] = true
+		}
+	}
+}
+
+// shouldActivelySpill implements §5.4: a node whose strongest
+// preference (over everything the RPG knows) is negative would rather
+// live in memory. Spill temporaries are exempt.
+func (s *selector) shouldActivelySpill(n ig.NodeID) bool {
+	if s.mode != FullPreferences || s.ab.NoActiveSpill {
+		return false
+	}
+	w := int(n) - s.ctx.Graph.NumPhys()
+	if s.ctx.SpillTemp[w] {
+		return false
+	}
+	prefs := s.rpg.Prefs(n)
+	if len(prefs) == 0 {
+		return false
+	}
+	best := math.Inf(-1)
+	for _, pi := range prefs {
+		best = math.Max(best, s.rpg.Pref(pi).MaxStrength())
+	}
+	return best < 0
+}
+
+// chooseReg is steps 4.2–4.4: screen candidates by honorable
+// preferences from strongest to weakest, then keep registers that
+// leave deferred live-range-to-live-range preferences honorable, then
+// pick.
+func (s *selector) chooseReg(n ig.NodeID, avail []int) int {
+	type ranked struct {
+		p  *Pref
+		st float64
+	}
+	var honorable []ranked
+	var deferred []*Pref
+	for _, pi := range s.rpg.Prefs(n) {
+		p := s.rpg.Pref(pi)
+		st, state := s.prefState(p, avail)
+		switch state {
+		case prefHonorable:
+			honorable = append(honorable, ranked{p, st})
+		case prefDeferred:
+			deferred = append(deferred, p)
+		}
+	}
+	sort.SliceStable(honorable, func(i, j int) bool { return honorable[i].st > honorable[j].st })
+
+	cands := avail
+	// Step 4.2: strongest-first screening; a preference that would
+	// empty the candidate set is skipped.
+	for _, h := range honorable {
+		if sub := s.honoringRegs(h.p, cands); len(sub) > 0 {
+			cands = sub
+		}
+	}
+	// Step 4.3: avoid registers that make deferred partner
+	// preferences impossible.
+	if s.ab.NoDeferredScreen {
+		deferred = nil
+	}
+	for _, p := range deferred {
+		var sub []int
+		for _, r := range cands {
+			if s.partnerStillPossible(p, r) {
+				sub = append(sub, r)
+			}
+		}
+		if len(sub) > 0 {
+			cands = sub
+		}
+	}
+	// Step 4.4: pick. Prefer a register the node's copy component
+	// already holds (transitive deferred coalescing); then, in
+	// coalesce-only mode, the paper's "non-volatile first" heuristic.
+	if m := s.compColors[s.compOf(n)]; len(m) > 0 {
+		best, bestCount := -1, 0
+		for _, r := range cands {
+			if c := m[r]; c > bestCount {
+				best, bestCount = r, c
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	if s.mode == CoalesceOnly {
+		for _, r := range cands {
+			if !s.ctx.Machine.IsVolatile(r) {
+				return r
+			}
+		}
+	}
+	return cands[0]
+}
+
+// partnerStillPossible reports whether giving n register r leaves the
+// deferred preference p (whose target is unallocated) honorable later.
+func (s *selector) partnerStillPossible(p *Pref, r int) bool {
+	g, m := s.ctx.Graph, s.ctx.Machine
+	t := p.To
+	tAvail := s.availRegs(t)
+	interferes := g.OrigInterferes(p.From, t)
+	usable := func(reg int) bool {
+		if interferes && reg == r {
+			return false
+		}
+		for _, a := range tAvail {
+			if a == reg {
+				return true
+			}
+		}
+		return false
+	}
+	switch p.Kind {
+	case Coalesce:
+		return usable(r)
+	case SeqPlus:
+		for reg := 0; reg < s.ctx.K(); reg++ {
+			if m.PairOK(r, reg) && usable(reg) {
+				return true
+			}
+		}
+	case SeqMinus:
+		for reg := 0; reg < s.ctx.K(); reg++ {
+			if m.PairOK(reg, r) && usable(reg) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,319 @@
+package costmodel
+
+import (
+	"testing"
+
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/liveness"
+	"prefcolor/internal/target"
+)
+
+func analyze(t *testing.T, src string, m *target.Machine) (*ir.Func, *Info, *cfg.LoopInfo) {
+	t.Helper()
+	f := ir.MustParse(src)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatalf("Renumber: %v", err)
+	}
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	live := liveness.Compute(f)
+	return f, Analyze(f, m, loops, live), loops
+}
+
+func TestInstCost(t *testing.T) {
+	if InstCost(ir.Load) != 2 || InstCost(ir.SpillLoad) != 2 {
+		t.Error("loads must cost 2")
+	}
+	if InstCost(ir.Add) != 1 || InstCost(ir.Move) != 1 || InstCost(ir.Store) != 1 {
+		t.Error("ordinary instructions must cost 1")
+	}
+	if InstCost(ir.Call) != 0 {
+		t.Error("calls are outside the model")
+	}
+}
+
+func TestSpillAndOpCosts(t *testing.T) {
+	// v1: one def (loadimm, cost 1) + one use (add, cost 1), all at
+	// frequency 1. SpillCost = 1 store + 1 load = 1 + 2 = 3.
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 4
+  v2 = add v1, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	w := 1 // web of v1 (v0 is web 0 as the parameter)
+	if info.SpillCosts[w] != 3 {
+		t.Errorf("SpillCost = %v, want 3", info.SpillCosts[w])
+	}
+	if info.OpCosts[w] != 2 {
+		t.Errorf("OpCost = %v, want 2", info.OpCosts[w])
+	}
+	if info.MemCost(w) != 5 {
+		t.Errorf("MemCost = %v, want 5", info.MemCost(w))
+	}
+}
+
+func TestLoopFrequencyWeighting(t *testing.T) {
+	// v1's def is outside the loop (freq 1), its use inside (freq 10):
+	// SpillCost = 1·1 + 2·10 = 21.
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 4
+  jump b1
+b1:
+  v2 = add v1, v0
+  branch v2, b1, b2
+b2:
+  ret v1
+}
+`, target.UsageModel(16))
+	w := 1
+	want := 1.0 + 2.0*10 + 2.0 // def store + loop use load + exit use load
+	if info.SpillCosts[w] != want {
+		t.Errorf("SpillCost = %v, want %v", info.SpillCosts[w], want)
+	}
+}
+
+func TestCrossFreqAndCallCost(t *testing.T) {
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 9
+  call @g
+  call @h
+  v2 = add v1, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	w := 1
+	if info.CrossFreq[w] != 2 {
+		t.Errorf("CrossFreq = %v, want 2", info.CrossFreq[w])
+	}
+	if got := info.CallCost(w, true); got != 6 {
+		t.Errorf("volatile CallCost = %v, want 6 (3 per call)", got)
+	}
+	if got := info.CallCost(w, false); got != 2 {
+		t.Errorf("non-volatile CallCost = %v, want 2", got)
+	}
+}
+
+func TestStrPrefersNonVolatileForCallCrossing(t *testing.T) {
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 9
+  call @g
+  call @h
+  v2 = add v1, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	w := 1
+	sv, snv := info.Str(w, true, 0), info.Str(w, false, 0)
+	if snv <= sv {
+		t.Errorf("call-crossing web: Str(nonvol)=%v must beat Str(vol)=%v", snv, sv)
+	}
+}
+
+func TestStrPrefersVolatileWithoutCalls(t *testing.T) {
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 9
+  v2 = add v1, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	w := 1
+	sv, snv := info.Str(w, true, 0), info.Str(w, false, 0)
+	if sv <= snv {
+		t.Errorf("no-call web: Str(vol)=%v must beat Str(nonvol)=%v", sv, snv)
+	}
+	if diff := sv - snv; diff != CalleeSaveCost {
+		t.Errorf("difference = %v, want CalleeSaveCost (%v)", diff, CalleeSaveCost)
+	}
+}
+
+func TestRegisterBenefitActiveSpill(t *testing.T) {
+	// A web crossing many high-frequency calls with barely any uses:
+	// memory is cheaper than any register.
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 9
+  jump b1
+b1:
+  call @g
+  call @h
+  call @i
+  branch v0, b1, b2
+b2:
+  ret v1
+}
+`, target.UsageModel(16))
+	w := 1
+	// MemCost: def(1 store=1·1) + use at ret (2·1) + op costs 1+1 = 5.
+	// Volatile: 3·30 crossings = 90. Non-volatile: 2 ... wait,
+	// non-volatile is cheap, so register benefit stays positive here.
+	if info.RegisterBenefit(w) <= 0 {
+		t.Errorf("benefit = %v; non-volatile residence should still win", info.RegisterBenefit(w))
+	}
+	// But against volatile alone it must lose badly.
+	if info.Str(w, true, 0) >= 0 {
+		t.Errorf("Str(vol) = %v, want negative", info.Str(w, true, 0))
+	}
+}
+
+func TestFindLoadPairs(t *testing.T) {
+	f, _, loops := analyze(t, `
+func f(v0) {
+b0:
+  v1 = load v0, 0
+  v2 = load v0, 4
+  v3 = add v1, v2
+  ret v3
+}
+`, target.UsageModel(16))
+	pairs := FindLoadPairs(f, target.UsageModel(16), loops)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(pairs))
+	}
+	p := pairs[0]
+	if p.I1 != 0 || p.I2 != 1 || p.Weight != 2 {
+		t.Errorf("pair = %+v", p)
+	}
+}
+
+func TestFindLoadPairsRejects(t *testing.T) {
+	cases := map[string]string{
+		"different base": `
+func f(v0, v1) {
+b0:
+  v2 = load v0, 0
+  v3 = load v1, 4
+  v4 = add v2, v3
+  ret v4
+}
+`,
+		"wrong stride": `
+func f(v0) {
+b0:
+  v1 = load v0, 0
+  v2 = load v0, 12
+  v3 = add v1, v2
+  ret v3
+}
+`,
+		"not adjacent": `
+func f(v0) {
+b0:
+  v1 = load v0, 0
+  v9 = loadimm 1
+  v2 = load v0, 4
+  v3 = add v1, v2
+  ret v3
+}
+`,
+		"first dst is base": `
+func f(v0) {
+b0:
+  v0 = load v0, 0
+  v2 = load v0, 4
+  v3 = add v0, v2
+  ret v3
+}
+`,
+	}
+	m := target.UsageModel(16)
+	for name, src := range cases {
+		f := ir.MustParse(src)
+		loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+		if pairs := FindLoadPairs(f, m, loops); len(pairs) != 0 {
+			t.Errorf("%s: found %d pairs, want 0", name, len(pairs))
+		}
+	}
+}
+
+func TestFindLoadPairsNoneOnPairlessMachine(t *testing.T) {
+	m := target.UsageModel(16)
+	m.PairRule = target.PairNone
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = load v0, 0
+  v2 = load v0, 4
+  v3 = add v1, v2
+  ret v3
+}
+`)
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	if pairs := FindLoadPairs(f, m, loops); pairs != nil {
+		t.Errorf("pairless machine returned %v", pairs)
+	}
+}
+
+func TestStrSavingsRaiseStrength(t *testing.T) {
+	_, info, _ := analyze(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 9
+  v2 = add v1, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	w := 1
+	if info.Str(w, true, 5) != info.Str(w, true, 0)+5 {
+		t.Error("savings must add linearly to strength")
+	}
+}
+
+func TestFindLimitSites(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0, v1) {
+b0:
+  v2 = loadimm 2
+  jump b1
+b1:
+  v3 = shl v0, v1
+  v2 = addimm v2, -1
+  branch v2, b1, b2
+b2:
+  ret v3
+}
+`)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatal(err)
+	}
+	m := target.X86Like(16)
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	sites := FindLimitSites(f, m, loops)
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d, want 1 (the shift count)", len(sites))
+	}
+	s := sites[0]
+	if s.Weight != 10 {
+		t.Errorf("weight = %v, want 10 (fixup 1 x loop freq 10)", s.Weight)
+	}
+	if len(s.Allowed) != 1 || s.Allowed[0] != 2 {
+		t.Errorf("allowed = %v, want [2]", s.Allowed)
+	}
+}
+
+func TestFindLimitSitesNoneWithoutLimits(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0, v1) {
+b0:
+  v2 = shl v0, v1
+  ret v2
+}
+`)
+	m := target.UsageModel(16)
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	if sites := FindLimitSites(f, m, loops); sites != nil {
+		t.Errorf("sites = %v on a limit-free machine", sites)
+	}
+}

@@ -1,0 +1,110 @@
+package ig
+
+import (
+	"fmt"
+
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/liveness"
+	"prefcolor/internal/target"
+)
+
+// Build constructs the interference graph of a renumbered, φ-free
+// function on machine m.
+//
+// Interference is Chaitin's: a definition interferes with everything
+// live after it, except that a copy's destination does not interfere
+// with its source on account of the copy itself. Every value live
+// across a call interferes with every volatile physical register
+// (call clobbering). Copy instructions are recorded as Moves weighted
+// by loop frequency, the input to every coalescing heuristic.
+func Build(f *ir.Func, m *target.Machine, loops *cfg.LoopInfo) (*Graph, error) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Phi {
+				return nil, fmt.Errorf("ig.Build: b%d:%d: φ-functions must be lowered first", b.ID, i)
+			}
+			checkPhys := func(r ir.Reg) error {
+				if r.IsPhys() && r.PhysNum() >= m.NumRegs {
+					return fmt.Errorf("ig.Build: b%d:%d: %v exceeds machine's %d registers", b.ID, i, r, m.NumRegs)
+				}
+				return nil
+			}
+			for _, r := range in.Defs {
+				if err := checkPhys(r); err != nil {
+					return nil, err
+				}
+			}
+			for _, r := range in.Uses {
+				if err := checkPhys(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	g := NewGraph(m.NumRegs, f.NumVirt)
+	live := liveness.Compute(f)
+
+	// Function entry defines every value live into it (parameters and
+	// any web lacking a dominating definition) simultaneously: they
+	// all interfere pairwise.
+	entryLive := live.LiveIn(0).Sorted()
+	for i, a := range entryLive {
+		for _, b := range entryLive[i+1:] {
+			g.AddEdge(g.NodeOf(a), g.NodeOf(b))
+		}
+	}
+	volatiles := make([]NodeID, 0, m.NumRegs)
+	for _, v := range m.VolatileRegs() {
+		volatiles = append(volatiles, NodeID(v))
+	}
+
+	for _, b := range f.Blocks {
+		freq := loops.Freq(b.ID)
+		live.ForEachInstrReverse(b, func(_ int, in *ir.Instr, liveAfter ir.RegSet) {
+			// Defs interfere with everything live after the
+			// instruction, minus the move-source exception.
+			for _, d := range in.Defs {
+				dn := g.NodeOf(d)
+				for l := range liveAfter {
+					ln := g.NodeOf(l)
+					if ln == dn {
+						continue
+					}
+					if in.IsCopy() && l == in.Uses[0] {
+						continue
+					}
+					g.AddEdge(dn, ln)
+				}
+			}
+			// Call clobbers: values live across the call (live after
+			// it, not defined by it) interfere with every volatile
+			// register.
+			if in.Op == ir.Call {
+				def := in.Def()
+				for l := range liveAfter {
+					if l == def {
+						continue
+					}
+					ln := g.NodeOf(l)
+					for _, vn := range volatiles {
+						if ln != vn {
+							g.AddEdge(ln, vn)
+						}
+					}
+				}
+			}
+			if in.IsCopy() {
+				x, y := g.NodeOf(in.Defs[0]), g.NodeOf(in.Uses[0])
+				if x != y {
+					g.AddMove(x, y, freq)
+				}
+			}
+		})
+	}
+
+	g.Freeze()
+	return g, nil
+}

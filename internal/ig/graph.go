@@ -1,0 +1,365 @@
+package ig
+
+import (
+	"fmt"
+	"sort"
+
+	"prefcolor/internal/ir"
+)
+
+// NodeID identifies an interference-graph node. Nodes
+// 0..NumPhys-1 are the precolored physical registers; node NumPhys+w
+// is web w of the renumbered function.
+type NodeID int32
+
+// Move records one copy instruction between two nodes, the raw
+// material of coalescing. Weight is the execution-frequency estimate
+// of the copy (what eliminating it saves).
+type Move struct {
+	X, Y   NodeID
+	Weight float64
+}
+
+// Graph is a Chaitin-style interference graph with support for node
+// removal (simplification), coalescing with union-find aliasing, and
+// an immutable copy of the pre-coalescing adjacency for optimistic
+// coalescing's undo phase.
+type Graph struct {
+	nPhys int
+	n     int
+
+	// adj is the current adjacency under coalescing: edges of a
+	// merged node accumulate on its representative. Membership is
+	// kept even for removed (stacked) nodes; degree tracks only
+	// active neighbors.
+	adj []map[NodeID]struct{}
+
+	// origAdj is frozen at the end of Build: the adjacency before any
+	// coalescing, used by optimistic coalescing's undo and by
+	// validity checks.
+	origAdj []map[NodeID]struct{}
+
+	alias   []NodeID
+	members [][]NodeID
+	removed []bool
+	degree  []int
+
+	spillCost []float64
+	moves     []Move
+	nodeMoves [][]int
+}
+
+// NewGraph returns an empty graph with nPhys precolored nodes and
+// nWebs live-range nodes. The physical nodes form a clique.
+func NewGraph(nPhys, nWebs int) *Graph {
+	n := nPhys + nWebs
+	g := &Graph{
+		nPhys:     nPhys,
+		n:         n,
+		adj:       make([]map[NodeID]struct{}, n),
+		origAdj:   make([]map[NodeID]struct{}, n),
+		alias:     make([]NodeID, n),
+		members:   make([][]NodeID, n),
+		removed:   make([]bool, n),
+		degree:    make([]int, n),
+		spillCost: make([]float64, n),
+		nodeMoves: make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		g.adj[i] = map[NodeID]struct{}{}
+		g.origAdj[i] = map[NodeID]struct{}{}
+		g.alias[i] = NodeID(i)
+		g.members[i] = []NodeID{NodeID(i)}
+	}
+	for a := 0; a < nPhys; a++ {
+		for b := a + 1; b < nPhys; b++ {
+			g.AddEdge(NodeID(a), NodeID(b))
+		}
+	}
+	return g
+}
+
+// NumPhys returns the number of precolored nodes.
+func (g *Graph) NumPhys() int { return g.nPhys }
+
+// NumNodes returns the total node count (physical + webs).
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumWebs returns the number of live-range nodes.
+func (g *Graph) NumWebs() int { return g.n - g.nPhys }
+
+// IsPhys reports whether n is a precolored physical-register node.
+func (g *Graph) IsPhys(n NodeID) bool { return int(n) < g.nPhys }
+
+// PhysColor returns the register number of a physical node.
+func (g *Graph) PhysColor(n NodeID) int {
+	if !g.IsPhys(n) {
+		panic(fmt.Sprintf("ig.Graph.PhysColor: node %d is not physical", n))
+	}
+	return int(n)
+}
+
+// NodeOf maps a register of the renumbered function to its node.
+func (g *Graph) NodeOf(r ir.Reg) NodeID {
+	if r.IsPhys() {
+		return NodeID(r.PhysNum())
+	}
+	return NodeID(g.nPhys + r.VirtNum())
+}
+
+// RegOf maps a node back to a register.
+func (g *Graph) RegOf(n NodeID) ir.Reg {
+	if g.IsPhys(n) {
+		return ir.Phys(int(n))
+	}
+	return ir.Virt(int(n) - g.nPhys)
+}
+
+// AddEdge records interference between a and b (no-op for a == b).
+// Only valid during construction and coalescing; callers elsewhere use
+// Coalesce.
+func (g *Graph) AddEdge(a, b NodeID) {
+	if a == b {
+		return
+	}
+	if _, dup := g.adj[a][b]; !dup {
+		g.adj[a][b] = struct{}{}
+		g.adj[b][a] = struct{}{}
+		if !g.removed[b] {
+			g.degree[a]++
+		}
+		if !g.removed[a] {
+			g.degree[b]++
+		}
+	}
+}
+
+// Freeze snapshots the current adjacency as the "original" graph.
+// Build calls it once; tests may too.
+func (g *Graph) Freeze() {
+	for i := 0; i < g.n; i++ {
+		m := make(map[NodeID]struct{}, len(g.adj[i]))
+		for k := range g.adj[i] {
+			m[k] = struct{}{}
+		}
+		g.origAdj[i] = m
+	}
+}
+
+// Find resolves coalescing aliases to the current representative.
+func (g *Graph) Find(n NodeID) NodeID {
+	for g.alias[n] != n {
+		g.alias[n] = g.alias[g.alias[n]]
+		n = g.alias[n]
+	}
+	return n
+}
+
+// Interferes reports whether the representatives of a and b share an
+// edge in the current graph.
+func (g *Graph) Interferes(a, b NodeID) bool {
+	a, b = g.Find(a), g.Find(b)
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// OrigInterferes reports interference in the pre-coalescing graph.
+func (g *Graph) OrigInterferes(a, b NodeID) bool {
+	_, ok := g.origAdj[a][b]
+	return ok
+}
+
+// Degree returns the number of active (not removed, not aliased)
+// neighbors of a representative node. Physical nodes report a degree
+// of at least NumNodes, making them significant for every K.
+func (g *Graph) Degree(n NodeID) int {
+	if g.IsPhys(n) {
+		return g.n + g.nPhys
+	}
+	return g.degree[n]
+}
+
+// Significant reports whether node n has K or more active neighbors
+// (or is precolored).
+func (g *Graph) Significant(n NodeID, k int) bool {
+	return g.IsPhys(n) || g.degree[n] >= k
+}
+
+// Removed reports whether n has been removed (pushed on the
+// simplification stack).
+func (g *Graph) Removed(n NodeID) bool { return g.removed[n] }
+
+// Remove takes a representative node out of the active graph,
+// decrementing its active neighbors' degrees. It panics on physical
+// or aliased nodes.
+func (g *Graph) Remove(n NodeID) {
+	if g.IsPhys(n) {
+		panic("ig.Graph.Remove: cannot remove a physical node")
+	}
+	if g.alias[n] != n {
+		panic("ig.Graph.Remove: node is coalesced away")
+	}
+	if g.removed[n] {
+		panic("ig.Graph.Remove: node already removed")
+	}
+	g.removed[n] = true
+	for nb := range g.adj[n] {
+		if !g.removed[nb] && g.alias[nb] == nb {
+			g.degree[nb]--
+		}
+	}
+}
+
+// ForEachNeighbor calls fn for every current neighbor of the
+// representative n (including removed ones); fn's argument is itself a
+// representative.
+func (g *Graph) ForEachNeighbor(n NodeID, fn func(nb NodeID)) {
+	for nb := range g.adj[n] {
+		fn(nb)
+	}
+}
+
+// Neighbors returns the current neighbors of n, sorted, for
+// deterministic iteration.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.adj[n]))
+	for nb := range g.adj[n] {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OrigNeighbors returns the pre-coalescing neighbors of an original
+// node, sorted.
+func (g *Graph) OrigNeighbors(n NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.origAdj[n]))
+	for nb := range g.origAdj[n] {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachOrigNeighbor visits the pre-coalescing neighbors of an
+// original node in unspecified order, without allocating — the hot
+// path for availability checks.
+func (g *Graph) ForEachOrigNeighbor(n NodeID, fn func(nb NodeID)) {
+	for nb := range g.origAdj[n] {
+		fn(nb)
+	}
+}
+
+// Members returns the original nodes merged into representative n
+// (including n itself).
+func (g *Graph) Members(n NodeID) []NodeID { return g.members[n] }
+
+// Coalesce merges node b into node a (both resolved to
+// representatives first). If either is physical, the physical node
+// becomes the representative. It panics if the nodes interfere, are
+// equal, are both physical, or if either was already removed.
+// It returns the representative.
+func (g *Graph) Coalesce(a, b NodeID) NodeID {
+	a, b = g.Find(a), g.Find(b)
+	switch {
+	case a == b:
+		panic("ig.Graph.Coalesce: same node")
+	case g.Interferes(a, b):
+		panic("ig.Graph.Coalesce: interfering nodes")
+	case g.IsPhys(a) && g.IsPhys(b):
+		panic("ig.Graph.Coalesce: two physical nodes")
+	case g.removed[a] || g.removed[b]:
+		panic("ig.Graph.Coalesce: removed node")
+	}
+	rep, loser := a, b
+	if g.IsPhys(b) {
+		rep, loser = b, a
+	}
+	for nb := range g.adj[loser] {
+		delete(g.adj[nb], loser)
+		if _, already := g.adj[nb][rep]; already {
+			// nb had both endpoints as distinct neighbors; it keeps
+			// only the representative.
+			if !g.removed[nb] && !g.IsPhys(nb) {
+				g.degree[nb]--
+			}
+			continue
+		}
+		g.adj[nb][rep] = struct{}{}
+		g.adj[rep][nb] = struct{}{}
+		if !g.removed[nb] && !g.IsPhys(rep) {
+			g.degree[rep]++
+		}
+	}
+	g.adj[loser] = map[NodeID]struct{}{}
+	g.degree[loser] = 0
+	g.alias[loser] = rep
+	g.members[rep] = append(g.members[rep], g.members[loser]...)
+	g.members[loser] = nil
+	g.spillCost[rep] += g.spillCost[loser]
+	g.nodeMoves[rep] = append(g.nodeMoves[rep], g.nodeMoves[loser]...)
+	g.nodeMoves[loser] = nil
+	return rep
+}
+
+// Aliased reports whether n has been coalesced into another node.
+func (g *Graph) Aliased(n NodeID) bool { return g.alias[n] != n }
+
+// SetSpillCost attaches the cost-model estimate for node n.
+func (g *Graph) SetSpillCost(n NodeID, c float64) { g.spillCost[n] = c }
+
+// SpillCost returns the (coalescing-accumulated) spill cost of a
+// representative node.
+func (g *Graph) SpillCost(n NodeID) float64 { return g.spillCost[n] }
+
+// AddMove records a copy between two nodes and indexes it on both.
+func (g *Graph) AddMove(x, y NodeID, w float64) {
+	if x == y {
+		return
+	}
+	idx := len(g.moves)
+	g.moves = append(g.moves, Move{X: x, Y: y, Weight: w})
+	g.nodeMoves[x] = append(g.nodeMoves[x], idx)
+	g.nodeMoves[y] = append(g.nodeMoves[y], idx)
+}
+
+// Moves returns all recorded copies (endpoints are original node ids;
+// resolve with Find).
+func (g *Graph) Moves() []Move { return g.moves }
+
+// NodeMoves returns indices into Moves() touching representative n.
+func (g *Graph) NodeMoves(n NodeID) []int { return g.nodeMoves[n] }
+
+// MoveRelated reports whether representative n still has a copy to a
+// node it does not interfere with (an outstanding coalescing
+// opportunity).
+func (g *Graph) MoveRelated(n NodeID) bool {
+	for _, mi := range g.nodeMoves[n] {
+		m := g.moves[mi]
+		x, y := g.Find(m.X), g.Find(m.Y)
+		if x == y {
+			continue
+		}
+		other := x
+		if x == n {
+			other = y
+		}
+		if !g.Interferes(n, other) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveNodes returns all web representatives still in the graph
+// (not removed, not aliased), sorted for determinism.
+func (g *Graph) ActiveNodes() []NodeID {
+	var out []NodeID
+	for i := g.nPhys; i < g.n; i++ {
+		n := NodeID(i)
+		if !g.removed[n] && g.alias[n] == n {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package ig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropGraphDegreeInvariant drives the interference graph through
+// random AddEdge/Coalesce/Remove sequences and checks after every
+// operation that the incrementally-maintained degrees equal a
+// recomputation from the adjacency sets.
+func TestPropGraphDegreeInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		rng := rand.New(rand.NewSource(seed))
+		nPhys, nWebs := 2, 10
+		g := NewGraph(nPhys, nWebs)
+
+		check := func(op string) bool {
+			for i := nPhys; i < g.NumNodes(); i++ {
+				n := NodeID(i)
+				if g.Aliased(n) || g.Removed(n) {
+					continue
+				}
+				want := 0
+				for nb := range g.adj[n] {
+					if !g.removed[nb] && g.alias[nb] == nb {
+						want++
+					}
+				}
+				if g.degree[n] != want {
+					t.Logf("seed %d after %s: degree[%d] = %d, want %d", seed, op, n, g.degree[n], want)
+					return false
+				}
+			}
+			return true
+		}
+
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(3) {
+			case 0: // add a random edge between active webs
+				a := NodeID(nPhys + rng.Intn(nWebs))
+				b := NodeID(nPhys + rng.Intn(nWebs))
+				a, b = g.Find(a), g.Find(b)
+				if a == b || g.Removed(a) || g.Removed(b) {
+					continue
+				}
+				g.AddEdge(a, b)
+			case 1: // coalesce a random non-interfering pair
+				a := NodeID(rng.Intn(g.NumNodes()))
+				b := NodeID(nPhys + rng.Intn(nWebs))
+				a, b = g.Find(a), g.Find(b)
+				if a == b || g.Interferes(a, b) || g.Removed(a) || g.Removed(b) {
+					continue
+				}
+				if g.IsPhys(a) && g.IsPhys(b) {
+					continue
+				}
+				g.Coalesce(a, b)
+			case 2: // remove a random active web
+				a := g.Find(NodeID(nPhys + rng.Intn(nWebs)))
+				if g.IsPhys(a) || g.Removed(a) || g.Aliased(a) {
+					continue
+				}
+				g.Remove(a)
+			}
+			if !check("step") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropCoalesceAdjacencyUnion: after coalescing, the
+// representative interferes with exactly the union of both nodes'
+// previous neighborhoods (minus themselves).
+func TestPropCoalesceAdjacencyUnion(t *testing.T) {
+	prop := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph(0, 8)
+		for i := 0; i < 12; i++ {
+			a, b := NodeID(rng.Intn(8)), NodeID(rng.Intn(8))
+			if a != b {
+				g.AddEdge(a, b)
+			}
+		}
+		var x, y NodeID = -1, -1
+		for a := 0; a < 8 && x < 0; a++ {
+			for b := a + 1; b < 8; b++ {
+				if !g.Interferes(NodeID(a), NodeID(b)) {
+					x, y = NodeID(a), NodeID(b)
+					break
+				}
+			}
+		}
+		if x < 0 {
+			return true // complete graph; nothing to coalesce
+		}
+		before := map[NodeID]bool{}
+		for _, nb := range g.Neighbors(x) {
+			before[nb] = true
+		}
+		for _, nb := range g.Neighbors(y) {
+			before[nb] = true
+		}
+		delete(before, x)
+		delete(before, y)
+		rep := g.Coalesce(x, y)
+		after := map[NodeID]bool{}
+		for _, nb := range g.Neighbors(rep) {
+			after[g.Find(nb)] = true
+		}
+		if len(after) != len(before) {
+			t.Logf("seed %d: union size %d, merged size %d", seed, len(before), len(after))
+			return false
+		}
+		for nb := range before {
+			if !after[g.Find(nb)] {
+				t.Logf("seed %d: lost neighbor %d", seed, nb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

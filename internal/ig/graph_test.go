@@ -1,0 +1,367 @@
+package ig
+
+import (
+	"testing"
+
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(2, 3) // nodes: 0,1 phys; 2,3,4 webs
+	if g.NumPhys() != 2 || g.NumWebs() != 3 || g.NumNodes() != 5 {
+		t.Fatal("counts wrong")
+	}
+	if !g.Interferes(0, 1) {
+		t.Error("physical clique missing")
+	}
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 4)
+	if !g.Interferes(2, 3) || g.Interferes(3, 4) {
+		t.Error("Interferes wrong")
+	}
+	if g.Degree(2) != 2 || g.Degree(3) != 1 {
+		t.Errorf("degrees: %d, %d", g.Degree(2), g.Degree(3))
+	}
+	if g.Degree(0) < g.NumNodes() {
+		t.Error("phys degree must be effectively infinite")
+	}
+	if !g.Significant(0, 2) || g.Significant(3, 2) || !g.Significant(2, 2) {
+		t.Error("Significant wrong")
+	}
+}
+
+func TestGraphNodeRegMapping(t *testing.T) {
+	g := NewGraph(4, 2)
+	if g.NodeOf(ir.Phys(3)) != 3 || g.NodeOf(ir.Virt(1)) != 5 {
+		t.Error("NodeOf wrong")
+	}
+	if g.RegOf(3) != ir.Phys(3) || g.RegOf(5) != ir.Virt(1) {
+		t.Error("RegOf wrong")
+	}
+	if g.PhysColor(2) != 2 {
+		t.Error("PhysColor wrong")
+	}
+}
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph(0, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.Remove(1)
+	if g.Degree(0) != 0 || g.Degree(2) != 0 {
+		t.Errorf("degrees after removal: %d, %d", g.Degree(0), g.Degree(2))
+	}
+	if !g.Removed(1) || g.Removed(0) {
+		t.Error("Removed flags wrong")
+	}
+	// Adjacency membership survives removal (needed for select-time
+	// color checks).
+	if !g.Interferes(0, 1) {
+		t.Error("removal dropped adjacency membership")
+	}
+}
+
+func TestGraphCoalesce(t *testing.T) {
+	// 0-1 interfere; 2 moves into 0's cluster; 2 interferes with 3.
+	g := NewGraph(0, 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.SetSpillCost(0, 5)
+	g.SetSpillCost(2, 7)
+	rep := g.Coalesce(0, 2)
+	if rep != 0 {
+		t.Fatalf("rep = %d, want 0", rep)
+	}
+	if g.Find(2) != 0 || !g.Aliased(2) {
+		t.Error("alias not recorded")
+	}
+	if !g.Interferes(0, 1) || !g.Interferes(0, 3) {
+		t.Error("merged adjacency wrong")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("merged degree = %d, want 2", g.Degree(0))
+	}
+	if g.SpillCost(0) != 12 {
+		t.Errorf("merged spill cost = %v, want 12", g.SpillCost(0))
+	}
+	if len(g.Members(0)) != 2 {
+		t.Errorf("members = %v", g.Members(0))
+	}
+	// Degree of 3: its neighbor 2 became 0, still one neighbor.
+	if g.Degree(3) != 1 {
+		t.Errorf("degree(3) = %d, want 1", g.Degree(3))
+	}
+}
+
+func TestGraphCoalesceSharedNeighbor(t *testing.T) {
+	// 0 and 2 both interfere with 1; coalescing 0,2 leaves 1 with one
+	// distinct neighbor.
+	g := NewGraph(0, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1)
+	g.Coalesce(0, 2)
+	if g.Degree(1) != 1 {
+		t.Errorf("degree(1) = %d, want 1", g.Degree(1))
+	}
+	if g.Degree(0) != 1 {
+		t.Errorf("degree(0) = %d, want 1", g.Degree(0))
+	}
+}
+
+func TestGraphCoalescePhysWins(t *testing.T) {
+	g := NewGraph(2, 2)
+	rep := g.Coalesce(2, 1) // web 2 with phys 1
+	if rep != 1 {
+		t.Errorf("rep = %d, want the physical node 1", rep)
+	}
+	if g.Find(2) != 1 {
+		t.Error("web must alias to the physical node")
+	}
+}
+
+func TestGraphCoalescePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewGraph(2, 2)
+	g.AddEdge(2, 3)
+	mustPanic("interfering", func() { g.Coalesce(2, 3) })
+	mustPanic("same", func() { g.Coalesce(2, 2) })
+	mustPanic("two phys", func() { g.Coalesce(0, 1) })
+	mustPanic("remove phys", func() { g.Remove(0) })
+}
+
+func TestGraphMoves(t *testing.T) {
+	g := NewGraph(0, 4)
+	g.AddMove(0, 1, 10)
+	g.AddMove(2, 3, 1)
+	g.AddEdge(2, 3) // constrained move
+	if !g.MoveRelated(0) || !g.MoveRelated(1) {
+		t.Error("0/1 should be move-related")
+	}
+	if g.MoveRelated(2) {
+		t.Error("2's only move is constrained; not move-related")
+	}
+	g.Coalesce(0, 1)
+	if g.MoveRelated(0) {
+		t.Error("coalesced move still counted")
+	}
+	if len(g.NodeMoves(0)) != 2 {
+		t.Errorf("merged node moves = %d, want 2", len(g.NodeMoves(0)))
+	}
+}
+
+func TestGraphFreezeOrigAdj(t *testing.T) {
+	g := NewGraph(0, 3)
+	g.AddEdge(0, 1)
+	g.Freeze()
+	g.Coalesce(0, 2)
+	if !g.OrigInterferes(0, 1) || g.OrigInterferes(0, 2) {
+		t.Error("OrigInterferes wrong")
+	}
+	if got := g.OrigNeighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("OrigNeighbors(0) = %v", got)
+	}
+}
+
+func TestGraphActiveNodes(t *testing.T) {
+	g := NewGraph(1, 3) // webs at 1,2,3
+	g.Remove(2)
+	g.Coalesce(1, 3)
+	act := g.ActiveNodes()
+	if len(act) != 1 || act[0] != 1 {
+		t.Errorf("ActiveNodes = %v, want [1]", act)
+	}
+}
+
+// buildFrom renumbers f and builds its interference graph.
+func buildFrom(t *testing.T, src string, m *target.Machine) (*ir.Func, *Graph) {
+	t.Helper()
+	f := ir.MustParse(src)
+	if _, err := Renumber(f); err != nil {
+		t.Fatalf("Renumber: %v", err)
+	}
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	g, err := Build(f, m, loops)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f, g
+}
+
+func TestBuildSimpleInterference(t *testing.T) {
+	f, g := buildFrom(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  v2 = loadimm 2
+  v3 = add v1, v2
+  v4 = add v3, v0
+  ret v4
+}
+`, target.UsageModel(16))
+	node := func(i int) NodeID { return g.NodeOf(ir.Virt(i)) }
+	_ = f
+	// v1 and v2 are simultaneously live.
+	if !g.Interferes(node(1), node(2)) {
+		t.Error("v1 and v2 must interfere")
+	}
+	// v1 dies at the add defining v3.
+	if g.Interferes(node(1), node(4)) {
+		t.Error("v1 and v4 must not interfere")
+	}
+	// v0 is live until the last add: interferes with v1, v2, v3.
+	for _, w := range []int{1, 2, 3} {
+		if !g.Interferes(node(0), node(w)) {
+			t.Errorf("v0 and v%d must interfere", w)
+		}
+	}
+}
+
+func TestBuildMoveException(t *testing.T) {
+	// v1 = move v0 with v0 still live after: no interference from the
+	// copy itself.
+	_, g := buildFrom(t, `
+func f(v0) {
+b0:
+  v1 = move v0
+  v2 = add v1, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	a, b := g.NodeOf(ir.Virt(0)), g.NodeOf(ir.Virt(1))
+	if g.Interferes(a, b) {
+		t.Error("copy-related nodes must not interfere (move exception)")
+	}
+	if len(g.Moves()) != 1 {
+		t.Fatalf("moves = %d, want 1", len(g.Moves()))
+	}
+}
+
+func TestBuildCallClobbers(t *testing.T) {
+	m := target.UsageModel(16)
+	_, g := buildFrom(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 7
+  call @g
+  v2 = add v1, v0
+  ret v2
+}
+`, m)
+	n1 := g.NodeOf(ir.Virt(1))
+	for _, v := range m.VolatileRegs() {
+		if !g.Interferes(n1, NodeID(v)) {
+			t.Errorf("call-crossing web must interfere with volatile r%d", v)
+		}
+	}
+	for _, nv := range m.NonVolatileRegs() {
+		if g.Interferes(n1, NodeID(nv)) {
+			t.Errorf("call-crossing web must not interfere with non-volatile r%d", nv)
+		}
+	}
+}
+
+func TestBuildCallResultNotClobberInterfering(t *testing.T) {
+	m := target.UsageModel(16)
+	_, g := buildFrom(t, `
+func f(v0) {
+b0:
+  v1 = call @g v0
+  ret v1
+}
+`, m)
+	n1 := g.NodeOf(ir.Virt(1))
+	// v1 is defined by the call, not live across it; it must be
+	// allocatable to a volatile register.
+	vol := 0
+	for _, v := range m.VolatileRegs() {
+		if g.Interferes(n1, NodeID(v)) {
+			vol++
+		}
+	}
+	if vol == len(m.VolatileRegs()) {
+		t.Error("call result wrongly interferes with all volatile registers")
+	}
+}
+
+func TestBuildMoveWeightByLoopDepth(t *testing.T) {
+	_, g := buildFrom(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  jump b1
+b1:
+  v2 = move v1
+  v1 = add v2, v0
+  branch v1, b1, b2
+b2:
+  ret v1
+}
+`, target.UsageModel(16))
+	if len(g.Moves()) != 1 {
+		t.Fatalf("moves = %d, want 1", len(g.Moves()))
+	}
+	if g.Moves()[0].Weight != 10 {
+		t.Errorf("loop move weight = %v, want 10", g.Moves()[0].Weight)
+	}
+}
+
+func TestBuildRejectsPhi(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 1
+  jump b3
+b2:
+  v2 = loadimm 2
+  jump b3
+b3:
+  v3 = phi v1, v2
+  ret v3
+}
+`)
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	if _, err := Build(f, target.UsageModel(16), loops); err == nil {
+		t.Error("Build accepted φ")
+	}
+}
+
+func TestBuildRejectsOutOfRangePhys(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  v0 = move r20
+  ret v0
+}
+`)
+	loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+	if _, err := Build(f, target.Figure7Machine(), loops); err == nil {
+		t.Error("Build accepted out-of-range physical register")
+	}
+}
+
+func TestBuildDeadDefStillInterferes(t *testing.T) {
+	// v1 is dead but its def still conflicts with what is live there.
+	_, g := buildFrom(t, `
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  v2 = add v0, v0
+  ret v2
+}
+`, target.UsageModel(16))
+	if !g.Interferes(g.NodeOf(ir.Virt(0)), g.NodeOf(ir.Virt(1))) {
+		t.Error("dead def must interfere with live values at its point")
+	}
+}

@@ -1,0 +1,370 @@
+// Package ig implements the renumber phase (live-range construction
+// via webs) and the Chaitin-style interference graph all allocators in
+// this repository share.
+package ig
+
+import (
+	"fmt"
+
+	"prefcolor/internal/ir"
+)
+
+// RenumberInfo records how Renumber mapped original virtual registers
+// to webs.
+type RenumberInfo struct {
+	// NumWebs is the number of live ranges; the rewritten function
+	// uses exactly the virtual registers Virt(0)..Virt(NumWebs-1).
+	NumWebs int
+
+	// Origins[w] lists the original virtual registers merged into web
+	// w (deduplicated, in first-seen order). Most webs come from a
+	// single original register; a register with several defs feeding
+	// common uses produces one web from many sites, and a register
+	// with disjoint def/use regions produces several webs.
+	Origins [][]ir.Reg
+}
+
+// Renumber rewrites f in place so that every virtual register is one
+// live range (a web): the maximal set of definitions and uses
+// connected through du-chains, computed from reaching definitions with
+// a union-find. This is the "renumber" phase of Chaitin's allocator.
+//
+// The function must be φ-free (run ssa.Destruct first); Renumber
+// returns an error otherwise. Physical registers are left untouched.
+func Renumber(f *ir.Func) (*RenumberInfo, error) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.Phi {
+				return nil, fmt.Errorf("ig.Renumber: b%d:%d: φ-functions must be lowered first", b.ID, i)
+			}
+		}
+	}
+
+	// Enumerate definition sites. Site 0..len(Params)-1 are the
+	// parameter pseudo-definitions at entry; further sites follow in
+	// block/instruction order. Synthetic sites for uses with no
+	// reaching definition are appended on demand.
+	type siteKey struct {
+		b ir.BlockID
+		i int
+	}
+	var siteReg []ir.Reg // original register each site defines
+	siteOf := map[siteKey]int{}
+	paramSite := map[ir.Reg]int{}
+	for _, p := range f.Params {
+		if p.IsVirt() {
+			if _, dup := paramSite[p]; !dup {
+				paramSite[p] = len(siteReg)
+				siteReg = append(siteReg, p)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d.IsVirt() {
+				siteOf[siteKey{b.ID, i}] = len(siteReg)
+				siteReg = append(siteReg, d)
+			}
+		}
+	}
+	undefSite := map[ir.Reg]int{}
+
+	uf := newUnionFind(len(siteReg))
+	grow := func() { uf.grow(len(siteReg)) }
+
+	// Reaching definitions, as per-register sets of site ids. Site
+	// sets are sorted, deduplicated slices treated as immutable, so
+	// maps can share them; apply() always builds a fresh map.
+	singleton := make([]siteSet, len(siteReg))
+	single := func(s int) siteSet {
+		for len(singleton) <= s {
+			singleton = append(singleton, nil)
+		}
+		if singleton[s] == nil {
+			singleton[s] = siteSet{int32(s)}
+		}
+		return singleton[s]
+	}
+	type regSites map[ir.Reg]siteSet
+
+	// Per-block gen (last def site per register) and the set of
+	// registers killed.
+	gens := make([]map[ir.Reg]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		g := map[ir.Reg]int{}
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d.IsVirt() {
+				g[d] = siteOf[siteKey{b.ID, i}]
+			}
+		}
+		gens[b.ID] = g
+	}
+
+	entryRS := regSites{}
+	for r, s := range paramSite {
+		entryRS[r] = single(s)
+	}
+
+	mergeIn := func(b *ir.Block, out []regSites) regSites {
+		rs := regSites{}
+		if b.ID == 0 {
+			for r, s := range entryRS {
+				rs[r] = s
+			}
+		}
+		for _, p := range b.Preds {
+			for r, sites := range out[p] {
+				rs[r] = unionSites(rs[r], sites)
+			}
+		}
+		return rs
+	}
+
+	in := make([]regSites, len(f.Blocks))
+	out := make([]regSites, len(f.Blocks))
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			rs := mergeIn(b, out)
+			in[b.ID] = rs
+			newOut := make(regSites, len(rs)+len(gens[b.ID]))
+			for r, sites := range rs {
+				newOut[r] = sites
+			}
+			for r, s := range gens[b.ID] {
+				newOut[r] = single(s)
+			}
+			if !regSitesEqual(out[b.ID], newOut) {
+				out[b.ID] = newOut
+				changed = true
+			}
+		}
+	}
+
+	// Walk each block, unioning every use with all of its reaching
+	// definitions.
+	reachingAt := func(cur regSites, u ir.Reg) int {
+		sites := cur[u]
+		if len(sites) == 0 {
+			s, ok := undefSite[u]
+			if !ok {
+				s = len(siteReg)
+				siteReg = append(siteReg, u)
+				undefSite[u] = s
+				grow()
+			}
+			return s
+		}
+		first := int(sites[0])
+		for _, s := range sites[1:] {
+			uf.union(first, int(s))
+		}
+		return first
+	}
+	shallow := func(rs regSites) regSites {
+		c := make(regSites, len(rs))
+		for r, s := range rs {
+			c[r] = s
+		}
+		return c
+	}
+	for _, b := range f.Blocks {
+		cur := shallow(in[b.ID])
+		for i := range b.Instrs {
+			instr := &b.Instrs[i]
+			for _, u := range instr.Uses {
+				if u.IsVirt() {
+					reachingAt(cur, u)
+				}
+			}
+			if d := instr.Def(); d.IsVirt() {
+				cur[d] = single(siteOf[siteKey{b.ID, i}])
+			}
+		}
+	}
+
+	// Assign web numbers to union-find roots, in deterministic
+	// (site-order) sequence, and rewrite operands in a second walk.
+	webOf := map[int]int{}
+	info := &RenumberInfo{}
+	webFor := func(site int) ir.Reg {
+		root := uf.find(site)
+		w, ok := webOf[root]
+		if !ok {
+			w = info.NumWebs
+			webOf[root] = w
+			info.NumWebs++
+			info.Origins = append(info.Origins, nil)
+		}
+		orig := siteReg[site]
+		found := false
+		for _, r := range info.Origins[w] {
+			if r == orig {
+				found = true
+				break
+			}
+		}
+		if !found {
+			info.Origins[w] = append(info.Origins[w], orig)
+		}
+		return ir.Virt(w)
+	}
+
+	// Parameters first, so their webs get the smallest numbers.
+	newParams := make([]ir.Reg, len(f.Params))
+	for i, p := range f.Params {
+		if p.IsVirt() {
+			newParams[i] = webFor(paramSite[p])
+		} else {
+			newParams[i] = p
+		}
+	}
+
+	for _, b := range f.Blocks {
+		cur := shallow(in[b.ID])
+		for i := range b.Instrs {
+			instr := &b.Instrs[i]
+			for ui, u := range instr.Uses {
+				if u.IsVirt() {
+					instr.Uses[ui] = webFor(reachingAt(cur, u))
+				}
+			}
+			if d := instr.Def(); d.IsVirt() {
+				site := siteOf[siteKey{b.ID, i}]
+				instr.Defs[0] = webFor(site)
+				cur[d] = single(site)
+			}
+		}
+	}
+
+	f.Params = newParams
+	f.NumVirt = info.NumWebs
+	return info, nil
+}
+
+// siteSet is a sorted, deduplicated list of definition-site ids,
+// treated as immutable once built so maps may share instances.
+type siteSet []int32
+
+// unionSites merges two site sets, returning an existing set when one
+// contains the other.
+func unionSites(a, b siteSet) siteSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	// Fast path: identical or containment.
+	if sitesSubset(b, a) {
+		return a
+	}
+	if sitesSubset(a, b) {
+		return b
+	}
+	out := make(siteSet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func sitesSubset(a, b siteSet) bool { // a ⊆ b
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+	}
+	return true
+}
+
+func sitesEqual(a, b siteSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func regSitesEqual(a, b map[ir.Reg]siteSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r, sa := range a {
+		sb, ok := b[r]
+		if !ok || !sitesEqual(sa, sb) {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFind is a standard disjoint-set structure with path compression
+// and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, len(u.parent))
+		u.size = append(u.size, 1)
+	}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}

@@ -1,0 +1,95 @@
+package ir
+
+// Builder is a small convenience layer for constructing functions in
+// tests, examples, and the workload generators. It tracks a current
+// block and appends instructions to it.
+type Builder struct {
+	F   *Func
+	cur *Block
+}
+
+// NewBuilder returns a Builder over a fresh function with an entry
+// block already created and selected.
+func NewBuilder(name string) *Builder {
+	f := NewFunc(name)
+	b := &Builder{F: f}
+	b.cur = f.NewBlock()
+	return b
+}
+
+// Block creates a new block without selecting it.
+func (b *Builder) Block() *Block { return b.F.NewBlock() }
+
+// SetBlock selects the block subsequent emissions append to.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Cur returns the currently selected block.
+func (b *Builder) Cur() *Block { return b.cur }
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() Reg { return b.F.NewReg() }
+
+// Param allocates a fresh virtual register and records it as the next
+// function parameter.
+func (b *Builder) Param() Reg {
+	r := b.F.NewReg()
+	b.F.Params = append(b.F.Params, r)
+	return r
+}
+
+// Emit appends an arbitrary instruction to the current block.
+func (b *Builder) Emit(in Instr) *Builder {
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return b
+}
+
+// Move emits dst = src.
+func (b *Builder) Move(dst, src Reg) *Builder { return b.Emit(MakeMove(dst, src)) }
+
+// LoadImm emits dst = imm.
+func (b *Builder) LoadImm(dst Reg, imm int64) *Builder { return b.Emit(MakeLoadImm(dst, imm)) }
+
+// Load emits dst = [base+off].
+func (b *Builder) Load(dst, base Reg, off int64) *Builder { return b.Emit(MakeLoad(dst, base, off)) }
+
+// Store emits [base+off] = src.
+func (b *Builder) Store(src, base Reg, off int64) *Builder { return b.Emit(MakeStore(src, base, off)) }
+
+// Bin emits dst = a op b.
+func (b *Builder) Bin(op Op, dst, a, bb Reg) *Builder { return b.Emit(MakeBin(op, dst, a, bb)) }
+
+// Neg emits dst = -a.
+func (b *Builder) Neg(dst, a Reg) *Builder {
+	return b.Emit(Instr{Op: Neg, Defs: []Reg{dst}, Uses: []Reg{a}})
+}
+
+// Call emits a call; result may be NoReg.
+func (b *Builder) Call(sym string, result Reg, args ...Reg) *Builder {
+	return b.Emit(MakeCall(sym, result, args...))
+}
+
+// Ret emits a return and leaves the block terminated.
+func (b *Builder) Ret(v Reg) *Builder { return b.Emit(MakeRet(v)) }
+
+// Jump terminates the current block with an unconditional jump to t.
+func (b *Builder) Jump(t *Block) *Builder {
+	b.cur.Succs = []BlockID{t.ID}
+	return b.Emit(Instr{Op: Jump})
+}
+
+// Branch terminates the current block with a conditional branch on
+// cond: taken to t, otherwise to e.
+func (b *Builder) Branch(cond Reg, t, e *Block) *Builder {
+	b.cur.Succs = []BlockID{t.ID, e.ID}
+	return b.Emit(Instr{Op: Branch, Uses: []Reg{cond}})
+}
+
+// Phi emits a φ-function; args must follow the block's predecessor
+// order once predecessors are final.
+func (b *Builder) Phi(dst Reg, args ...Reg) *Builder { return b.Emit(MakePhi(dst, args...)) }
+
+// Finish recomputes predecessor lists and returns the function.
+func (b *Builder) Finish() *Func {
+	b.F.RecomputePreds()
+	return b.F
+}

@@ -1,0 +1,219 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InterpOptions configures the reference interpreter.
+type InterpOptions struct {
+	// MaxSteps bounds execution; 0 means the default of 1,000,000
+	// instructions. Exceeding the bound is an error.
+	MaxSteps int
+
+	// CallClobbers lists physical registers destroyed by every call
+	// (the machine's volatile set). Each is overwritten with a
+	// deterministic poison value derived from the call, so code that
+	// keeps a live value in a volatile register across a call without
+	// saving it computes a different result.
+	CallClobbers []Reg
+}
+
+// ExecResult is the observable behavior of one interpreted execution:
+// the returned value, every store in program order, and the step
+// count. Two functions are semantically equivalent for one input when
+// their ExecResults agree on Ret/HasRet and Stores.
+type ExecResult struct {
+	Ret    int64
+	HasRet bool
+	Stores []StoreRecord
+	Steps  int
+}
+
+// StoreRecord is one executed Store: its address and stored value.
+type StoreRecord struct {
+	Addr  int64
+	Value int64
+}
+
+// Interp executes f under the reference semantics.
+//
+// init seeds register values (typically the function's parameter
+// registers, virtual or physical). Memory starts zeroed; loads from
+// unwritten addresses read a deterministic value derived from the
+// address, so address-dependent control flow is stable across
+// rewrites. Calls are uninterpreted: a call of sym with arguments
+// a1..an returns hash(sym, a1..an) and clobbers opts.CallClobbers.
+// Division or modulus by zero yields zero.
+func Interp(f *Func, init map[Reg]int64, opts InterpOptions) (ExecResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	regs := make(map[Reg]int64, len(init)+16)
+	for r, v := range init {
+		regs[r] = v
+	}
+	mem := map[int64]int64{}
+	spill := map[int64]int64{}
+	var res ExecResult
+
+	cur := f.Entry()
+	prev := BlockID(-1)
+	for {
+		// φ-functions execute in parallel at block entry.
+		var phiVals []int64
+		var phiDsts []Reg
+		predIdx := -1
+		for i, in := range cur.Instrs {
+			if in.Op != Phi {
+				break
+			}
+			if predIdx < 0 {
+				for pi, p := range cur.Preds {
+					if p == prev {
+						predIdx = pi
+						break
+					}
+				}
+				if predIdx < 0 {
+					return res, fmt.Errorf("ir.Interp: b%d: φ with unknown incoming edge from b%d", cur.ID, prev)
+				}
+			}
+			if predIdx >= len(in.Uses) {
+				return res, fmt.Errorf("ir.Interp: b%d instr %d: φ missing arg %d", cur.ID, i, predIdx)
+			}
+			phiVals = append(phiVals, regs[in.Uses[predIdx]])
+			phiDsts = append(phiDsts, in.Def())
+		}
+		for i, d := range phiDsts {
+			regs[d] = phiVals[i]
+		}
+
+		next := BlockID(-1)
+		done := false
+		for i := range cur.Instrs {
+			in := &cur.Instrs[i]
+			if in.Op == Phi {
+				continue
+			}
+			res.Steps++
+			if res.Steps > maxSteps {
+				return res, errors.New("ir.Interp: step budget exceeded (non-terminating program?)")
+			}
+			switch in.Op {
+			case Nop:
+			case Move:
+				regs[in.Defs[0]] = regs[in.Uses[0]]
+			case LoadImm:
+				regs[in.Defs[0]] = in.Imm
+			case Load:
+				addr := regs[in.Uses[0]] + in.Imm
+				v, ok := mem[addr]
+				if !ok {
+					v = defaultMem(addr)
+				}
+				regs[in.Defs[0]] = v
+			case Store:
+				addr := regs[in.Uses[1]] + in.Imm
+				v := regs[in.Uses[0]]
+				mem[addr] = v
+				res.Stores = append(res.Stores, StoreRecord{Addr: addr, Value: v})
+			case SpillStore:
+				spill[in.Imm] = regs[in.Uses[0]]
+			case SpillLoad:
+				regs[in.Defs[0]] = spill[in.Imm]
+			case Add:
+				regs[in.Defs[0]] = regs[in.Uses[0]] + regs[in.Uses[1]]
+			case Sub:
+				regs[in.Defs[0]] = regs[in.Uses[0]] - regs[in.Uses[1]]
+			case Mul:
+				regs[in.Defs[0]] = regs[in.Uses[0]] * regs[in.Uses[1]]
+			case Div:
+				d := regs[in.Uses[1]]
+				if d == 0 {
+					regs[in.Defs[0]] = 0
+				} else {
+					regs[in.Defs[0]] = regs[in.Uses[0]] / d
+				}
+			case And:
+				regs[in.Defs[0]] = regs[in.Uses[0]] & regs[in.Uses[1]]
+			case Or:
+				regs[in.Defs[0]] = regs[in.Uses[0]] | regs[in.Uses[1]]
+			case Xor:
+				regs[in.Defs[0]] = regs[in.Uses[0]] ^ regs[in.Uses[1]]
+			case Shl:
+				regs[in.Defs[0]] = regs[in.Uses[0]] << (uint64(regs[in.Uses[1]]) & 63)
+			case Shr:
+				regs[in.Defs[0]] = int64(uint64(regs[in.Uses[0]]) >> (uint64(regs[in.Uses[1]]) & 63))
+			case Cmp:
+				if regs[in.Uses[0]] < regs[in.Uses[1]] {
+					regs[in.Defs[0]] = 1
+				} else {
+					regs[in.Defs[0]] = 0
+				}
+			case Neg:
+				regs[in.Defs[0]] = -regs[in.Uses[0]]
+			case AddImm:
+				regs[in.Defs[0]] = regs[in.Uses[0]] + in.Imm
+			case Call:
+				h := hashCall(in.Sym, regs, in.Uses)
+				for _, c := range opts.CallClobbers {
+					regs[c] = int64(uint64(h) ^ 0xdeadbeefcafe ^ uint64(c))
+				}
+				if len(in.Defs) == 1 {
+					regs[in.Defs[0]] = h
+				}
+			case Ret:
+				if len(in.Uses) == 1 {
+					res.Ret = regs[in.Uses[0]]
+					res.HasRet = true
+				}
+				done = true
+			case Jump:
+				next = cur.Succs[0]
+			case Branch:
+				if regs[in.Uses[0]] != 0 {
+					next = cur.Succs[0]
+				} else {
+					next = cur.Succs[1]
+				}
+			default:
+				return res, fmt.Errorf("ir.Interp: unhandled op %v", in.Op)
+			}
+			if done {
+				return res, nil
+			}
+		}
+		if next < 0 {
+			return res, fmt.Errorf("ir.Interp: b%d fell off the end without a terminator", cur.ID)
+		}
+		prev = cur.ID
+		cur = f.Blocks[next]
+	}
+}
+
+// defaultMem gives unwritten memory a deterministic, address-derived
+// value so that load results are stable but not uniformly zero.
+func defaultMem(addr int64) int64 {
+	x := uint64(addr) * 0x9e3779b97f4a7c15
+	x ^= x >> 31
+	return int64(x & 0xffff)
+}
+
+// hashCall mixes the callee name and argument values into a
+// deterministic 48-bit result.
+func hashCall(sym string, regs map[Reg]int64, args []Reg) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(sym); i++ {
+		h = (h ^ uint64(sym[i])) * 1099511628211
+	}
+	for _, a := range args {
+		v := uint64(regs[a])
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * 1099511628211
+			v >>= 8
+		}
+	}
+	return int64(h & 0xffffffffffff)
+}

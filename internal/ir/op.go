@@ -1,0 +1,147 @@
+package ir
+
+// Op identifies the operation an instruction performs. The set is the
+// minimal register-transfer vocabulary the paper's examples use:
+// copies, memory traffic, integer/float arithmetic, calls, control
+// flow, and φ-functions for SSA form.
+type Op uint8
+
+const (
+	// Nop does nothing. Deleted moves become Nops until compaction.
+	Nop Op = iota
+
+	// Move copies Uses[0] into Defs[0]. Moves are the coalescing
+	// candidates ("copy-related" nodes in the paper's terminology).
+	Move
+
+	// LoadImm sets Defs[0] to the immediate Imm.
+	LoadImm
+
+	// Load reads Defs[0] from memory at address Uses[0]+Imm.
+	// Adjacent loads off one base register are paired-load candidates
+	// on machines with LoadPairRule set (paper §3.1, "dependent
+	// register usage").
+	Load
+
+	// Store writes Uses[0] to memory at address Uses[1]+Imm.
+	Store
+
+	// SpillStore writes Uses[0] to spill slot Imm. Inserted by the
+	// allocation driver; counted as spill code.
+	SpillStore
+
+	// SpillLoad reads Defs[0] from spill slot Imm. Inserted by the
+	// allocation driver; counted as spill code.
+	SpillLoad
+
+	// Two-operand arithmetic: Defs[0] = Uses[0] op Uses[1].
+	Add
+	Sub
+	Mul
+	Div
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Cmp // Defs[0] = (Uses[0] < Uses[1]) ? 1 : 0
+
+	// Neg is unary: Defs[0] = -Uses[0].
+	Neg
+
+	// AddImm computes Defs[0] = Uses[0] + Imm (the add-immediate form
+	// the paper's Figure 7 uses at i7, and the instruction whose
+	// large-immediate variant has limited register choices on IA-64,
+	// §3.1).
+	AddImm
+
+	// Call invokes the function named Sym. Uses holds the argument
+	// registers (physical parameter registers after convention
+	// lowering), Defs holds the result register if any. A call
+	// additionally clobbers every volatile physical register of the
+	// target machine; the interference builder and the interpreter
+	// both honor that.
+	Call
+
+	// Ret returns from the function; Uses[0], if present, is the
+	// return value register.
+	Ret
+
+	// Jump transfers control to Block.Succs[0].
+	Jump
+
+	// Branch transfers control to Block.Succs[0] when Uses[0] is
+	// non-zero and to Block.Succs[1] otherwise.
+	Branch
+
+	// Phi is an SSA φ-function: Defs[0] selects Uses[i] when control
+	// arrived from Block.Preds[i].
+	Phi
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop:        "nop",
+	Move:       "move",
+	LoadImm:    "loadimm",
+	Load:       "load",
+	Store:      "store",
+	SpillStore: "spillstore",
+	SpillLoad:  "spillload",
+	Add:        "add",
+	Sub:        "sub",
+	Mul:        "mul",
+	Div:        "div",
+	And:        "and",
+	Or:         "or",
+	Xor:        "xor",
+	Shl:        "shl",
+	Shr:        "shr",
+	Cmp:        "cmp",
+	Neg:        "neg",
+	AddImm:     "addimm",
+	Call:       "call",
+	Ret:        "ret",
+	Jump:       "jump",
+	Branch:     "branch",
+	Phi:        "phi",
+}
+
+// String returns the lower-case mnemonic used by the textual IR.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// opByName maps mnemonics back to Ops for the parser.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// IsTerminator reports whether op must appear only as the final
+// instruction of a block.
+func (op Op) IsTerminator() bool {
+	return op == Ret || op == Jump || op == Branch
+}
+
+// IsArith reports whether op is a pure arithmetic operation
+// (two-operand or unary, no memory or control effects).
+func (op Op) IsArith() bool {
+	switch op {
+	case Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Cmp, Neg:
+		return true
+	}
+	return false
+}
+
+// IsSpill reports whether op is allocator-inserted spill traffic.
+func (op Op) IsSpill() bool { return op == SpillLoad || op == SpillStore }

@@ -1,0 +1,93 @@
+package ir
+
+import (
+	"sort"
+	"strings"
+)
+
+// RegSet is a set of registers. The zero value is not usable; call
+// NewRegSet.
+type RegSet map[Reg]struct{}
+
+// NewRegSet returns a set holding the given registers.
+func NewRegSet(regs ...Reg) RegSet {
+	s := make(RegSet, len(regs))
+	for _, r := range regs {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts r; NoReg is ignored.
+func (s RegSet) Add(r Reg) {
+	if r != NoReg {
+		s[r] = struct{}{}
+	}
+}
+
+// Remove deletes r.
+func (s RegSet) Remove(r Reg) { delete(s, r) }
+
+// Has reports membership.
+func (s RegSet) Has(r Reg) bool {
+	_, ok := s[r]
+	return ok
+}
+
+// AddAll inserts every member of t and reports whether s grew.
+func (s RegSet) AddAll(t RegSet) bool {
+	grew := false
+	for r := range t {
+		if !s.Has(r) {
+			s[r] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Clone returns an independent copy.
+func (s RegSet) Clone() RegSet {
+	out := make(RegSet, len(s))
+	for r := range s {
+		out[r] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports whether s and t hold the same registers.
+func (s RegSet) Equal(t RegSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for r := range s {
+		if !t.Has(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the members in increasing order.
+func (s RegSet) Sorted() []Reg {
+	out := make([]Reg, 0, len(s))
+	for r := range s {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set as "{v0, v3, r1}" in sorted order.
+func (s RegSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural invariants the analyses and
+// allocators rely on and returns an error describing the first
+// violation found, or nil.
+//
+// Checked invariants:
+//   - the function has an entry block;
+//   - terminators appear only as final instructions, and every block
+//     with successors ends in the matching terminator;
+//   - successor/predecessor lists are mutually consistent;
+//   - Branch blocks have exactly two successors, Jump blocks one,
+//     Ret blocks none;
+//   - φ-functions appear only at block heads and have exactly one
+//     argument per predecessor;
+//   - operand registers are in range (virtual numbers < NumVirt);
+//   - instruction operand arities match their opcodes.
+func Validate(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return errors.New("function has no blocks")
+	}
+	for i, b := range f.Blocks {
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("block at index %d has ID b%d", i, b.ID)
+		}
+	}
+	for _, b := range f.Blocks {
+		if err := validateBlock(f, b); err != nil {
+			return fmt.Errorf("b%d: %w", b.ID, err)
+		}
+	}
+	// Succ/pred consistency.
+	type edge struct{ from, to BlockID }
+	succEdges := map[edge]int{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if int(s) >= len(f.Blocks) || s < 0 {
+				return fmt.Errorf("b%d: successor b%d out of range", b.ID, s)
+			}
+			succEdges[edge{b.ID, s}]++
+		}
+	}
+	predEdges := map[edge]int{}
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds {
+			if int(p) >= len(f.Blocks) || p < 0 {
+				return fmt.Errorf("b%d: predecessor b%d out of range", b.ID, p)
+			}
+			predEdges[edge{p, b.ID}]++
+		}
+	}
+	for e, n := range succEdges {
+		if predEdges[e] != n {
+			return fmt.Errorf("edge b%d->b%d: %d succ entries but %d pred entries (run RecomputePreds?)", e.from, e.to, n, predEdges[e])
+		}
+	}
+	for e, n := range predEdges {
+		if succEdges[e] != n {
+			return fmt.Errorf("edge b%d->b%d: %d pred entries but %d succ entries", e.from, e.to, n, succEdges[e])
+		}
+	}
+	return nil
+}
+
+func validateBlock(f *Func, b *Block) error {
+	sawNonPhi := false
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		last := i == len(b.Instrs)-1
+		if in.Op.IsTerminator() && !last {
+			return fmt.Errorf("instr %d: terminator %v not at block end", i, in.Op)
+		}
+		if in.Op == Phi {
+			if sawNonPhi {
+				return fmt.Errorf("instr %d: φ after non-φ instruction", i)
+			}
+			if len(in.Uses) != len(b.Preds) {
+				return fmt.Errorf("instr %d: φ has %d args for %d predecessors", i, len(in.Uses), len(b.Preds))
+			}
+		} else if in.Op != Nop {
+			sawNonPhi = true
+		}
+		if err := validateArity(in); err != nil {
+			return fmt.Errorf("instr %d (%v): %w", i, in, err)
+		}
+		for _, r := range in.Defs {
+			if err := checkReg(f, r); err != nil {
+				return fmt.Errorf("instr %d: def %w", i, err)
+			}
+		}
+		for _, r := range in.Uses {
+			if err := checkReg(f, r); err != nil {
+				return fmt.Errorf("instr %d: use %w", i, err)
+			}
+		}
+	}
+	term := b.Terminator()
+	switch {
+	case term != nil && term.Op == Branch:
+		if len(b.Succs) != 2 {
+			return fmt.Errorf("branch block has %d successors", len(b.Succs))
+		}
+	case term != nil && term.Op == Jump:
+		if len(b.Succs) != 1 {
+			return fmt.Errorf("jump block has %d successors", len(b.Succs))
+		}
+	case term != nil && term.Op == Ret:
+		if len(b.Succs) != 0 {
+			return fmt.Errorf("ret block has %d successors", len(b.Succs))
+		}
+	default:
+		if len(b.Succs) != 0 {
+			return fmt.Errorf("block with successors lacks a terminator")
+		}
+		// A block with no successors and no Ret is tolerated only if
+		// empty (it may be under construction); otherwise require Ret.
+		if len(b.Instrs) > 0 {
+			return errors.New("non-empty block has no terminator and no successors")
+		}
+	}
+	return nil
+}
+
+func checkReg(f *Func, r Reg) error {
+	if r == NoReg {
+		return errors.New("operand is NoReg")
+	}
+	if r.IsVirt() && r.VirtNum() >= f.NumVirt {
+		return fmt.Errorf("virtual register %v out of range (NumVirt=%d)", r, f.NumVirt)
+	}
+	return nil
+}
+
+func validateArity(in *Instr) error {
+	type arity struct{ defs, uses int }
+	want := map[Op]arity{
+		Nop:        {0, 0},
+		Move:       {1, 1},
+		LoadImm:    {1, 0},
+		Load:       {1, 1},
+		Store:      {0, 2},
+		SpillStore: {0, 1},
+		SpillLoad:  {1, 0},
+		Neg:        {1, 1},
+		AddImm:     {1, 1},
+		Ret:        {0, -1}, // 0 or 1 use
+		Jump:       {0, 0},
+		Branch:     {0, 1},
+	}
+	if in.Op.IsArith() && in.Op != Neg {
+		want[in.Op] = arity{1, 2}
+	}
+	w, ok := want[in.Op]
+	switch in.Op {
+	case Call:
+		if len(in.Defs) > 1 {
+			return fmt.Errorf("call with %d defs", len(in.Defs))
+		}
+		return nil
+	case Phi:
+		if len(in.Defs) != 1 {
+			return fmt.Errorf("φ with %d defs", len(in.Defs))
+		}
+		return nil
+	}
+	if !ok {
+		return fmt.Errorf("unknown op %d", in.Op)
+	}
+	if len(in.Defs) != w.defs {
+		return fmt.Errorf("want %d defs, have %d", w.defs, len(in.Defs))
+	}
+	if w.uses >= 0 && len(in.Uses) != w.uses {
+		return fmt.Errorf("want %d uses, have %d", w.uses, len(in.Uses))
+	}
+	if in.Op == Ret && len(in.Uses) > 1 {
+		return fmt.Errorf("ret with %d uses", len(in.Uses))
+	}
+	return nil
+}

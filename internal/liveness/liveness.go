@@ -1,0 +1,170 @@
+// Package liveness computes live-variable information over ir.Func by
+// backward dataflow iteration.
+//
+// φ-functions get the standard SSA treatment: a φ's uses are live out
+// of the corresponding predecessor block (not live into the φ's own
+// block), and its definition happens at the block head.
+package liveness
+
+import (
+	"prefcolor/internal/ir"
+)
+
+// Info holds per-block live-in/live-out sets.
+type Info struct {
+	f       *ir.Func
+	liveIn  []ir.RegSet
+	liveOut []ir.RegSet
+}
+
+// Compute runs the backward dataflow to a fixed point and returns the
+// per-block liveness information. Both virtual and physical registers
+// are tracked; implicit call clobbers are not (they are interference
+// facts, handled by the interference-graph builder).
+func Compute(f *ir.Func) *Info {
+	n := len(f.Blocks)
+	info := &Info{
+		f:       f,
+		liveIn:  make([]ir.RegSet, n),
+		liveOut: make([]ir.RegSet, n),
+	}
+	for i := 0; i < n; i++ {
+		info.liveIn[i] = ir.NewRegSet()
+		info.liveOut[i] = ir.NewRegSet()
+	}
+
+	// Precompute per-block gen (upward-exposed uses, φ excluded),
+	// kill (all defs including φ), and φ contributions per incoming
+	// edge.
+	gen := make([]ir.RegSet, n)
+	kill := make([]ir.RegSet, n)
+	for _, b := range f.Blocks {
+		g, k := ir.NewRegSet(), ir.NewRegSet()
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Phi {
+				for _, d := range in.Defs {
+					k.Add(d)
+				}
+				continue
+			}
+			for _, u := range in.Uses {
+				if !k.Has(u) {
+					g.Add(u)
+				}
+			}
+			for _, d := range in.Defs {
+				k.Add(d)
+			}
+		}
+		gen[b.ID] = g
+		kill[b.ID] = k
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := ir.NewRegSet()
+			for _, sid := range b.Succs {
+				s := f.Blocks[sid]
+				// live-in of successor minus its φ defs...
+				phiDefs := ir.NewRegSet()
+				for j := range s.Instrs {
+					if s.Instrs[j].Op != ir.Phi {
+						break
+					}
+					phiDefs.Add(s.Instrs[j].Def())
+				}
+				for r := range info.liveIn[sid] {
+					if !phiDefs.Has(r) {
+						out.Add(r)
+					}
+				}
+				// ...plus the φ arguments flowing along this edge.
+				// A block can appear several times in Preds (e.g. a
+				// branch with both targets equal); every matching
+				// position contributes.
+				for pi, p := range s.Preds {
+					if p != b.ID {
+						continue
+					}
+					for j := range s.Instrs {
+						if s.Instrs[j].Op != ir.Phi {
+							break
+						}
+						out.Add(s.Instrs[j].Uses[pi])
+					}
+				}
+			}
+			in := gen[b.ID].Clone()
+			for r := range out {
+				if !kill[b.ID].Has(r) {
+					in.Add(r)
+				}
+			}
+			if !out.Equal(info.liveOut[b.ID]) {
+				info.liveOut[b.ID] = out
+				changed = true
+			}
+			if !in.Equal(info.liveIn[b.ID]) {
+				info.liveIn[b.ID] = in
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// LiveIn returns registers live at entry to b. φ definitions are not
+// live-in (they are defined at the block head); φ uses are live-out of
+// the corresponding predecessors.
+func (i *Info) LiveIn(b ir.BlockID) ir.RegSet { return i.liveIn[b] }
+
+// LiveOut returns registers live at exit from b.
+func (i *Info) LiveOut(b ir.BlockID) ir.RegSet { return i.liveOut[b] }
+
+// ForEachInstrReverse walks block b backwards, maintaining the live
+// set *after* each instruction and calling fn(i, instr, liveAfter)
+// from the last instruction to the first. φ-functions are visited too
+// (their live-after is the set after all φs executed in parallel).
+// The callback must not retain live, which is reused between calls.
+func (i *Info) ForEachInstrReverse(b *ir.Block, fn func(idx int, in *ir.Instr, liveAfter ir.RegSet)) {
+	live := i.liveOut[b.ID].Clone()
+	for idx := len(b.Instrs) - 1; idx >= 0; idx-- {
+		in := &b.Instrs[idx]
+		fn(idx, in, live)
+		for _, d := range in.Defs {
+			live.Remove(d)
+		}
+		if in.Op != ir.Phi {
+			for _, u := range in.Uses {
+				live.Add(u)
+			}
+		}
+	}
+}
+
+// LiveAcrossCalls returns, for every register, the number of call
+// instructions it is live across, weighted by block frequency
+// (freq[b] per call in block b). A register is live across a call when
+// it is live immediately after the call and is not defined by it.
+func (i *Info) LiveAcrossCalls(freq func(ir.BlockID) float64) map[ir.Reg]float64 {
+	out := map[ir.Reg]float64{}
+	for _, b := range i.f.Blocks {
+		w := freq(b.ID)
+		i.ForEachInstrReverse(b, func(_ int, in *ir.Instr, liveAfter ir.RegSet) {
+			if in.Op != ir.Call {
+				return
+			}
+			for r := range liveAfter {
+				if in.Def() == r {
+					continue
+				}
+				out[r] += w
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package liveness
+
+import (
+	"testing"
+
+	"prefcolor/internal/ir"
+)
+
+func TestStraightLine(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0, v1) {
+b0:
+  v2 = add v0, v1
+  v3 = add v2, v0
+  ret v3
+}
+`)
+	li := Compute(f)
+	in := li.LiveIn(0)
+	if !in.Has(ir.Virt(0)) || !in.Has(ir.Virt(1)) {
+		t.Errorf("live-in = %v, want v0 and v1", in)
+	}
+	if in.Has(ir.Virt(2)) || in.Has(ir.Virt(3)) {
+		t.Errorf("live-in = %v has locally-defined regs", in)
+	}
+	if len(li.LiveOut(0)) != 0 {
+		t.Errorf("live-out of exit block = %v, want empty", li.LiveOut(0))
+	}
+}
+
+func TestLoopLiveness(t *testing.T) {
+	// v1 (the accumulator) must be live around the loop; v9 unused.
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  jump b1
+b1:
+  v2 = add v1, v0
+  v1 = move v2
+  v3 = cmp v1, v0
+  branch v3, b1, b2
+b2:
+  ret v1
+}
+`)
+	li := Compute(f)
+	if !li.LiveOut(1).Has(ir.Virt(1)) {
+		t.Errorf("v1 not live out of loop body: %v", li.LiveOut(1))
+	}
+	if !li.LiveIn(1).Has(ir.Virt(1)) || !li.LiveIn(1).Has(ir.Virt(0)) {
+		t.Errorf("live-in(b1) = %v, want v0, v1", li.LiveIn(1))
+	}
+	if !li.LiveOut(0).Has(ir.Virt(1)) {
+		t.Errorf("live-out(b0) = %v, want v1", li.LiveOut(0))
+	}
+}
+
+func TestPhiLiveness(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 1
+  jump b3
+b2:
+  v2 = loadimm 2
+  jump b3
+b3:
+  v3 = phi v1, v2
+  ret v3
+}
+`)
+	li := Compute(f)
+	// φ uses are live out of the matching predecessor only.
+	if !li.LiveOut(1).Has(ir.Virt(1)) || li.LiveOut(1).Has(ir.Virt(2)) {
+		t.Errorf("live-out(b1) = %v, want {v1}", li.LiveOut(1))
+	}
+	if !li.LiveOut(2).Has(ir.Virt(2)) || li.LiveOut(2).Has(ir.Virt(1)) {
+		t.Errorf("live-out(b2) = %v, want {v2}", li.LiveOut(2))
+	}
+	// φ def is not live-in to its own block.
+	if li.LiveIn(3).Has(ir.Virt(3)) {
+		t.Errorf("live-in(b3) = %v contains φ def", li.LiveIn(3))
+	}
+	// And the φ arguments are not live-in to b3 either.
+	if li.LiveIn(3).Has(ir.Virt(1)) || li.LiveIn(3).Has(ir.Virt(2)) {
+		t.Errorf("live-in(b3) = %v contains φ uses", li.LiveIn(3))
+	}
+}
+
+func TestPhysRegLiveness(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  v0 = move r0
+  r0 = move v0
+  call @g r0
+  ret
+}
+`)
+	li := Compute(f)
+	if !li.LiveIn(0).Has(ir.Phys(0)) {
+		t.Errorf("live-in = %v, want r0 (param register read at entry)", li.LiveIn(0))
+	}
+}
+
+func TestForEachInstrReverse(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  v2 = add v0, v1
+  ret v2
+}
+`)
+	li := Compute(f)
+	var liveAfterAdd, liveAfterLoad ir.RegSet
+	li.ForEachInstrReverse(f.Blocks[0], func(idx int, in *ir.Instr, live ir.RegSet) {
+		switch idx {
+		case 1:
+			liveAfterAdd = live.Clone()
+		case 0:
+			liveAfterLoad = live.Clone()
+		}
+	})
+	if !liveAfterAdd.Has(ir.Virt(2)) || liveAfterAdd.Has(ir.Virt(1)) {
+		t.Errorf("live after add = %v, want {v2}", liveAfterAdd)
+	}
+	if !liveAfterLoad.Has(ir.Virt(0)) || !liveAfterLoad.Has(ir.Virt(1)) {
+		t.Errorf("live after loadimm = %v, want v0 and v1", liveAfterLoad)
+	}
+}
+
+func TestLiveAcrossCalls(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 5
+  v2 = call @g v0
+  v3 = add v1, v2
+  ret v3
+}
+`)
+	li := Compute(f)
+	across := li.LiveAcrossCalls(func(ir.BlockID) float64 { return 1 })
+	if across[ir.Virt(1)] != 1 {
+		t.Errorf("v1 across-call weight = %v, want 1", across[ir.Virt(1)])
+	}
+	if _, ok := across[ir.Virt(0)]; ok {
+		t.Errorf("v0 dies at the call but counted as across: %v", across)
+	}
+	if _, ok := across[ir.Virt(2)]; ok {
+		t.Errorf("v2 is defined by the call but counted as across: %v", across)
+	}
+}
+
+func TestLiveAcrossCallsFrequencyWeighted(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 5
+  jump b1
+b1:
+  call @g
+  branch v1, b1, b2
+b2:
+  ret v1
+}
+`)
+	li := Compute(f)
+	across := li.LiveAcrossCalls(func(b ir.BlockID) float64 {
+		if b == 1 {
+			return 10
+		}
+		return 1
+	})
+	if across[ir.Virt(1)] != 10 {
+		t.Errorf("v1 across-call weight = %v, want 10", across[ir.Virt(1)])
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	s := ir.NewRegSet(ir.Virt(1), ir.Virt(2))
+	if !s.Has(ir.Virt(1)) || s.Has(ir.Virt(3)) {
+		t.Error("Has wrong")
+	}
+	s.Add(ir.NoReg)
+	if len(s) != 2 {
+		t.Error("NoReg was added")
+	}
+	c := s.Clone()
+	c.Remove(ir.Virt(1))
+	if !s.Has(ir.Virt(1)) {
+		t.Error("Clone aliases")
+	}
+	if s.Equal(c) {
+		t.Error("Equal wrong after removal")
+	}
+	grew := c.AddAll(s)
+	if !grew || !c.Equal(s) {
+		t.Error("AddAll wrong")
+	}
+	if got := ir.NewRegSet(ir.Virt(2), ir.Phys(0), ir.Virt(1)).String(); got != "{r0, v1, v2}" {
+		t.Errorf("String = %q", got)
+	}
+}

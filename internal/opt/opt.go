@@ -1,0 +1,211 @@
+// Package opt provides the standard SSA-form scalar optimizations the
+// paper's pipeline runs before register allocation ("after performing
+// many advanced optimizations, the SSA-transformed intermediate code
+// reaches our register allocator", §6): constant folding, copy
+// propagation, and dead-code elimination. They operate on functions in
+// SSA form (every virtual register has a single definition) and keep
+// the function in SSA form.
+package opt
+
+import (
+	"prefcolor/internal/ir"
+)
+
+// Optimize runs constant folding, copy propagation, and dead-code
+// elimination to a combined fixed point (bounded). The function must
+// be in SSA form.
+func Optimize(f *ir.Func) {
+	for i := 0; i < 8; i++ {
+		changed := ConstFold(f)
+		changed = CopyProp(f) || changed
+		changed = DeadCode(f) || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// defsOf builds the SSA definition map: register → defining
+// instruction.
+func defsOf(f *ir.Func) map[ir.Reg]*ir.Instr {
+	defs := map[ir.Reg]*ir.Instr{}
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if d := in.Def(); d.IsVirt() {
+			defs[d] = in
+		}
+	})
+	return defs
+}
+
+// ConstFold replaces operations over constant operands with the
+// constant result, and reports whether anything changed. Division by
+// zero folds to zero, matching the reference interpreter.
+func ConstFold(f *ir.Func) bool {
+	defs := defsOf(f)
+	constOf := func(r ir.Reg) (int64, bool) {
+		if !r.IsVirt() {
+			return 0, false
+		}
+		d, ok := defs[r]
+		if !ok || d.Op != ir.LoadImm {
+			return 0, false
+		}
+		return d.Imm, true
+	}
+
+	changed := false
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		var v int64
+		switch {
+		case in.Op.IsArith() && in.Op != ir.Neg && len(in.Uses) == 2:
+			a, okA := constOf(in.Uses[0])
+			b, okB := constOf(in.Uses[1])
+			if !okA || !okB {
+				return
+			}
+			v = foldBin(in.Op, a, b)
+		case in.Op == ir.Neg:
+			a, ok := constOf(in.Uses[0])
+			if !ok {
+				return
+			}
+			v = -a
+		case in.Op == ir.AddImm:
+			a, ok := constOf(in.Uses[0])
+			if !ok {
+				return
+			}
+			v = a + in.Imm
+		default:
+			return
+		}
+		*in = ir.MakeLoadImm(in.Defs[0], v)
+		changed = true
+	})
+	return changed
+}
+
+func foldBin(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (uint64(b) & 63)
+	case ir.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case ir.Cmp:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	panic("opt.foldBin: not a foldable op")
+}
+
+// CopyProp replaces uses of SSA copies with their sources
+// (transitively) and reports whether anything changed. Only copies of
+// virtual registers propagate: physical registers are mutable machine
+// state (clobbered by calls and convention code), so a use must keep
+// reading the copy.
+func CopyProp(f *ir.Func) bool {
+	defs := defsOf(f)
+	resolve := func(r ir.Reg) ir.Reg {
+		for hops := 0; hops < 64; hops++ {
+			if !r.IsVirt() {
+				return r
+			}
+			d, ok := defs[r]
+			if !ok || !d.IsCopy() || !d.Uses[0].IsVirt() {
+				return r
+			}
+			r = d.Uses[0]
+		}
+		return r
+	}
+
+	changed := false
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		for ui, u := range in.Uses {
+			if nu := resolve(u); nu != u {
+				in.Uses[ui] = nu
+				changed = true
+			}
+		}
+	})
+	return changed
+}
+
+// DeadCode removes instructions whose results are never used and that
+// have no side effects, reporting whether anything changed. Roots are
+// stores, spill traffic, calls, terminators, and definitions of
+// physical registers.
+func DeadCode(f *ir.Func) bool {
+	defs := defsOf(f)
+	live := map[ir.Reg]bool{}
+	var work []ir.Reg
+	markUses := func(in *ir.Instr) {
+		for _, u := range in.Uses {
+			if u.IsVirt() && !live[u] {
+				live[u] = true
+				work = append(work, u)
+			}
+		}
+	}
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if hasSideEffects(in) {
+			markUses(in)
+		}
+	})
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		if d, ok := defs[r]; ok {
+			markUses(d)
+		}
+	}
+
+	changed := false
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			d := in.Def()
+			if !hasSideEffects(&in) && d.IsVirt() && !live[d] {
+				changed = true
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return changed
+}
+
+// hasSideEffects reports whether the instruction must stay regardless
+// of whether its result is used.
+func hasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.Store, ir.SpillStore, ir.SpillLoad, ir.Call, ir.Ret, ir.Jump, ir.Branch, ir.Nop:
+		return true
+	}
+	// Defining a physical register is an effect (convention code).
+	if d := in.Def(); d.IsPhys() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package opt_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/opt"
+	"prefcolor/internal/ssa"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+func TestConstFold(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 6
+  v2 = loadimm 7
+  v3 = mul v1, v2
+  v4 = addimm v3, 8
+  v5 = neg v4
+  v6 = add v5, v0
+  ret v6
+}
+`)
+	if !opt.ConstFold(f) {
+		t.Fatal("ConstFold reported no change")
+	}
+	// v3 = 42, v4 = 50, v5 = -50 should all be loadimms now.
+	wantImms := map[int]int64{3: 42, 4: 50, 5: -50}
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if d := in.Def(); d.IsVirt() {
+			if want, ok := wantImms[d.VirtNum()]; ok {
+				if in.Op != ir.LoadImm || in.Imm != want {
+					t.Errorf("%v not folded to loadimm %d: %v", d, want, in)
+				}
+			}
+		}
+	})
+}
+
+func TestConstFoldDivByZero(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  v0 = loadimm 5
+  v1 = loadimm 0
+  v2 = div v0, v1
+  ret v2
+}
+`)
+	opt.ConstFold(f)
+	res, err := ir.Interp(f, nil, ir.InterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0 {
+		t.Errorf("folded 5/0 = %d, want 0 (interpreter semantics)", res.Ret)
+	}
+}
+
+func TestCopyPropChainsAndPhys(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  v0 = move r0
+  v1 = move v0
+  v2 = move v1
+  v3 = add v2, v2
+  ret v3
+}
+`)
+	if !opt.CopyProp(f) {
+		t.Fatal("CopyProp reported no change")
+	}
+	// v3's operands must resolve to v0 (the copy of the physical
+	// register), never to r0 itself.
+	add := f.Blocks[0].Instrs[3]
+	if add.Uses[0] != ir.Virt(0) || add.Uses[1] != ir.Virt(0) {
+		t.Errorf("add uses = %v, want v0, v0", add.Uses)
+	}
+}
+
+func TestDeadCodeKeepsEffects(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  v2 = loadimm 2
+  v3 = add v1, v2
+  store v0, v0, 0
+  call @g
+  r0 = move v0
+  ret r0
+}
+`)
+	if !opt.DeadCode(f) {
+		t.Fatal("DeadCode reported no change")
+	}
+	// v1, v2, v3 are dead; store, call, phys move, ret stay.
+	ops := map[ir.Op]int{}
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) { ops[in.Op]++ })
+	if ops[ir.LoadImm] != 0 || ops[ir.Add] != 0 {
+		t.Errorf("dead arithmetic survived: %v", ops)
+	}
+	if ops[ir.Store] != 1 || ops[ir.Call] != 1 || ops[ir.Move] != 1 || ops[ir.Ret] != 1 {
+		t.Errorf("effectful instructions dropped: %v", ops)
+	}
+}
+
+func TestDeadCodeKeepsLoopCarried(t *testing.T) {
+	// φ-cycle feeding the return must survive.
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  jump b1
+b1:
+  v2 = phi v1, v3
+  v3 = addimm v2, 1
+  v4 = cmp v3, v0
+  branch v4, b1, b2
+b2:
+  ret v3
+}
+`)
+	opt.DeadCode(f)
+	if got := f.CountOp(ir.Phi); got != 1 {
+		t.Errorf("live φ removed (count %d)", got)
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	m := target.UsageModel(16)
+	profile := workload.Profile{
+		Name: "optprop", Funcs: 1, Stmts: 14, MaxDepth: 2,
+		LoopProb: 0.12, IfProb: 0.15, CallProb: 0.08, PairProb: 0.06,
+		StoreProb: 0.12, Vars: 7, Params: 2,
+	}
+	prop := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		raw := workload.GenerateRawFunc(profile, m, seed)
+		g := raw.Clone()
+		ssa.Build(g)
+		opt.Optimize(g)
+		if err := ssa.Verify(g); err != nil {
+			t.Logf("seed %d: SSA broken after Optimize: %v", seed, err)
+			return false
+		}
+		ssa.Destruct(g)
+		g.CompactNops()
+		if err := ir.Validate(g); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		opts := ir.InterpOptions{CallClobbers: m.CallClobbers()}
+		for _, base := range []int64{0, 4} {
+			init, initG := map[ir.Reg]int64{}, map[ir.Reg]int64{}
+			for i, p := range raw.Params {
+				init[p] = base + int64(i)
+				initG[g.Params[i]] = base + int64(i)
+			}
+			a, err := ir.Interp(raw, init, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			b, err := ir.Interp(g, initG, opts)
+			if err != nil {
+				t.Logf("seed %d: interp optimized: %v", seed, err)
+				return false
+			}
+			if a.HasRet != b.HasRet || a.Ret != b.Ret || len(a.Stores) != len(b.Stores) {
+				t.Logf("seed %d: behavior changed", seed)
+				return false
+			}
+			for i := range a.Stores {
+				if a.Stores[i] != b.Stores[i] {
+					t.Logf("seed %d: store %d differs", seed, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeShrinksCode(t *testing.T) {
+	m := target.UsageModel(16)
+	p, err := workload.ByName("javac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := workload.GenerateRawFunc(p, m, 1234)
+	g := raw.Clone()
+	ssa.Build(g)
+	before := g.NumInstrs()
+	opt.Optimize(g)
+	after := g.NumInstrs()
+	if after >= before {
+		t.Errorf("Optimize did not shrink SSA code: %d -> %d", before, after)
+	}
+}

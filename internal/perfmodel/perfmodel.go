@@ -1,0 +1,152 @@
+// Package perfmodel statically estimates the execution cost of
+// allocated (physical-register) code. It is this reproduction's
+// substitute for the paper's Itanium elapsed-time measurements: the
+// estimator charges exactly the Appendix cost constants the paper's
+// own allocator reasons with — loads 2, stores 1 (which makes each
+// caller save/restore pair cost the paper's Save_Restore_Cost of 3),
+// Callee_Save_Cost 2 per used non-volatile register, one cycle for
+// ordinary instructions — weighted by the same 10-per-loop-level
+// frequency heuristic, and it recognizes fused paired loads.
+package perfmodel
+
+import (
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/costmodel"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+// CallOverhead is the fixed per-call cost. Every allocator pays it
+// identically (the paper's Inst_Cost leaves calls out of the model);
+// it is included so absolute estimates stay plausible.
+const CallOverhead = 1
+
+// Result is the estimate for one function.
+type Result struct {
+	// Cycles is the frequency-weighted cost estimate.
+	Cycles float64
+
+	// FusedPairs counts paired loads whose destination registers
+	// satisfied the machine's pair rule (each saves one load).
+	FusedPairs int
+
+	// MissedPairs counts paired-load candidates whose registers
+	// violate the rule.
+	MissedPairs int
+
+	// CalleeSaveRegs is the number of distinct non-volatile registers
+	// the function uses (charged Callee_Save_Cost each).
+	CalleeSaveRegs int
+
+	// LimitViolations counts operands that landed outside their
+	// limited-register-usage subset (each charged its fixup cost);
+	// LimitsHonored counts constrained operands that complied.
+	LimitViolations int
+	LimitsHonored   int
+}
+
+// Estimate computes the cost of f on machine m. The function should
+// be fully allocated (virtual registers are tolerated and charged
+// like physical ones, but pair rules only apply to physical
+// destinations).
+func Estimate(f *ir.Func, m *target.Machine) Result {
+	dom := cfg.NewDomTree(f)
+	loops := cfg.FindLoops(f, dom)
+
+	var res Result
+	nonVol := map[int]bool{}
+	note := func(r ir.Reg) {
+		if r.IsPhys() && r.PhysNum() < m.NumRegs && !m.IsVolatile(r.PhysNum()) {
+			nonVol[r.PhysNum()] = true
+		}
+	}
+
+	for _, b := range f.Blocks {
+		freq := loops.Freq(b.ID)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, d := range in.Defs {
+				note(d)
+			}
+			for _, u := range in.Uses {
+				note(u)
+			}
+			cost := instrCost(in)
+			// Fused paired load: the second load of a legal pair is
+			// free.
+			if in.Op == ir.Load && i > 0 {
+				prev := &b.Instrs[i-1]
+				if isPairSecond(prev, in, m) {
+					if pairLegal(prev, in, m) {
+						res.FusedPairs++
+						cost = 0
+					} else {
+						res.MissedPairs++
+					}
+				}
+			}
+			// Limited register usage: violations pay their fixup.
+			for li := range m.Limits {
+				l := &m.Limits[li]
+				r, ok := l.Applies(in)
+				if !ok || !r.IsPhys() {
+					continue
+				}
+				if l.Allows(r.PhysNum()) {
+					res.LimitsHonored++
+				} else {
+					res.LimitViolations++
+					cost += l.FixupCost
+				}
+			}
+			res.Cycles += cost * freq
+		}
+	}
+	res.CalleeSaveRegs = len(nonVol)
+	res.Cycles += costmodel.CalleeSaveCost * float64(res.CalleeSaveRegs)
+	return res
+}
+
+// instrCost is the per-instruction cycle charge.
+func instrCost(in *ir.Instr) float64 {
+	switch in.Op {
+	case ir.Nop, ir.Phi:
+		return 0
+	case ir.Load, ir.SpillLoad:
+		return costmodel.LoadCost
+	case ir.Store, ir.SpillStore:
+		return costmodel.StoreCost
+	case ir.Call:
+		return CallOverhead
+	default:
+		return 1
+	}
+}
+
+// isPairSecond reports whether (a, b) are adjacent loads off one base
+// with offsets one word apart — a paired-load candidate.
+func isPairSecond(a, b *ir.Instr, m *target.Machine) bool {
+	if m.PairRule == target.PairNone {
+		return false
+	}
+	if a.Op != ir.Load || b.Op != ir.Load {
+		return false
+	}
+	if a.Uses[0] != b.Uses[0] || b.Imm-a.Imm != m.WordSize {
+		return false
+	}
+	if a.Defs[0] == a.Uses[0] || a.Defs[0] == b.Defs[0] {
+		return false
+	}
+	return true
+}
+
+// pairLegal reports whether the candidate's destination registers
+// satisfy the machine's pair rule.
+func pairLegal(a, b *ir.Instr, m *target.Machine) bool {
+	d1, d2 := a.Defs[0], b.Defs[0]
+	if !d1.IsPhys() || !d2.IsPhys() {
+		return false
+	}
+	return m.PairOK(d1.PhysNum(), d2.PhysNum())
+}

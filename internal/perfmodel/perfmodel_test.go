@@ -1,0 +1,150 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+func TestEstimateStraightLine(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  r0 = loadimm 1
+  r1 = add r0, r0
+  store r1, r0, 0
+  ret
+}
+`)
+	m := target.UsageModel(16)
+	res := Estimate(f, m)
+	// loadimm 1 + add 1 + store 1 + ret 1 = 4, no non-volatile regs.
+	if res.Cycles != 4 {
+		t.Errorf("Cycles = %v, want 4", res.Cycles)
+	}
+	if res.CalleeSaveRegs != 0 {
+		t.Errorf("CalleeSaveRegs = %d, want 0", res.CalleeSaveRegs)
+	}
+}
+
+func TestEstimateLoopWeighting(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  r0 = loadimm 1
+  jump b1
+b1:
+  r1 = add r0, r0
+  branch r1, b1, b2
+b2:
+  ret
+}
+`)
+	res := Estimate(f, target.UsageModel(16))
+	// b0: 1+1 = 2; b1: (1+1)×10 = 20; b2: 1 → 23.
+	if res.Cycles != 25-2 {
+		t.Errorf("Cycles = %v, want 23", res.Cycles)
+	}
+}
+
+func TestEstimateCalleeSaves(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  r8 = loadimm 1
+  r9 = add r8, r8
+  ret r9
+}
+`)
+	m := target.UsageModel(16) // r8..r15 non-volatile
+	res := Estimate(f, m)
+	if res.CalleeSaveRegs != 2 {
+		t.Errorf("CalleeSaveRegs = %d, want 2", res.CalleeSaveRegs)
+	}
+	// 1 + 1 + 1 = 3 plus 2×2 callee save = 7.
+	if res.Cycles != 7 {
+		t.Errorf("Cycles = %v, want 7", res.Cycles)
+	}
+}
+
+func TestEstimateCallerSavePairCostsThree(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  spillstore r0, 0
+  call @g
+  r0 = spillload 0
+  ret
+}
+`)
+	res := Estimate(f, target.UsageModel(16))
+	// store 1 + call 1 + load 2 + ret 1 = 5; the save/restore pair
+	// contributes exactly Save_Restore_Cost = 3.
+	if res.Cycles != 5 {
+		t.Errorf("Cycles = %v, want 5", res.Cycles)
+	}
+}
+
+func TestEstimateFusedPair(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  r2 = load r0, 0
+  r3 = load r0, 4
+  r4 = add r2, r3
+  ret r4
+}
+`)
+	m := target.UsageModel(16)
+	res := Estimate(f, m)
+	if res.FusedPairs != 1 || res.MissedPairs != 0 {
+		t.Fatalf("fused/missed = %d/%d, want 1/0", res.FusedPairs, res.MissedPairs)
+	}
+	// First load 2, second free, add 1, ret 1 = 4.
+	if res.Cycles != 4 {
+		t.Errorf("Cycles = %v, want 4", res.Cycles)
+	}
+}
+
+func TestEstimateMissedPair(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  r2 = load r0, 0
+  r4 = load r0, 4
+  r5 = add r2, r4
+  ret r5
+}
+`)
+	m := target.UsageModel(16) // r2 and r4 share parity: pair illegal
+	res := Estimate(f, m)
+	if res.FusedPairs != 0 || res.MissedPairs != 1 {
+		t.Fatalf("fused/missed = %d/%d, want 0/1", res.FusedPairs, res.MissedPairs)
+	}
+	// Both loads cost 2 each: 2+2+1+1 = 6.
+	if res.Cycles != 6 {
+		t.Errorf("Cycles = %v, want 6", res.Cycles)
+	}
+}
+
+func TestEstimateNoPairsOnPairlessMachine(t *testing.T) {
+	f := ir.MustParse(`
+func f() {
+b0:
+  r2 = load r0, 0
+  r3 = load r0, 4
+  r4 = add r2, r3
+  ret r4
+}
+`)
+	m := target.UsageModel(16)
+	m.PairRule = target.PairNone
+	res := Estimate(f, m)
+	if res.FusedPairs != 0 || res.MissedPairs != 0 {
+		t.Errorf("pairless machine fused/missed = %d/%d", res.FusedPairs, res.MissedPairs)
+	}
+	if res.Cycles != 6 {
+		t.Errorf("Cycles = %v, want 6", res.Cycles)
+	}
+}

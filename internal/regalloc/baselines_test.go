@@ -1,0 +1,293 @@
+package regalloc_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/briggs"
+	"prefcolor/internal/regalloc/callcost"
+	"prefcolor/internal/regalloc/chaitin"
+	"prefcolor/internal/regalloc/iterated"
+	"prefcolor/internal/regalloc/optimistic"
+	"prefcolor/internal/regalloc/priority"
+	"prefcolor/internal/target"
+)
+
+func allAllocators() []regalloc.Allocator {
+	return []regalloc.Allocator{
+		chaitin.New(),
+		briggs.New(),
+		briggs.NewConservative(),
+		iterated.New(),
+		optimistic.New(),
+		priority.New(),
+		callcost.New(),
+	}
+}
+
+var testPrograms = map[string]string{
+	"straightline": `
+func f(v0, v1) {
+b0:
+  v2 = add v0, v1
+  v3 = mul v2, v0
+  v4 = xor v3, v1
+  ret v4
+}
+`,
+	"copychain": `
+func f(v0) {
+b0:
+  v1 = move v0
+  v2 = move v1
+  v3 = move v2
+  v4 = add v3, v3
+  ret v4
+}
+`,
+	"diamond": `
+func f(v0) {
+b0:
+  v1 = loadimm 3
+  branch v0, b1, b2
+b1:
+  v2 = add v1, v0
+  jump b3
+b2:
+  v2 = sub v1, v0
+  jump b3
+b3:
+  ret v2
+}
+`,
+	"loop": `
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  v2 = loadimm 0
+  jump b1
+b1:
+  v3 = cmp v2, v0
+  branch v3, b2, b3
+b2:
+  v1 = add v1, v2
+  v4 = loadimm 1
+  v2 = add v2, v4
+  jump b1
+b3:
+  ret v1
+}
+`,
+	"pressure": `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = add v0, v1
+  v3 = add v0, v2
+  v4 = add v0, v3
+  v5 = add v0, v4
+  v6 = add v0, v5
+  v7 = add v1, v2
+  v8 = add v7, v3
+  v9 = add v8, v4
+  v10 = add v9, v5
+  v11 = add v10, v6
+  v12 = add v11, v0
+  ret v12
+}
+`,
+	"calls": `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = call @g v0
+  v3 = add v1, v2
+  v4 = call @h v3
+  v5 = add v1, v4
+  ret v5
+}
+`,
+	"conventions": `
+func f() {
+b0:
+  v0 = move r0
+  v1 = move r1
+  v2 = mul v0, v1
+  r0 = move v2
+  v3 = call @g r0
+  v4 = add v3, v1
+  r0 = move v4
+  ret r0
+}
+`,
+	"copyloop": `
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  jump b1
+b1:
+  v2 = move v1
+  v3 = add v2, v0
+  v1 = move v3
+  v4 = cmp v1, v0
+  branch v4, b1, b2
+b2:
+  ret v1
+}
+`,
+}
+
+func initsFor(f *ir.Func, name string) []map[ir.Reg]int64 {
+	if name == "conventions" {
+		return []map[ir.Reg]int64{
+			{ir.Phys(0): 6, ir.Phys(1): 7},
+			{ir.Phys(0): -3, ir.Phys(1): 0},
+		}
+	}
+	var out []map[ir.Reg]int64
+	for _, base := range []int64{0, 1, 5, -4} {
+		init := map[ir.Reg]int64{}
+		for i, p := range f.Params {
+			init[p] = base + int64(i)
+		}
+		out = append(out, init)
+	}
+	return out
+}
+
+// TestAllAllocatorsCorrect is the central semantic matrix: every
+// allocator on every program at several machine sizes must produce
+// physical-register code observably equivalent to the input.
+func TestAllAllocatorsCorrect(t *testing.T) {
+	for _, k := range []int{4, 8, 16} {
+		m := target.UsageModel(k)
+		for name, src := range testPrograms {
+			f := ir.MustParse(src)
+			for _, alloc := range allAllocators() {
+				out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+				if err != nil {
+					t.Errorf("k=%d %s/%s: %v", k, name, alloc.Name(), err)
+					continue
+				}
+				noVirtRegs(t, out)
+				checkEquiv(t, m, f, out, initsFor(f, name))
+				if stats.MovesBefore != stats.MovesEliminated+stats.MovesRemaining {
+					t.Errorf("k=%d %s/%s: move identity broken: %+v", k, name, alloc.Name(), stats)
+				}
+			}
+		}
+	}
+}
+
+func TestCoalescersEliminateCopyChain(t *testing.T) {
+	f := ir.MustParse(testPrograms["copychain"])
+	m := target.UsageModel(16)
+	for _, alloc := range allAllocators() {
+		_, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		if stats.MovesRemaining != 0 {
+			t.Errorf("%s left %d moves in a trivial copy chain", alloc.Name(), stats.MovesRemaining)
+		}
+	}
+}
+
+func TestOptimisticSpillsNoMoreThanChaitin(t *testing.T) {
+	f := ir.MustParse(testPrograms["pressure"])
+	m := target.UsageModel(4)
+	_, base, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("chaitin: %v", err)
+	}
+	for _, alloc := range []regalloc.Allocator{briggs.New(), optimistic.New()} {
+		_, s, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		if s.SpillInstrs() > base.SpillInstrs() {
+			t.Errorf("%s spilled %d instrs, chaitin only %d (optimism lost)",
+				alloc.Name(), s.SpillInstrs(), base.SpillInstrs())
+		}
+	}
+}
+
+func TestCallCostPrefersNonVolatileAcrossCalls(t *testing.T) {
+	// v1 crosses two calls; call-cost allocation should place it in a
+	// non-volatile register, avoiding caller saves entirely.
+	src := `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  call @g
+  call @h
+  v2 = add v1, v1
+  ret v2
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	_, stats, err := regalloc.Run(f, m, callcost.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.CallerSaveStores != 0 {
+		t.Errorf("callcost used a volatile register for a call-crossing web (%d saves)", stats.CallerSaveStores)
+	}
+	if stats.UsedNonVolatile == 0 {
+		t.Error("callcost used no non-volatile register")
+	}
+}
+
+func TestCallCostAvoidsNonVolatileWithoutCalls(t *testing.T) {
+	// No calls anywhere: every web should sit in volatile registers
+	// (non-volatile residence costs Callee_Save for no benefit).
+	f := ir.MustParse(testPrograms["straightline"])
+	m := target.UsageModel(16)
+	_, stats, err := regalloc.Run(f, m, callcost.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.UsedNonVolatile != 0 {
+		t.Errorf("callcost used %d non-volatile registers in call-free code", stats.UsedNonVolatile)
+	}
+}
+
+func TestIteratedCoalescesLoopCopies(t *testing.T) {
+	f := ir.MustParse(testPrograms["copyloop"])
+	m := target.UsageModel(16)
+	_, stats, err := regalloc.Run(f, m, iterated.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.MovesRemaining != 0 {
+		t.Errorf("iterated left %d loop copies", stats.MovesRemaining)
+	}
+}
+
+func TestOptimisticUndoUnderPressure(t *testing.T) {
+	// Aggressive coalescing merges the copy web into a high-pressure
+	// clique; optimistic coalescing must recover by splitting rather
+	// than producing more spills than Chaitin.
+	src := `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = move v1
+  v3 = add v0, v1
+  v4 = add v0, v3
+  v5 = add v3, v4
+  v6 = add v2, v5
+  v7 = add v6, v0
+  ret v7
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(4)
+	out, _, err := regalloc.Run(f, m, optimistic.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{{f.Params[0]: 2}, {f.Params[0]: 9}})
+}

@@ -1,0 +1,561 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+// Options configures the allocation driver.
+type Options struct {
+	// MaxRounds bounds the spill-and-retry loop; 0 means 16.
+	MaxRounds int
+
+	// SkipValidate turns off the per-round CheckResult pass.
+	SkipValidate bool
+
+	// Rematerialize recomputes spilled constants at their uses
+	// (Briggs-style rematerialization) instead of storing and
+	// reloading them: a spilled web whose every definition is the
+	// same loadimm gets a fresh loadimm before each use and no spill
+	// slot at all.
+	Rematerialize bool
+
+	// BlockLocalSpills replaces spill-everywhere with block-granular
+	// spill code: a spilled web is loaded at most once per basic
+	// block, kept in a block-local temporary, and stored back once at
+	// block exit — the standard improvement over store-after-every-
+	// def/load-before-every-use. A web that came from such a
+	// temporary falls back to spill-everywhere, which guarantees
+	// termination.
+	BlockLocalSpills bool
+}
+
+// Stats summarizes one complete allocation, the raw numbers behind
+// the paper's figures.
+type Stats struct {
+	Allocator string
+	Rounds    int
+
+	// MovesBefore counts copies in the input; MovesRemaining counts
+	// copies surviving in the final code. Their difference is the
+	// paper's "moves eliminated by coalescing" (Figure 9(a)/(c)).
+	MovesBefore     int
+	MovesRemaining  int
+	MovesEliminated int
+
+	// SpillLoads/SpillStores count allocator-inserted spill code
+	// (Figure 9(b)/(d)). Caller-save traffic is tallied separately.
+	SpillLoads  int
+	SpillStores int
+	SpilledWebs int
+
+	// Remats counts spilled webs handled by rematerialization
+	// (constants recomputed at uses rather than reloaded).
+	Remats int
+
+	CallerSaveStores int
+	CallerSaveLoads  int
+
+	UsedRegs        int
+	UsedNonVolatile int
+}
+
+// SpillInstrs returns the total spill-code count the paper reports.
+func (s *Stats) SpillInstrs() int { return s.SpillLoads + s.SpillStores }
+
+const callerSaveTag = "csave"
+
+// Run allocates registers for input with the given allocator,
+// iterating spill rounds to completion, and returns the rewritten
+// function (virtual registers replaced by physical ones, coalesced
+// copies deleted, spill and caller-save code inserted) plus statistics.
+// The input function is not modified.
+func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options) (*ir.Func, *Stats, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 16
+	}
+	f := input.Clone()
+	stats := &Stats{
+		Allocator:   alloc.Name(),
+		MovesBefore: f.CountOp(ir.Move),
+	}
+
+	tempRegs := map[ir.Reg]bool{}
+	blockLocalRegs := map[ir.Reg]bool{}
+	for round := 1; round <= maxRounds; round++ {
+		info, err := ig.Renumber(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		spillTemp := make([]bool, info.NumWebs)
+		blockLocal := make([]bool, info.NumWebs)
+		for w, origins := range info.Origins {
+			for _, o := range origins {
+				if tempRegs[o] {
+					spillTemp[w] = true
+				}
+				if blockLocalRegs[o] {
+					blockLocal[w] = true
+				}
+			}
+		}
+		ctx, err := NewContext(f, machine, spillTemp)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := alloc.Allocate(ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("regalloc: %s round %d: %w", alloc.Name(), round, err)
+		}
+		if !opts.SkipValidate {
+			if err := CheckResult(ctx, res); err != nil {
+				return nil, nil, fmt.Errorf("regalloc: %s round %d: %w", alloc.Name(), round, err)
+			}
+		}
+		stats.Rounds = round
+		if len(res.Spilled) == 0 {
+			out, err := rewrite(ctx, res, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return out, stats, nil
+		}
+		webs := expandSpills(ctx.Graph, res.Spilled)
+		stats.SpilledWebs += len(webs)
+		// Re-key the carried-over marker sets to this round's naming:
+		// virtual-register numbers are reassigned by every renumber.
+		tempRegs = map[ir.Reg]bool{}
+		for w, isTemp := range spillTemp {
+			if isTemp {
+				tempRegs[ir.Virt(w)] = true
+			}
+		}
+		blockLocalRegs = map[ir.Reg]bool{}
+		for w, isLocal := range blockLocal {
+			if isLocal {
+				blockLocalRegs[ir.Virt(w)] = true
+			}
+		}
+		if opts.Rematerialize {
+			var kept []int
+			for _, w := range webs {
+				if imm, ok := rematerializable(f, w); ok {
+					stats.Remats++
+					for _, t := range rematerialize(f, w, imm) {
+						tempRegs[t] = true
+					}
+				} else {
+					kept = append(kept, w)
+				}
+			}
+			webs = kept
+		}
+		if opts.BlockLocalSpills {
+			var everywhere []int
+			for _, w := range webs {
+				if blockLocal[w] {
+					everywhere = append(everywhere, w)
+					continue
+				}
+				for _, t := range insertBlockLocalSpill(f, w) {
+					blockLocalRegs[t] = true
+				}
+			}
+			webs = everywhere
+		}
+		for _, t := range insertSpillCode(f, webs) {
+			tempRegs[t] = true
+		}
+	}
+	return nil, nil, fmt.Errorf("regalloc: %s did not converge in %d rounds", alloc.Name(), maxRounds)
+}
+
+// insertBlockLocalSpill splits spilled web w at block granularity:
+// each block that touches w loads it at most once into a fresh
+// block-local temporary and stores it back once before the block's
+// terminator if it wrote it. Parameters are stored at entry first.
+// It returns the block-local temporaries.
+func insertBlockLocalSpill(f *ir.Func, w int) []ir.Reg {
+	r := ir.Virt(w)
+	slot := f.NewSpillSlot()
+	var temps []ir.Reg
+
+	isParam := false
+	for _, p := range f.Params {
+		if p == r {
+			isParam = true
+		}
+	}
+
+	for _, b := range f.Blocks {
+		touches := false
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Def() == r {
+				touches = true
+			}
+			for _, u := range in.Uses {
+				if u == r {
+					touches = true
+				}
+			}
+		}
+		entryParam := b.ID == 0 && isParam
+		if !touches && !entryParam {
+			continue
+		}
+
+		t := f.NewReg()
+		temps = append(temps, t)
+		loaded, dirty := false, false
+		out := make([]ir.Instr, 0, len(b.Instrs)+3)
+		if entryParam {
+			// The incoming value arrives in the web's register;
+			// capture it and mark memory stale until block exit.
+			out = append(out, ir.MakeMove(t, r))
+			loaded, dirty = true, true
+		}
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			usesW := false
+			for _, u := range in.Uses {
+				if u == r {
+					usesW = true
+				}
+			}
+			if usesW {
+				if !loaded {
+					out = append(out, ir.Instr{Op: ir.SpillLoad, Defs: []ir.Reg{t}, Imm: slot})
+					loaded = true
+				}
+				for ui, u := range in.Uses {
+					if u == r {
+						in.Uses[ui] = t
+					}
+				}
+			}
+			// Calls end the temp's region: flush a dirty value before
+			// the call and start a fresh temporary after it, so
+			// block-local temporaries never cross call sites (which
+			// would pin them against the volatile registers).
+			if in.Op == ir.Call {
+				if dirty {
+					out = append(out, ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{t}, Imm: slot})
+					dirty = false
+				}
+				defsW := in.Def() == r
+				if defsW || loaded {
+					t = f.NewReg()
+					temps = append(temps, t)
+				}
+				loaded = false
+				if defsW {
+					in.Defs[0] = t
+					loaded, dirty = true, true
+				}
+				out = append(out, in)
+				continue
+			}
+			if in.Def() == r {
+				in.Defs[0] = t
+				loaded, dirty = true, true
+			}
+			out = append(out, in)
+		}
+		if dirty {
+			store := ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{t}, Imm: slot}
+			n := len(out)
+			if n > 0 && out[n-1].Op.IsTerminator() {
+				out = append(out[:n-1], store, out[n-1])
+			} else {
+				out = append(out, store)
+			}
+		}
+		b.Instrs = out
+	}
+	return temps
+}
+
+// rematerializable reports whether web w's definitions are all the
+// same constant load (and it is not a parameter, which has an
+// implicit definition at entry).
+func rematerializable(f *ir.Func, w int) (int64, bool) {
+	r := ir.Virt(w)
+	for _, p := range f.Params {
+		if p == r {
+			return 0, false
+		}
+	}
+	var imm int64
+	found := false
+	ok := true
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.Def() != r {
+			return
+		}
+		if in.Op != ir.LoadImm {
+			ok = false
+			return
+		}
+		if found && in.Imm != imm {
+			ok = false
+			return
+		}
+		imm, found = in.Imm, true
+	})
+	return imm, ok && found
+}
+
+// rematerialize replaces every use of web w with a freshly loaded
+// constant, dropping the now-dead original definitions, and returns
+// the fresh single-use registers (which the driver marks unspillable).
+func rematerialize(f *ir.Func, w int, imm int64) []ir.Reg {
+	r := ir.Virt(w)
+	var temps []ir.Reg
+	for _, b := range f.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Def() == r && in.Op == ir.LoadImm {
+				continue // dead original definition
+			}
+			usesW := false
+			for _, u := range in.Uses {
+				if u == r {
+					usesW = true
+				}
+			}
+			if usesW {
+				t := f.NewReg()
+				temps = append(temps, t)
+				out = append(out, ir.MakeLoadImm(t, imm))
+				for ui, u := range in.Uses {
+					if u == r {
+						in.Uses[ui] = t
+					}
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return temps
+}
+
+// expandSpills resolves spilled node ids to the set of web indices to
+// spill: a coalescing representative expands to all of its members.
+func expandSpills(g *ig.Graph, spilled []ig.NodeID) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(n ig.NodeID) {
+		if g.IsPhys(n) {
+			return
+		}
+		w := int(n) - g.NumPhys()
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for _, s := range spilled {
+		if ms := g.Members(s); len(ms) > 0 {
+			for _, m := range ms {
+				add(m)
+			}
+		} else {
+			add(s)
+		}
+	}
+	return out
+}
+
+// insertSpillCode splits each spilled web: a store follows every
+// definition (and function entry, for parameters), and every use reads
+// a fresh temporary loaded just before it. It returns the fresh
+// temporaries plus the spilled webs themselves (whose remaining live
+// ranges are now tiny), all of which must never be spilled again.
+func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
+	slot := map[ir.Reg]int64{}
+	for _, w := range webs {
+		slot[ir.Virt(w)] = f.NewSpillSlot()
+	}
+	var temps []ir.Reg
+	for r := range slot {
+		temps = append(temps, r)
+	}
+
+	for _, b := range f.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		if b.ID == 0 {
+			for _, p := range f.Params {
+				if s, ok := slot[p]; ok {
+					out = append(out, ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{p}, Imm: s})
+				}
+			}
+		}
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			replaced := map[ir.Reg]ir.Reg{}
+			for ui, u := range in.Uses {
+				s, ok := slot[u]
+				if !ok {
+					continue
+				}
+				t, dup := replaced[u]
+				if !dup {
+					t = f.NewReg()
+					replaced[u] = t
+					temps = append(temps, t)
+					out = append(out, ir.Instr{Op: ir.SpillLoad, Defs: []ir.Reg{t}, Imm: s})
+				}
+				in.Uses[ui] = t
+			}
+			out = append(out, in)
+			if d := in.Def(); d.Valid() {
+				if s, ok := slot[d]; ok {
+					out = append(out, ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{d}, Imm: s})
+				}
+			}
+		}
+		b.Instrs = out
+	}
+	return temps
+}
+
+// rewrite maps the colored function onto physical registers: caller
+// saves are inserted around calls for volatile-resident values, web
+// registers are replaced by their assigned physical registers, and
+// copies made redundant by the assignment are deleted.
+func rewrite(ctx *Context, res *Result, stats *Stats) (*ir.Func, error) {
+	f, g, m := ctx.F, ctx.Graph, ctx.Machine
+	colors := make([]int, f.NumVirt)
+	for w := 0; w < f.NumVirt; w++ {
+		c, ok := res.ColorOf(g, g.NodeOf(ir.Virt(w)))
+		if !ok {
+			return nil, fmt.Errorf("regalloc: web v%d has no color at rewrite", w)
+		}
+		colors[w] = c
+	}
+
+	// Caller-save insertion: find, per call, the webs assigned
+	// volatile registers that live across it.
+	type savePoint struct {
+		idx  int
+		webs []int
+	}
+	saves := map[ir.BlockID][]savePoint{}
+	for _, b := range f.Blocks {
+		ctx.Live.ForEachInstrReverse(b, func(i int, in *ir.Instr, liveAfter ir.RegSet) {
+			if in.Op != ir.Call {
+				return
+			}
+			var webs []int
+			for r := range liveAfter {
+				if !r.IsVirt() || r == in.Def() {
+					continue
+				}
+				if m.IsVolatile(colors[r.VirtNum()]) {
+					webs = append(webs, r.VirtNum())
+				}
+			}
+			if len(webs) > 0 {
+				sortInts(webs)
+				saves[b.ID] = append(saves[b.ID], savePoint{idx: i, webs: webs})
+			}
+		})
+	}
+	saveSlot := map[int]int64{}
+	for _, b := range f.Blocks {
+		pts := saves[b.ID]
+		if len(pts) == 0 {
+			continue
+		}
+		byIdx := map[int][]int{}
+		for _, p := range pts {
+			byIdx[p.idx] = p.webs
+		}
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for i := range b.Instrs {
+			webs := byIdx[i]
+			for _, w := range webs {
+				s, ok := saveSlot[w]
+				if !ok {
+					s = f.NewSpillSlot()
+					saveSlot[w] = s
+				}
+				out = append(out, ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{ir.Virt(w)}, Imm: s, Sym: callerSaveTag})
+				stats.CallerSaveStores++
+			}
+			out = append(out, b.Instrs[i])
+			for _, w := range webs {
+				out = append(out, ir.Instr{Op: ir.SpillLoad, Defs: []ir.Reg{ir.Virt(w)}, Imm: saveSlot[w], Sym: callerSaveTag})
+				stats.CallerSaveLoads++
+			}
+		}
+		b.Instrs = out
+	}
+
+	// Map webs to physical registers.
+	usedRegs := map[int]bool{}
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		for di, d := range in.Defs {
+			if d.IsVirt() {
+				in.Defs[di] = ir.Phys(colors[d.VirtNum()])
+				usedRegs[colors[d.VirtNum()]] = true
+			}
+		}
+		for ui, u := range in.Uses {
+			if u.IsVirt() {
+				in.Uses[ui] = ir.Phys(colors[u.VirtNum()])
+				usedRegs[colors[u.VirtNum()]] = true
+			}
+		}
+	})
+	for i, p := range f.Params {
+		if p.IsVirt() {
+			f.Params[i] = ir.Phys(colors[p.VirtNum()])
+		}
+	}
+
+	// Delete copies the assignment made redundant.
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.IsCopy() && in.Defs[0] == in.Uses[0] {
+			*in = ir.Instr{Op: ir.Nop}
+		}
+	})
+	f.CompactNops()
+	f.NumVirt = 0
+
+	stats.MovesRemaining = f.CountOp(ir.Move)
+	stats.MovesEliminated = stats.MovesBefore - stats.MovesRemaining
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		switch {
+		case in.Op == ir.SpillLoad && in.Sym != callerSaveTag:
+			stats.SpillLoads++
+		case in.Op == ir.SpillStore && in.Sym != callerSaveTag:
+			stats.SpillStores++
+		}
+	})
+	for r := range usedRegs {
+		stats.UsedRegs++
+		if !m.IsVolatile(r) {
+			stats.UsedNonVolatile++
+		}
+	}
+	if err := ir.Validate(f); err != nil {
+		return nil, fmt.Errorf("regalloc: rewrite produced invalid IR: %w", err)
+	}
+	return f, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package iterated implements George & Appel's iterated register
+// coalescing (the paper's Figure 2(a)): simplification removes only
+// non-copy-related nodes, conservative coalescing runs interleaved
+// with simplification, blocked copies are frozen one at a time, and
+// remaining significant-degree nodes are removed optimistically.
+package iterated
+
+import (
+	"prefcolor/internal/ig"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/briggs"
+)
+
+// Allocator is the George & Appel 1996 algorithm.
+type Allocator struct{}
+
+// New returns the allocator.
+func New() *Allocator { return &Allocator{} }
+
+// Name implements regalloc.Allocator.
+func (*Allocator) Name() string { return "iterated" }
+
+// Allocate implements regalloc.Allocator.
+func (*Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
+	g, k := ctx.Graph, ctx.K()
+	frozen := map[int]bool{}
+
+	moveRelated := func(n ig.NodeID) bool {
+		for _, mi := range g.NodeMoves(n) {
+			if frozen[mi] {
+				continue
+			}
+			m := g.Moves()[mi]
+			x, y := g.Find(m.X), g.Find(m.Y)
+			if x == y {
+				continue
+			}
+			other := x
+			if x == n {
+				other = y
+			}
+			if g.Removed(other) {
+				continue
+			}
+			if !g.Interferes(n, other) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var stack []ig.NodeID
+	for {
+		// Simplify: remove low-degree non-move-related nodes.
+		if n := pickSimplify(g, k, moveRelated); n >= 0 {
+			g.Remove(n)
+			stack = append(stack, n)
+			continue
+		}
+		// Coalesce conservatively.
+		if coalesceOne(g, k, frozen) {
+			continue
+		}
+		// Freeze: give up on the moves of one low-degree
+		// move-related node.
+		if n := pickFreeze(g, k, moveRelated); n >= 0 {
+			for _, mi := range g.NodeMoves(n) {
+				frozen[mi] = true
+			}
+			continue
+		}
+		// Potential spill, optimistically pushed.
+		cand := regalloc.SpillCandidate(g)
+		if cand < 0 {
+			break
+		}
+		for _, mi := range g.NodeMoves(cand) {
+			frozen[mi] = true
+		}
+		g.Remove(cand)
+		stack = append(stack, cand)
+	}
+
+	return briggs.SelectBiased(g, k, stack)
+}
+
+func pickSimplify(g *ig.Graph, k int, moveRelated func(ig.NodeID) bool) ig.NodeID {
+	for _, n := range g.ActiveNodes() {
+		if g.Degree(n) < k && !moveRelated(n) {
+			return n
+		}
+	}
+	return -1
+}
+
+func pickFreeze(g *ig.Graph, k int, moveRelated func(ig.NodeID) bool) ig.NodeID {
+	for _, n := range g.ActiveNodes() {
+		if g.Degree(n) < k && moveRelated(n) {
+			return n
+		}
+	}
+	return -1
+}
+
+// coalesceOne performs at most one conservative coalesce and reports
+// whether it did.
+func coalesceOne(g *ig.Graph, k int, frozen map[int]bool) bool {
+	for mi, m := range g.Moves() {
+		if frozen[mi] {
+			continue
+		}
+		x, y := g.Find(m.X), g.Find(m.Y)
+		if x == y || g.Interferes(x, y) {
+			continue
+		}
+		if g.IsPhys(x) && g.IsPhys(y) {
+			continue
+		}
+		if g.Removed(x) || g.Removed(y) {
+			continue
+		}
+		ok := false
+		switch {
+		case g.IsPhys(x):
+			ok = regalloc.GeorgeConservative(g, y, x, k)
+		case g.IsPhys(y):
+			ok = regalloc.GeorgeConservative(g, x, y, k)
+		default:
+			ok = regalloc.BriggsConservative(g, x, y, k)
+		}
+		if ok {
+			g.Coalesce(x, y)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package iterated_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/iterated"
+	"prefcolor/internal/target"
+)
+
+func ctxFor(t *testing.T, src string, k int) *regalloc.Context {
+	t.Helper()
+	f := ir.MustParse(src)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := regalloc.NewContext(f, target.UsageModel(k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// Iterated coalescing must merge an unconstrained copy (same register
+// for both ends) without spilling anything.
+func TestIteratedCoalescesSafeCopy(t *testing.T) {
+	ctx := ctxFor(t, `
+func f(v0) {
+b0:
+  v1 = move v0
+  v2 = add v1, v1
+  ret v2
+}
+`, 8)
+	res, err := iterated.New().Allocate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.CheckResult(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	g := ctx.Graph
+	c0, _ := res.ColorOf(g, g.NodeOf(ir.Virt(0)))
+	c1, _ := res.ColorOf(g, g.NodeOf(ir.Virt(1)))
+	if c0 != c1 {
+		t.Errorf("safe copy not coalesced: r%d vs r%d", c0, c1)
+	}
+}
+
+// A constrained copy (interfering endpoints) must be frozen, not
+// coalesced, and the allocation must stay valid.
+func TestIteratedFreezesConstrainedCopy(t *testing.T) {
+	ctx := ctxFor(t, `
+func f(v0) {
+b0:
+  v1 = move v0
+  v2 = add v1, v0
+  v0 = add v2, v2
+  v3 = add v0, v1
+  ret v3
+}
+`, 8)
+	res, err := iterated.New().Allocate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.CheckResult(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Errorf("spilled %v with 8 registers", res.Spilled)
+	}
+}

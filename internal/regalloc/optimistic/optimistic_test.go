@@ -1,0 +1,97 @@
+package optimistic_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/optimistic"
+	"prefcolor/internal/target"
+)
+
+func ctxFor(t *testing.T, src string, k int) *regalloc.Context {
+	t.Helper()
+	f := ir.MustParse(src)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := regalloc.NewContext(f, target.UsageModel(k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestUndoSplitsCoalescedNode: aggressive coalescing merges a copy
+// pair whose union is uncolorable; the undo phase must split it and
+// color the members separately instead of spilling both.
+func TestUndoSplitsCoalescedNode(t *testing.T) {
+	// v1 = move v2 merges v1 and v2. The merged node interferes with
+	// everything at K=4; split, each member fits.
+	src := `
+func f(v0) {
+b0:
+  v2 = add v0, v0
+  v3 = add v0, v2
+  v4 = add v0, v3
+  v5 = add v0, v4
+  v6 = add v3, v4
+  v1 = move v2
+  v7 = add v6, v5
+  v8 = add v7, v2
+  v9 = add v8, v1
+  ret v9
+}
+`
+	ctx := ctxFor(t, src, 4)
+	res, err := optimistic.New().Allocate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.CheckResult(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	// The algorithm may spill under this pressure, but it must not
+	// spill more webs than Chaitin-style pessimism would: at minimum
+	// the copy pair must not *both* be spilled while registers exist
+	// for one of them.
+	spilled := map[ig.NodeID]bool{}
+	for _, s := range res.Spilled {
+		spilled[s] = true
+	}
+	g := ctx.Graph
+	n1, n2 := g.NodeOf(ir.Virt(1)), g.NodeOf(ir.Virt(2))
+	if spilled[n1] && spilled[n2] {
+		t.Errorf("both copy endpoints spilled; undo should have saved one")
+	}
+}
+
+// TestOptimisticColorsMemberGranularity: when a merged node splits,
+// the member colors must respect the ORIGINAL interference edges.
+func TestOptimisticValidityUnderPressure(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = move v1
+  v3 = add v0, v1
+  v4 = add v0, v3
+  v5 = add v3, v4
+  v6 = add v2, v5
+  v7 = add v6, v0
+  v8 = add v7, v2
+  ret v8
+}
+`
+	for _, k := range []int{4, 6, 8} {
+		ctx := ctxFor(t, src, k)
+		res, err := optimistic.New().Allocate(ctx)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := regalloc.CheckResult(ctx, res); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package priority_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/priority"
+	"prefcolor/internal/target"
+)
+
+func ctxFor(t *testing.T, src string, k int) *regalloc.Context {
+	t.Helper()
+	f := ir.MustParse(src)
+	if _, err := ig.Renumber(f); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := regalloc.NewContext(f, target.UsageModel(k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// Unconstrained webs (degree < K) are guaranteed a register: with
+// generous K nothing spills and the result validates.
+func TestPriorityUnconstrainedAlwaysColored(t *testing.T) {
+	ctx := ctxFor(t, `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = add v1, v0
+  v3 = add v2, v1
+  ret v3
+}
+`, 8)
+	res, err := priority.New().Allocate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.CheckResult(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Errorf("spilled %v with 8 registers", res.Spilled)
+	}
+}
+
+// Under pressure, the spill victims must be lower-priority (lower
+// benefit-per-size) webs: the hot loop value keeps its register.
+func TestPriorityOrdersByBenefitDensity(t *testing.T) {
+	ctx := ctxFor(t, `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = add v0, v0
+  v3 = add v0, v0
+  v4 = add v0, v0
+  v9 = loadimm 3
+  jump b1
+b1:
+  v5 = add v1, v1
+  v1 = add v5, v0
+  v9 = addimm v9, -1
+  branch v9, b1, b2
+b2:
+  v6 = add v2, v3
+  v7 = add v6, v4
+  v8 = add v7, v1
+  ret v8
+}
+`, 4)
+	res, err := priority.New().Allocate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled := map[ig.NodeID]bool{}
+	for _, s := range res.Spilled {
+		spilled[s] = true
+	}
+	g := ctx.Graph
+	if spilled[g.NodeOf(ir.Virt(1))] {
+		t.Error("the hot loop accumulator v1 was chosen as a spill victim")
+	}
+}

@@ -1,0 +1,334 @@
+package regalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/chaitin"
+	"prefcolor/internal/target"
+)
+
+// checkEquiv runs input and output under machine semantics (calls
+// clobber volatile registers) and fails on any observable difference.
+// Each init map is keyed by the *input's* registers; entries naming a
+// parameter are re-keyed to the output's corresponding parameter
+// (allocation renames parameters onto physical registers).
+func checkEquiv(t *testing.T, m *target.Machine, input, output *ir.Func, inits []map[ir.Reg]int64) {
+	t.Helper()
+	opts := ir.InterpOptions{CallClobbers: m.CallClobbers()}
+	for _, init := range inits {
+		outInit := make(map[ir.Reg]int64, len(init))
+		for r, v := range init {
+			mapped := r
+			for pi, p := range input.Params {
+				if p == r {
+					mapped = output.Params[pi]
+					break
+				}
+			}
+			outInit[mapped] = v
+		}
+		a, err := ir.Interp(input, init, opts)
+		if err != nil {
+			t.Fatalf("interp input: %v", err)
+		}
+		b, err := ir.Interp(output, outInit, opts)
+		if err != nil {
+			t.Fatalf("interp output: %v", err)
+		}
+		if a.HasRet != b.HasRet || a.Ret != b.Ret {
+			t.Errorf("init %v: ret %d/%v vs %d/%v\noutput:\n%s", init, a.Ret, a.HasRet, b.Ret, b.HasRet, output)
+		}
+		if len(a.Stores) != len(b.Stores) {
+			t.Errorf("init %v: %d stores vs %d", init, len(a.Stores), len(b.Stores))
+			continue
+		}
+		for i := range a.Stores {
+			if a.Stores[i] != b.Stores[i] {
+				t.Errorf("init %v: store %d differs: %+v vs %+v", init, i, a.Stores[i], b.Stores[i])
+			}
+		}
+	}
+}
+
+// noVirtRegs asserts the output uses only physical registers.
+func noVirtRegs(t *testing.T, f *ir.Func) {
+	t.Helper()
+	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		for _, r := range in.Defs {
+			if r.IsVirt() {
+				t.Fatalf("b%d:%d: virtual register %v survived allocation", b.ID, i, r)
+			}
+		}
+		for _, r := range in.Uses {
+			if r.IsVirt() {
+				t.Fatalf("b%d:%d: virtual register %v survived allocation", b.ID, i, r)
+			}
+		}
+	})
+}
+
+func TestChaitinStraightLine(t *testing.T) {
+	src := `
+func f(v0, v1) {
+b0:
+  v2 = add v0, v1
+  v3 = mul v2, v0
+  v4 = sub v3, v1
+  ret v4
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	out, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	noVirtRegs(t, out)
+	if stats.SpillInstrs() != 0 {
+		t.Errorf("spills = %d, want 0", stats.SpillInstrs())
+	}
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{
+		{f.Params[0]: 3, f.Params[1]: 4},
+		{f.Params[0]: -1, f.Params[1]: 100},
+	})
+}
+
+func TestChaitinCoalescesCopies(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = move v0
+  v2 = move v1
+  v3 = add v2, v2
+  ret v3
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	out, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.MovesRemaining != 0 {
+		t.Errorf("moves remaining = %d, want 0 (aggressive coalescing)\n%s", stats.MovesRemaining, out)
+	}
+	if stats.MovesEliminated != 2 {
+		t.Errorf("moves eliminated = %d, want 2", stats.MovesEliminated)
+	}
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{{f.Params[0]: 21}})
+}
+
+func TestChaitinSpillsUnderPressure(t *testing.T) {
+	// 6 simultaneously-live values on a 4-register machine (one of
+	// which has the clique plus the param) must spill.
+	src := `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = add v0, v1
+  v3 = add v0, v2
+  v4 = add v0, v3
+  v5 = add v0, v4
+  v6 = add v1, v2
+  v7 = add v6, v3
+  v8 = add v7, v4
+  v9 = add v8, v5
+  v10 = add v9, v0
+  ret v10
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(4)
+	out, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	noVirtRegs(t, out)
+	if stats.SpillInstrs() == 0 {
+		t.Error("expected spill code on a 4-register machine")
+	}
+	if stats.Rounds < 2 {
+		t.Errorf("rounds = %d, want >= 2", stats.Rounds)
+	}
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{{f.Params[0]: 2}, {f.Params[0]: -7}})
+}
+
+func TestCallerSaveInsertion(t *testing.T) {
+	// v1 lives across a call. On a machine where the allocator may
+	// give it a volatile register, rewrite must insert save/restore.
+	src := `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  call @g
+  v2 = add v1, v1
+  ret v2
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	out, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Either the web went to a non-volatile register (no saves) or to
+	// a volatile one (saves present) — both must run correctly.
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{{f.Params[0]: 5}})
+	if stats.CallerSaveStores != stats.CallerSaveLoads {
+		t.Errorf("caller saves %d != restores %d", stats.CallerSaveStores, stats.CallerSaveLoads)
+	}
+}
+
+func TestCallerSaveForcedVolatile(t *testing.T) {
+	// Fill all non-volatile registers with call-crossing webs so at
+	// least one lands in a volatile register: saves must appear and
+	// semantics must hold despite the clobbering interpreter.
+	var sb strings.Builder
+	sb.WriteString("func f(v0) {\nb0:\n")
+	n := 10
+	for i := 1; i <= n; i++ {
+		sb.WriteString("  v")
+		sb.WriteByte(byte('0' + i/10))
+		if i >= 10 {
+			sb.WriteByte(byte('0' + i%10))
+		}
+		sb.WriteString(" = add v0, v0\n")
+	}
+	_ = sb
+	src := `
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = add v0, v1
+  v3 = add v0, v2
+  v4 = add v0, v3
+  v5 = add v0, v4
+  call @g
+  v6 = add v1, v2
+  v7 = add v6, v3
+  v8 = add v7, v4
+  v9 = add v8, v5
+  ret v9
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(8) // 4 volatile, 4 non-volatile
+	out, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{{f.Params[0]: 3}, {f.Params[0]: 11}})
+	t.Logf("stats: %+v", stats)
+	if stats.CallerSaveStores == 0 && stats.SpillInstrs() == 0 {
+		t.Error("expected caller saves or spills with 6 call-crossing webs on 4 non-volatile registers")
+	}
+}
+
+func TestLoopAllocation(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  v2 = loadimm 0
+  jump b1
+b1:
+  v3 = cmp v2, v0
+  branch v3, b2, b3
+b2:
+  v1 = add v1, v2
+  v4 = loadimm 1
+  v2 = add v2, v4
+  jump b1
+b3:
+  ret v1
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	out, _, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	noVirtRegs(t, out)
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{
+		{f.Params[0]: 0}, {f.Params[0]: 1}, {f.Params[0]: 10},
+	})
+}
+
+func TestConventionLoweredCode(t *testing.T) {
+	// Code with explicit convention moves: params arrive in r0/r1,
+	// result leaves in r0, a call takes args in r0.
+	src := `
+func f() {
+b0:
+  v0 = move r0
+  v1 = move r1
+  v2 = add v0, v1
+  r0 = move v2
+  v3 = call @g r0
+  v4 = add v3, v0
+  r0 = move v4
+  ret r0
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	out, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	noVirtRegs(t, out)
+	checkEquiv(t, m, f, out, []map[ir.Reg]int64{
+		{ir.Phys(0): 7, ir.Phys(1): 9},
+		{ir.Phys(0): -2, ir.Phys(1): 0},
+	})
+	t.Logf("convention-lowered: %+v", stats)
+}
+
+func TestDriverStatsConsistency(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = move v0
+  v2 = add v1, v0
+  ret v2
+}
+`
+	f := ir.MustParse(src)
+	m := target.UsageModel(16)
+	_, stats, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.MovesBefore != stats.MovesEliminated+stats.MovesRemaining {
+		t.Errorf("moves identity violated: %+v", stats)
+	}
+	if stats.Allocator != "chaitin" {
+		t.Errorf("allocator name = %q", stats.Allocator)
+	}
+	if stats.UsedRegs == 0 {
+		t.Error("UsedRegs = 0")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	src := `
+func f(v0) {
+b0:
+  v1 = move v0
+  ret v1
+}
+`
+	f := ir.MustParse(src)
+	before := f.String()
+	m := target.UsageModel(16)
+	if _, _, err := regalloc.Run(f, m, chaitin.New(), regalloc.Options{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if f.String() != before {
+		t.Error("Run mutated its input")
+	}
+}

@@ -1,0 +1,137 @@
+package ssa
+
+import (
+	"prefcolor/internal/ir"
+)
+
+// Destruct lowers every φ-function into explicit copies, leaving the
+// copy-heavy non-SSA form the paper's allocators start from.
+//
+// Critical edges (from a block with several successors to a block with
+// several predecessors) are split first, so each φ's incoming copy has
+// a place of its own. The copies implied by one edge form a parallel
+// move; they are sequentialized, introducing a temporary only when a
+// cyclic permutation requires one.
+func Destruct(f *ir.Func) {
+	splitCriticalEdges(f)
+
+	for _, b := range f.Blocks {
+		nPhi := 0
+		for nPhi < len(b.Instrs) && b.Instrs[nPhi].Op == ir.Phi {
+			nPhi++
+		}
+		if nPhi == 0 {
+			continue
+		}
+		// For each predecessor, collect the parallel move and place
+		// its sequentialization at the end of the predecessor (before
+		// the terminator).
+		for pi, pid := range b.Preds {
+			var dsts, srcs []ir.Reg
+			for i := 0; i < nPhi; i++ {
+				dsts = append(dsts, b.Instrs[i].Def())
+				srcs = append(srcs, b.Instrs[i].Uses[pi])
+			}
+			moves := SequenceParallelMove(dsts, srcs, f.NewReg)
+			insertBeforeTerminator(f.Blocks[pid], moves)
+		}
+		b.Instrs = b.Instrs[nPhi:]
+	}
+}
+
+// splitCriticalEdges inserts an empty block on every edge whose source
+// has multiple successors and whose destination has multiple
+// predecessors. φ argument positions in the destination are preserved:
+// the predecessor entry is rewritten in place to the new middle block.
+func splitCriticalEdges(f *ir.Func) {
+	// Normalize Preds so succ-slot → pred-slot correspondence is the
+	// one RecomputePreds produces, then enumerate edges with both
+	// indices before mutating anything.
+	f.RecomputePreds()
+	type edge struct {
+		from    ir.BlockID
+		succIdx int
+		to      ir.BlockID
+		predIdx int
+	}
+	var critical []edge
+	counters := make([]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for si, s := range b.Succs {
+			predIdx := counters[s]
+			counters[s]++
+			if len(b.Succs) >= 2 && len(f.Blocks[s].Preds) >= 2 {
+				critical = append(critical, edge{b.ID, si, s, predIdx})
+			}
+		}
+	}
+	for _, e := range critical {
+		from, to := f.Blocks[e.from], f.Blocks[e.to]
+		mid := f.NewBlock()
+		mid.Instrs = []ir.Instr{{Op: ir.Jump}}
+		mid.Succs = []ir.BlockID{to.ID}
+		mid.Preds = []ir.BlockID{from.ID}
+		from.Succs[e.succIdx] = mid.ID
+		to.Preds[e.predIdx] = mid.ID
+	}
+}
+
+func insertBeforeTerminator(b *ir.Block, moves []ir.Instr) {
+	if len(moves) == 0 {
+		return
+	}
+	n := len(b.Instrs)
+	if n > 0 && b.Instrs[n-1].Op.IsTerminator() {
+		out := make([]ir.Instr, 0, n+len(moves))
+		out = append(out, b.Instrs[:n-1]...)
+		out = append(out, moves...)
+		out = append(out, b.Instrs[n-1])
+		b.Instrs = out
+		return
+	}
+	b.Instrs = append(b.Instrs, moves...)
+}
+
+// SequenceParallelMove orders the parallel assignment dsts[i] :=
+// srcs[i] into a sequence of Move instructions with equivalent
+// semantics, allocating a temporary via newTemp only when a cycle
+// forces one (Leroy's algorithm, as used in CompCert).
+func SequenceParallelMove(dsts, srcs []ir.Reg, newTemp func() ir.Reg) []ir.Instr {
+	type mv struct{ dst, src ir.Reg }
+	var pending []mv
+	for i := range dsts {
+		if dsts[i] != srcs[i] {
+			pending = append(pending, mv{dsts[i], srcs[i]})
+		}
+	}
+	var out []ir.Instr
+	// status: 0 = to move, 1 = being moved, 2 = moved
+	status := make([]int, len(pending))
+	var moveOne func(i int)
+	moveOne = func(i int) {
+		if pending[i].src == pending[i].dst {
+			status[i] = 2
+			return
+		}
+		status[i] = 1
+		for j := range pending {
+			if status[j] == 0 && pending[j].src == pending[i].dst {
+				moveOne(j)
+			} else if status[j] == 1 && j != i && pending[j].src == pending[i].dst {
+				// Cycle: save the endangered source in a temp and
+				// redirect the later move to read the temp.
+				t := newTemp()
+				out = append(out, ir.MakeMove(t, pending[j].src))
+				pending[j].src = t
+			}
+		}
+		out = append(out, ir.MakeMove(pending[i].dst, pending[i].src))
+		status[i] = 2
+	}
+	for i := range pending {
+		if status[i] == 0 {
+			moveOne(i)
+		}
+	}
+	return out
+}

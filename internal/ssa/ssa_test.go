@@ -1,0 +1,396 @@
+package ssa
+
+import (
+	"testing"
+
+	"prefcolor/internal/ir"
+)
+
+// interpEq runs both functions on the same inputs and fails the test
+// on any observable difference.
+func interpEq(t *testing.T, a, b *ir.Func, inputs []map[ir.Reg]int64) {
+	t.Helper()
+	for _, init := range inputs {
+		ra, err := ir.Interp(a, init, ir.InterpOptions{})
+		if err != nil {
+			t.Fatalf("interp %s: %v", a.Name, err)
+		}
+		rb, err := ir.Interp(b, init, ir.InterpOptions{})
+		if err != nil {
+			t.Fatalf("interp %s: %v", b.Name, err)
+		}
+		if ra.HasRet != rb.HasRet || ra.Ret != rb.Ret {
+			t.Errorf("init %v: ret %d/%v vs %d/%v", init, ra.Ret, ra.HasRet, rb.Ret, rb.HasRet)
+		}
+		if len(ra.Stores) != len(rb.Stores) {
+			t.Errorf("init %v: %d stores vs %d", init, len(ra.Stores), len(rb.Stores))
+			continue
+		}
+		for i := range ra.Stores {
+			if ra.Stores[i] != rb.Stores[i] {
+				t.Errorf("init %v: store %d: %+v vs %+v", init, i, ra.Stores[i], rb.Stores[i])
+			}
+		}
+	}
+}
+
+func inputs1(f *ir.Func, vals ...int64) []map[ir.Reg]int64 {
+	var out []map[ir.Reg]int64
+	for _, v := range vals {
+		out = append(out, map[ir.Reg]int64{f.Params[0]: v})
+	}
+	return out
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  v1 = add v1, v0
+  v1 = add v1, v1
+  ret v1
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify after Build: %v", err)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 1, 7, -3))
+}
+
+func TestBuildDiamondInsertsPhi(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 10
+  jump b3
+b2:
+  v1 = loadimm 20
+  jump b3
+b3:
+  ret v1
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := f.CountOp(ir.Phi); got != 1 {
+		t.Errorf("φ count = %d, want 1", got)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 1))
+}
+
+func TestBuildPrunesDeadPhis(t *testing.T) {
+	// v1 is redefined in both arms but never used after the join:
+	// pruned SSA must not place a φ for it.
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  v2 = loadimm 9
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 10
+  jump b3
+b2:
+  v1 = loadimm 20
+  jump b3
+b3:
+  ret v2
+}
+`)
+	Build(f)
+	if got := f.CountOp(ir.Phi); got != 0 {
+		t.Errorf("φ count = %d, want 0 (dead φ not pruned)", got)
+	}
+}
+
+func TestBuildLoop(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  v2 = loadimm 0
+  jump b1
+b1:
+  v3 = cmp v2, v0
+  branch v3, b2, b3
+b2:
+  v1 = add v1, v2
+  v4 = loadimm 1
+  v2 = add v2, v4
+  jump b1
+b3:
+  ret v1
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Loop header needs φs for v1 and v2.
+	if got := f.CountOp(ir.Phi); got != 2 {
+		t.Errorf("φ count = %d, want 2", got)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 1, 5, 10))
+}
+
+func TestRoundTripLoop(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  v2 = loadimm 0
+  jump b1
+b1:
+  v3 = cmp v2, v0
+  branch v3, b2, b3
+b2:
+  v1 = add v1, v2
+  v4 = loadimm 1
+  v2 = add v2, v4
+  jump b1
+b3:
+  ret v1
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	Destruct(f)
+	if got := f.CountOp(ir.Phi); got != 0 {
+		t.Fatalf("φs remain after Destruct: %d", got)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("Validate after Destruct: %v", err)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 1, 5, 10))
+	// Destruction must introduce copies (the coalescing fodder).
+	if f.CountOp(ir.Move) == 0 {
+		t.Error("no copies introduced by Destruct")
+	}
+}
+
+func TestDestructSplitsCriticalEdges(t *testing.T) {
+	// b1 -> b1 (back edge from a branch) with b1 having 2 preds is
+	// critical.
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 0
+  jump b1
+b1:
+  v2 = add v1, v0
+  v1 = move v2
+  v3 = cmp v1, v0
+  branch v3, b1, b2
+b2:
+  ret v1
+}
+`)
+	orig := f.Clone()
+	nBlocks := len(f.Blocks)
+	Build(f)
+	Destruct(f)
+	if len(f.Blocks) <= nBlocks {
+		t.Errorf("expected edge splitting to add blocks (%d -> %d)", nBlocks, len(f.Blocks))
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 3, 9))
+}
+
+func TestSequenceParallelMoveSwap(t *testing.T) {
+	next := 100
+	newTemp := func() ir.Reg { next++; return ir.Virt(next) }
+	a, b := ir.Virt(0), ir.Virt(1)
+	moves := SequenceParallelMove([]ir.Reg{a, b}, []ir.Reg{b, a}, newTemp)
+	// Simulate.
+	vals := map[ir.Reg]int64{a: 1, b: 2}
+	for _, m := range moves {
+		vals[m.Defs[0]] = vals[m.Uses[0]]
+	}
+	if vals[a] != 2 || vals[b] != 1 {
+		t.Errorf("swap failed: a=%d b=%d (moves=%v)", vals[a], vals[b], moves)
+	}
+	if len(moves) != 3 {
+		t.Errorf("swap used %d moves, want 3", len(moves))
+	}
+}
+
+func TestSequenceParallelMoveChainAndCycle(t *testing.T) {
+	next := 100
+	newTemp := func() ir.Reg { next++; return ir.Virt(next) }
+	r := func(i int) ir.Reg { return ir.Virt(i) }
+	// (v0,v1,v2,v3) := (v1,v2,v0,v3): 3-cycle plus identity.
+	dsts := []ir.Reg{r(0), r(1), r(2), r(3)}
+	srcs := []ir.Reg{r(1), r(2), r(0), r(3)}
+	moves := SequenceParallelMove(dsts, srcs, newTemp)
+	vals := map[ir.Reg]int64{r(0): 0, r(1): 1, r(2): 2, r(3): 3}
+	for _, m := range moves {
+		vals[m.Defs[0]] = vals[m.Uses[0]]
+	}
+	if vals[r(0)] != 1 || vals[r(1)] != 2 || vals[r(2)] != 0 || vals[r(3)] != 3 {
+		t.Errorf("cycle result %v (moves=%v)", vals, moves)
+	}
+}
+
+func TestSequenceParallelMoveIndependent(t *testing.T) {
+	newTemp := func() ir.Reg { t.Fatal("temp must not be needed"); return ir.NoReg }
+	r := func(i int) ir.Reg { return ir.Virt(i) }
+	moves := SequenceParallelMove([]ir.Reg{r(10), r(11)}, []ir.Reg{r(0), r(1)}, newTemp)
+	if len(moves) != 2 {
+		t.Errorf("independent moves = %d, want 2", len(moves))
+	}
+}
+
+func TestVerifyCatchesDoubleDef(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  v1 = loadimm 2
+  ret v1
+}
+`)
+	if err := Verify(f); err == nil {
+		t.Error("double definition not caught")
+	}
+}
+
+func TestVerifyCatchesUndominatedUse(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 1
+  jump b3
+b2:
+  jump b3
+b3:
+  ret v1
+}
+`)
+	if err := Verify(f); err == nil {
+		t.Error("undominated use not caught")
+	}
+}
+
+func TestBuildParamsKeepNames(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0, v1) {
+b0:
+  v2 = add v0, v1
+  ret v2
+}
+`)
+	Build(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if f.Params[0] != ir.Virt(0) || f.Params[1] != ir.Virt(1) {
+		t.Errorf("params renamed: %v", f.Params)
+	}
+}
+
+func TestBuildIdempotentOnSSA(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 1
+  jump b3
+b2:
+  v2 = loadimm 2
+  jump b3
+b3:
+  v3 = phi v1, v2
+  ret v3
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 1))
+}
+
+func TestDestructDuplicateEdgeTargets(t *testing.T) {
+	// A branch whose both targets are the same block gives the join
+	// two predecessor entries from one source; both edges are
+	// critical and splitting must disambiguate the φ argument flow.
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 3
+  branch v0, b1, b1
+b1:
+  v2 = add v1, v0
+  ret v2
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	Destruct(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	interpEq(t, orig, f, inputs1(orig, 0, 1, 5))
+}
+
+func TestBuildWithUndefinedUse(t *testing.T) {
+	// v1 is defined only on one path but used after the join: SSA
+	// construction must not crash, and executions staying on the
+	// defined path must be preserved.
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  branch v0, b1, b2
+b1:
+  v1 = loadimm 9
+  jump b3
+b2:
+  jump b3
+b3:
+  v2 = addimm v0, 1
+  branch v0, b4, b5
+b4:
+  v3 = add v1, v2
+  ret v3
+b5:
+  ret v2
+}
+`)
+	orig := f.Clone()
+	Build(f)
+	Destruct(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// v0 = 1 takes the defined path end to end.
+	a, err := ir.Interp(orig, map[ir.Reg]int64{orig.Params[0]: 1}, ir.InterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ir.Interp(f, map[ir.Reg]int64{f.Params[0]: 1}, ir.InterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ret != b.Ret {
+		t.Errorf("defined path changed: %d vs %d", a.Ret, b.Ret)
+	}
+}

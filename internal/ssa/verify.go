@@ -1,0 +1,98 @@
+package ssa
+
+import (
+	"fmt"
+
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/ir"
+)
+
+// Verify checks that f is in valid SSA form:
+//
+//   - every virtual register has at most one definition (parameters
+//     count as definitions at entry);
+//   - every non-φ use is dominated by its definition;
+//   - every φ argument's definition dominates the exit of the
+//     corresponding predecessor.
+//
+// Physical registers are exempt (they are machine state). Unreachable
+// blocks are ignored.
+func Verify(f *ir.Func) error {
+	dom := cfg.NewDomTree(f)
+
+	type defsite struct {
+		b   ir.BlockID
+		idx int
+	}
+	defs := map[ir.Reg]defsite{}
+	for _, p := range f.Params {
+		if p.IsVirt() {
+			defs[p] = defsite{0, -1}
+		}
+	}
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		for i := range b.Instrs {
+			for _, d := range b.Instrs[i].Defs {
+				if !d.IsVirt() {
+					continue
+				}
+				if prev, ok := defs[d]; ok {
+					return fmt.Errorf("ssa.Verify: %v defined twice (b%d:%d and b%d:%d)", d, prev.b, prev.idx, b.ID, i)
+				}
+				defs[d] = defsite{b.ID, i}
+			}
+		}
+	}
+
+	dominatesUse := func(d defsite, ub ir.BlockID, uidx int) bool {
+		if d.b == ub {
+			return d.idx < uidx
+		}
+		return dom.Dominates(d.b, ub)
+	}
+
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Phi {
+				for pi, u := range in.Uses {
+					if !u.IsVirt() {
+						continue
+					}
+					d, ok := defs[u]
+					if !ok {
+						return fmt.Errorf("ssa.Verify: φ in b%d uses undefined %v", b.ID, u)
+					}
+					pred := b.Preds[pi]
+					if !dom.Reachable(pred) {
+						continue
+					}
+					// The def must dominate the predecessor's exit.
+					if d.b != pred && !dom.Dominates(d.b, pred) {
+						return fmt.Errorf("ssa.Verify: φ arg %v (def in b%d) does not dominate pred b%d exit", u, d.b, pred)
+					}
+				}
+				continue
+			}
+			for _, u := range in.Uses {
+				if !u.IsVirt() {
+					continue
+				}
+				d, ok := defs[u]
+				if !ok {
+					return fmt.Errorf("ssa.Verify: b%d:%d uses undefined %v", b.ID, i, u)
+				}
+				if !dominatesUse(d, b.ID, i) {
+					return fmt.Errorf("ssa.Verify: use of %v at b%d:%d not dominated by def at b%d:%d", u, b.ID, i, d.b, d.idx)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package workload generates the deterministic synthetic programs
+// that stand in for the SPECjvm98 benchmarks of the paper's
+// evaluation (compress, jess, db, javac, mpegaudio, mtrt, jack, plus
+// the floating-point views of mpegaudio and mtrt that Figure 9
+// reports separately).
+//
+// Each profile controls the structural dimensions that drive the
+// paper's results: call density (volatile/non-volatile pressure),
+// loop depth (frequency weighting), register pressure (spill
+// behavior), copy density (coalescing opportunity), and paired-load
+// density (irregular-register opportunity). The generated code goes
+// through the real pipeline — SSA construction and destruction — so
+// the copies the allocators coalesce are the ones φ-elimination
+// actually produces. Programs always terminate: loops are counted,
+// so the reference interpreter can validate allocations end to end.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/opt"
+	"prefcolor/internal/ssa"
+	"prefcolor/internal/target"
+)
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// Funcs is the number of functions to generate.
+	Funcs int
+
+	// Stmts is the approximate number of statements per function
+	// body at nesting depth zero.
+	Stmts int
+
+	// MaxDepth bounds structured-control nesting (ifs and loops).
+	MaxDepth int
+
+	// LoopProb and IfProb are per-statement probabilities of opening
+	// a nested loop or conditional.
+	LoopProb, IfProb float64
+
+	// CallProb is the per-statement probability of a convention-
+	// lowered call (argument moves, call, result move).
+	CallProb float64
+
+	// PairProb is the per-statement probability of a paired-load
+	// candidate (two adjacent loads, one word apart).
+	PairProb float64
+
+	// StoreProb is the per-statement probability of a store
+	// (observable output for the equivalence interpreter).
+	StoreProb float64
+
+	// Vars is the local variable pool size: larger pools mean more
+	// simultaneously-live values (register pressure).
+	Vars int
+
+	// Params is the number of function parameters.
+	Params int
+
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Benchmarks returns the nine profiles of the paper's figures, in
+// presentation order. The shape parameters encode the paper's own
+// characterization: "jess, db, javac, and jack make frequent function
+// calls"; compress and mpegaudio are loop-dominated; mpegaudio (and
+// its fp view) is rich in adjacent array loads.
+func Benchmarks() []Profile {
+	return []Profile{
+		{Name: "compress", Funcs: 8, Stmts: 26, MaxDepth: 3, LoopProb: 0.16, IfProb: 0.10, CallProb: 0.02, PairProb: 0.10, StoreProb: 0.10, Vars: 14, Params: 3, Seed: 0xC0},
+		{Name: "jess", Funcs: 12, Stmts: 18, MaxDepth: 2, LoopProb: 0.09, IfProb: 0.14, CallProb: 0.16, PairProb: 0.03, StoreProb: 0.08, Vars: 15, Params: 4, Seed: 0x1E55},
+		{Name: "db", Funcs: 10, Stmts: 16, MaxDepth: 2, LoopProb: 0.09, IfProb: 0.12, CallProb: 0.18, PairProb: 0.02, StoreProb: 0.12, Vars: 14, Params: 3, Seed: 0xDB},
+		{Name: "javac", Funcs: 14, Stmts: 24, MaxDepth: 2, LoopProb: 0.07, IfProb: 0.18, CallProb: 0.13, PairProb: 0.03, StoreProb: 0.08, Vars: 16, Params: 5, Seed: 0x7AC},
+		{Name: "mpegaudio", Funcs: 8, Stmts: 28, MaxDepth: 3, LoopProb: 0.15, IfProb: 0.08, CallProb: 0.03, PairProb: 0.22, StoreProb: 0.10, Vars: 14, Params: 3, Seed: 0x3E6},
+		{Name: "mtrt", Funcs: 10, Stmts: 20, MaxDepth: 2, LoopProb: 0.10, IfProb: 0.12, CallProb: 0.10, PairProb: 0.10, StoreProb: 0.08, Vars: 14, Params: 4, Seed: 0x317},
+		{Name: "jack", Funcs: 12, Stmts: 17, MaxDepth: 2, LoopProb: 0.09, IfProb: 0.15, CallProb: 0.15, PairProb: 0.02, StoreProb: 0.10, Vars: 15, Params: 3, Seed: 0x7ACC},
+		{Name: "mpegaudio-fp", Funcs: 6, Stmts: 24, MaxDepth: 3, LoopProb: 0.16, IfProb: 0.06, CallProb: 0.02, PairProb: 0.30, StoreProb: 0.10, Vars: 13, Params: 2, Seed: 0x3E6F},
+		{Name: "mtrt-fp", Funcs: 7, Stmts: 18, MaxDepth: 2, LoopProb: 0.11, IfProb: 0.08, CallProb: 0.05, PairProb: 0.18, StoreProb: 0.08, Vars: 11, Params: 3, Seed: 0x317F},
+	}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Generate produces the profile's functions, convention-lowered for
+// machine m (parameters arrive in m.ParamRegs, results leave in
+// m.RetReg) and taken through the paper's pipeline: SSA construction,
+// scalar optimization (constant folding, copy propagation, dead-code
+// elimination), and SSA destruction.
+func Generate(p Profile, m *target.Machine) []*ir.Func {
+	rng := rand.New(rand.NewSource(p.Seed))
+	funcs := make([]*ir.Func, 0, p.Funcs)
+	for i := 0; i < p.Funcs; i++ {
+		f := genFunc(fmt.Sprintf("%s_%d", p.Name, i), p, m, rng)
+		ssa.Build(f)
+		opt.Optimize(f)
+		ssa.Destruct(f)
+		f.CompactNops()
+		if err := ir.Validate(f); err != nil {
+			panic(fmt.Sprintf("workload: generated invalid function: %v", err))
+		}
+		funcs = append(funcs, f)
+	}
+	return funcs
+}
+
+// GenerateRawFunc produces a single function of the profile without
+// the SSA round trip, for property tests that exercise the SSA,
+// renumber, and allocation passes on arbitrary (multi-assignment)
+// input. The seed overrides the profile's.
+func GenerateRawFunc(p Profile, m *target.Machine, seed int64) *ir.Func {
+	rng := rand.New(rand.NewSource(seed))
+	f := genFunc(fmt.Sprintf("%s_raw%d", p.Name, seed), p, m, rng)
+	if err := ir.Validate(f); err != nil {
+		panic(fmt.Sprintf("workload: generated invalid raw function: %v", err))
+	}
+	return f
+}
+
+// maxStmtsPerFunc caps a function's statement count so nested
+// control structures cannot blow generated functions up past the
+// size the profiles intend (a few hundred instructions).
+const maxStmtsPerFunc = 110
+
+type gen struct {
+	b      *ir.Builder
+	p      Profile
+	m      *target.Machine
+	rng    *rand.Rand
+	vars   []ir.Reg
+	sym    int
+	budget int
+}
+
+func genFunc(name string, p Profile, m *target.Machine, rng *rand.Rand) *ir.Func {
+	g := &gen{b: ir.NewBuilder(name), p: p, m: m, rng: rng, budget: maxStmtsPerFunc}
+
+	// Convention entry: parameters arrive in physical registers and
+	// are copied into the pool.
+	nParams := p.Params
+	if nParams > len(m.ParamRegs) {
+		nParams = len(m.ParamRegs)
+	}
+	for i := 0; i < nParams; i++ {
+		v := g.b.Reg()
+		g.b.F.Params = append(g.b.F.Params, ir.Phys(m.ParamRegs[i]))
+		g.b.Move(v, ir.Phys(m.ParamRegs[i]))
+		g.vars = append(g.vars, v)
+	}
+	// Initialize the rest of the pool.
+	for len(g.vars) < p.Vars {
+		v := g.b.Reg()
+		g.b.LoadImm(v, int64(rng.Intn(64)+1))
+		g.vars = append(g.vars, v)
+	}
+
+	g.body(p.Stmts, 0)
+
+	// Convention return.
+	ret := ir.Phys(m.RetReg)
+	g.b.Move(ret, g.pick())
+	g.b.Ret(ret)
+	return g.b.Finish()
+}
+
+func (g *gen) pick() ir.Reg { return g.vars[g.rng.Intn(len(g.vars))] }
+
+// body emits approximately n statements at the given nesting depth,
+// within the function-wide budget.
+func (g *gen) body(n, depth int) {
+	for i := 0; i < n; i++ {
+		if g.budget <= 0 {
+			return
+		}
+		g.budget--
+		r := g.rng.Float64()
+		switch {
+		case r < g.p.LoopProb:
+			// At maximum nesting the control-structure probability
+			// mass degrades to plain arithmetic, never to another
+			// statement kind (profiles' call/pair densities stay
+			// honest).
+			if depth < g.p.MaxDepth {
+				g.loop(n/2+2, depth+1)
+			} else {
+				g.arith()
+			}
+		case r < g.p.LoopProb+g.p.IfProb:
+			if depth < g.p.MaxDepth {
+				g.ifElse(n/3+1, depth+1)
+			} else {
+				g.arith()
+			}
+		case r < g.p.LoopProb+g.p.IfProb+g.p.CallProb:
+			g.call()
+		case r < g.p.LoopProb+g.p.IfProb+g.p.CallProb+g.p.PairProb:
+			g.loadPair()
+		case r < g.p.LoopProb+g.p.IfProb+g.p.CallProb+g.p.PairProb+g.p.StoreProb:
+			g.b.Store(g.pick(), g.pick(), int64(g.rng.Intn(8))*g.m.WordSize)
+		default:
+			g.arith()
+		}
+	}
+}
+
+var binOps = []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Cmp}
+
+func (g *gen) arith() {
+	dst := g.pick()
+	op := binOps[g.rng.Intn(len(binOps))]
+	g.b.Bin(op, dst, g.pick(), g.pick())
+}
+
+func (g *gen) loadPair() {
+	base := g.pick()
+	d1, d2 := g.pick(), g.pick()
+	for d1 == base {
+		d1 = g.vars[g.rng.Intn(len(g.vars))]
+	}
+	for d2 == base || d2 == d1 {
+		d2 = g.vars[g.rng.Intn(len(g.vars))]
+	}
+	off := int64(g.rng.Intn(8)) * g.m.WordSize
+	g.b.Load(d1, base, off)
+	g.b.Load(d2, base, off+g.m.WordSize)
+}
+
+func (g *gen) call() {
+	nArgs := g.rng.Intn(3)
+	if nArgs > len(g.m.ParamRegs) {
+		nArgs = len(g.m.ParamRegs)
+	}
+	var args []ir.Reg
+	for i := 0; i < nArgs; i++ {
+		a := ir.Phys(g.m.ParamRegs[i])
+		g.b.Move(a, g.pick())
+		args = append(args, a)
+	}
+	g.sym++
+	ret := ir.Phys(g.m.RetReg)
+	g.b.Call(fmt.Sprintf("callee%d", g.sym%7), ret, args...)
+	g.b.Move(g.pick(), ret)
+}
+
+func (g *gen) ifElse(n, depth int) {
+	cond := g.pick()
+	then, els, join := g.b.Block(), g.b.Block(), g.b.Block()
+	g.b.Branch(cond, then, els)
+	g.b.SetBlock(then)
+	g.body(n, depth)
+	g.b.Jump(join)
+	g.b.SetBlock(els)
+	g.body(n, depth)
+	g.b.Jump(join)
+	g.b.SetBlock(join)
+}
+
+func (g *gen) loop(n, depth int) {
+	iters := int64(g.rng.Intn(3) + 2)
+	ctr := g.b.Reg()
+	g.b.LoadImm(ctr, iters)
+	header, exit := g.b.Block(), g.b.Block()
+	g.b.Jump(header)
+	g.b.SetBlock(header)
+	g.body(n, depth)
+	g.b.Emit(ir.Instr{Op: ir.AddImm, Defs: []ir.Reg{ctr}, Uses: []ir.Reg{ctr}, Imm: -1})
+	g.b.Branch(ctr, header, exit)
+	g.b.SetBlock(exit)
+}

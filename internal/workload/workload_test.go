@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/costmodel"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+func TestBenchmarksNamed(t *testing.T) {
+	want := []string{"compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack", "mpegaudio-fp", "mtrt-fp"}
+	bs := Benchmarks()
+	if len(bs) != len(want) {
+		t.Fatalf("%d benchmarks, want %d", len(bs), len(want))
+	}
+	for i, p := range bs {
+		if p.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, p.Name, want[i])
+		}
+	}
+	if _, err := ByName("jess"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	m := target.UsageModel(16)
+	for _, p := range Benchmarks() {
+		fs1 := Generate(p, m)
+		fs2 := Generate(p, m)
+		if len(fs1) != p.Funcs {
+			t.Errorf("%s: %d funcs, want %d", p.Name, len(fs1), p.Funcs)
+		}
+		for i := range fs1 {
+			if err := ir.Validate(fs1[i]); err != nil {
+				t.Errorf("%s[%d]: %v", p.Name, i, err)
+			}
+			if fs1[i].String() != fs2[i].String() {
+				t.Errorf("%s[%d]: generation is not deterministic", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	m := target.UsageModel(16)
+	p, _ := ByName("compress")
+	for i, f := range Generate(p, m) {
+		init := map[ir.Reg]int64{}
+		for _, pr := range f.Params {
+			init[pr] = int64(i + 3)
+		}
+		res, err := ir.Interp(f, init, ir.InterpOptions{CallClobbers: m.CallClobbers()})
+		if err != nil {
+			t.Fatalf("func %d: %v", i, err)
+		}
+		if !res.HasRet {
+			t.Errorf("func %d returned nothing", i)
+		}
+	}
+}
+
+func TestGeneratedCodeHasCopies(t *testing.T) {
+	m := target.UsageModel(16)
+	for _, name := range []string{"jess", "compress"} {
+		p, _ := ByName(name)
+		moves := 0
+		for _, f := range Generate(p, m) {
+			moves += f.CountOp(ir.Move)
+		}
+		if moves < 20 {
+			t.Errorf("%s: only %d copies; SSA destruction should produce many", name, moves)
+		}
+	}
+}
+
+func TestGeneratedPairDensityOrdering(t *testing.T) {
+	m := target.UsageModel(16)
+	count := func(name string) int {
+		p, _ := ByName(name)
+		total := 0
+		for _, f := range Generate(p, m) {
+			loops := cfg.FindLoops(f, cfg.NewDomTree(f))
+			total += len(costmodel.FindLoadPairs(f, m, loops))
+		}
+		return total
+	}
+	mp, db := count("mpegaudio"), count("db")
+	if mp <= db {
+		t.Errorf("mpegaudio should have more paired loads than db (%d vs %d)", mp, db)
+	}
+	if mp == 0 {
+		t.Error("mpegaudio has no paired-load candidates at all")
+	}
+}
+
+func TestGeneratedCallDensityOrdering(t *testing.T) {
+	m := target.UsageModel(16)
+	count := func(name string) float64 {
+		p, _ := ByName(name)
+		calls, instrs := 0, 0
+		for _, f := range Generate(p, m) {
+			calls += f.CountOp(ir.Call)
+			instrs += f.NumInstrs()
+		}
+		return float64(calls) / float64(instrs)
+	}
+	if count("db") <= count("compress") {
+		t.Error("db must be more call-dense than compress")
+	}
+	if count("jess") <= count("mpegaudio") {
+		t.Error("jess must be more call-dense than mpegaudio")
+	}
+}
+
+func TestGeneratedLoopsExist(t *testing.T) {
+	m := target.UsageModel(16)
+	p, _ := ByName("compress")
+	deep := 0
+	for _, f := range Generate(p, m) {
+		li := cfg.FindLoops(f, cfg.NewDomTree(f))
+		for _, l := range li.Loops {
+			if l.Depth >= 2 {
+				deep++
+			}
+		}
+	}
+	if deep == 0 {
+		t.Error("compress generated no nested loops")
+	}
+}

@@ -1,0 +1,202 @@
+// Package prefcolor is a from-scratch implementation of
+// preference-directed graph coloring (Koseki, Komatsu, Nakatani;
+// PLDI 2002) together with the classic graph-coloring register
+// allocators it is evaluated against, a compiler-backend substrate
+// (IR, CFG analyses, liveness, SSA construction/destruction, webs and
+// interference graphs, spill insertion), and the experiment harness
+// that regenerates the paper's figures.
+//
+// The quickest path from code to registers:
+//
+//	f, err := prefcolor.ParseFunction(src)
+//	m := prefcolor.NewMachine(16) // 16-register IA-64-like model
+//	out, stats, err := prefcolor.Allocate(f, m, prefcolor.PreferenceDirected())
+//
+// Allocate returns the rewritten function (virtual registers replaced
+// by machine registers, coalesced copies deleted, spill and
+// caller-save code inserted) and the allocation statistics the
+// paper's Figure 9 reports. EstimateCycles prices the result with the
+// paper's Appendix cost model, the basis of Figures 10 and 11.
+package prefcolor
+
+import (
+	"prefcolor/internal/bench"
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/opt"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/briggs"
+	"prefcolor/internal/regalloc/callcost"
+	"prefcolor/internal/regalloc/chaitin"
+	"prefcolor/internal/regalloc/iterated"
+	"prefcolor/internal/regalloc/optimistic"
+	"prefcolor/internal/regalloc/priority"
+	"prefcolor/internal/ssa"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// Function is a function in the textual register-transfer IR; see
+// ParseFunction for the syntax.
+type Function = ir.Func
+
+// Reg names a virtual (v0, v1, …) or physical (r0, r1, …) register.
+type Reg = ir.Reg
+
+// Machine is a register-file and calling-convention model.
+type Machine = target.Machine
+
+// Allocator is one register-allocation strategy.
+type Allocator = regalloc.Allocator
+
+// Stats summarizes an allocation: moves eliminated by coalescing,
+// spill code inserted, caller-save traffic, registers used.
+type Stats = regalloc.Stats
+
+// Options tunes the allocation driver (spill-round limit,
+// validation).
+type Options = regalloc.Options
+
+// CycleEstimate is the static performance estimate of allocated code.
+type CycleEstimate = perfmodel.Result
+
+// WorkloadProfile describes one synthetic benchmark program.
+type WorkloadProfile = workload.Profile
+
+// ParseFunction parses the textual IR:
+//
+//	func name(v0, v1) {
+//	b0:
+//	  v2 = load v0, 0
+//	  v3 = add v2, v1
+//	  branch v3, b1, b2
+//	b1:
+//	  r0 = move v3
+//	  v4 = call @f r0
+//	  jump b2
+//	b2:
+//	  ret v3
+//	}
+func ParseFunction(src string) (*Function, error) { return ir.Parse(src) }
+
+// NewMachine returns the paper's IA-64-like usage model with k
+// registers: the lower half volatile, up to eight parameter registers,
+// r0 doubling as first parameter and return register, and
+// parity-constrained paired loads. The paper's experiments use k =
+// 16, 24, and 32.
+func NewMachine(k int) *Machine { return target.UsageModel(k) }
+
+// NewX86Machine returns an x86-flavored model with the paper's §3.1
+// limited register usages: shift counts in the CL-like register,
+// loads into byte-addressable low registers, division results in the
+// EAX-like register, and no paired loads.
+func NewX86Machine(k int) *Machine { return target.X86Like(k) }
+
+// NewS390Machine returns a model whose paired loads require strictly
+// sequential destination registers (S/390- and Power-like, §3.1).
+func NewS390Machine(k int) *Machine { return target.S390Like(k) }
+
+// PreferenceDirected returns the paper's full coloring system:
+// Register Preference Graph, Coloring Precedence Graph, and
+// integrated preference-directed selection with deferred coalescing
+// and active spilling.
+func PreferenceDirected() Allocator { return core.New() }
+
+// PreferenceCoalesceOnly returns the paper's §6.1 configuration,
+// which honors only coalescing preferences.
+func PreferenceCoalesceOnly() Allocator { return core.NewCoalesceOnly() }
+
+// Chaitin returns the classic Chaitin 1982 allocator with aggressive
+// coalescing — the baseline of the paper's Figure 9.
+func Chaitin() Allocator { return chaitin.New() }
+
+// Briggs returns Briggs-style optimistic coloring with aggressive
+// coalescing and biased select.
+func Briggs() Allocator { return briggs.New() }
+
+// BriggsConservative returns the conservative-coalescing Briggs
+// variant.
+func BriggsConservative() Allocator { return briggs.NewConservative() }
+
+// IteratedCoalescing returns George & Appel's iterated register
+// coalescing.
+func IteratedCoalescing() Allocator { return iterated.New() }
+
+// OptimisticCoalescing returns Park & Moon's optimistic coalescing
+// with select-time undo.
+func OptimisticCoalescing() Allocator { return optimistic.New() }
+
+// CallCostDirected returns the modeled Lueh & Gross call-cost
+// directed allocation (the paper's "aggressive+volatility"
+// comparison).
+func CallCostDirected() Allocator { return callcost.New() }
+
+// PriorityBased returns Chow & Hennessy's priority-based coloring
+// (simplified: spills where the original splits), the coloring school
+// the paper's related-work section contrasts with Chaitin's.
+func PriorityBased() Allocator { return priority.New() }
+
+// AllocatorByName resolves the figure labels ("chaitin",
+// "briggs-aggressive", "briggs-conservative", "iterated",
+// "optimistic", "callcost", "pref-coalesce", "pref-full").
+func AllocatorByName(name string) (Allocator, error) { return bench.NewAllocator(name) }
+
+// AllocatorNames lists every configuration AllocatorByName accepts.
+func AllocatorNames() []string { return bench.AllocatorNames() }
+
+// Allocate runs the full allocation pipeline on f for machine m:
+// renumber into live ranges, build the interference graph, color with
+// the given allocator, iterate spill rounds to completion, and
+// rewrite onto physical registers. f is not modified.
+func Allocate(f *Function, m *Machine, a Allocator) (*Function, *Stats, error) {
+	return regalloc.Run(f, m, a, Options{})
+}
+
+// AllocateOpts is Allocate with explicit driver options.
+func AllocateOpts(f *Function, m *Machine, a Allocator, opts Options) (*Function, *Stats, error) {
+	return regalloc.Run(f, m, a, opts)
+}
+
+// EstimateCycles prices allocated code with the paper's Appendix cost
+// model (loads 2, stores 1, caller save/restore 3, callee save 2,
+// 10× per loop level), recognizing fused paired loads.
+func EstimateCycles(f *Function, m *Machine) CycleEstimate { return perfmodel.Estimate(f, m) }
+
+// Benchmarks returns the nine synthetic SPECjvm98 stand-ins of the
+// paper's figures.
+func Benchmarks() []WorkloadProfile { return workload.Benchmarks() }
+
+// BenchmarkByName returns one synthetic benchmark profile.
+func BenchmarkByName(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// GenerateWorkload produces a benchmark's functions, convention-
+// lowered for m and run through SSA construction and destruction.
+func GenerateWorkload(p WorkloadProfile, m *Machine) []*Function { return workload.Generate(p, m) }
+
+// Interpret executes a function under the reference semantics (calls
+// clobber the machine's volatile registers) — the tool used to verify
+// that allocation preserves behavior.
+func Interpret(f *Function, m *Machine, init map[Reg]int64) (ir.ExecResult, error) {
+	return ir.Interp(f, init, ir.InterpOptions{CallClobbers: m.CallClobbers()})
+}
+
+// ToSSA rewrites f into pruned static single assignment form in
+// place: φ-functions at iterated dominance frontiers, every
+// definition renamed to a fresh register.
+func ToSSA(f *Function) { ssa.Build(f) }
+
+// OptimizeSSA runs the standard scalar optimizations (constant
+// folding, copy propagation, dead-code elimination) on a function in
+// SSA form — the "many advanced optimizations" stage of the paper's
+// pipeline.
+func OptimizeSSA(f *Function) { opt.Optimize(f) }
+
+// FromSSA lowers every φ-function of f into explicit copies
+// (splitting critical edges, sequentializing parallel moves). The
+// copies it introduces are exactly the coalescing workload the
+// paper's allocators compete on.
+func FromSSA(f *Function) {
+	ssa.Destruct(f)
+	f.CompactNops()
+}

@@ -1,0 +1,113 @@
+package prefcolor_test
+
+import (
+	"testing"
+
+	"prefcolor"
+)
+
+const apiSample = `
+func sample(v0) {
+b0:
+  v1 = loadimm 0
+  v2 = loadimm 4
+  jump b1
+b1:
+  v3 = load v0, 0
+  v4 = load v0, 4
+  v1 = add v1, v3
+  v1 = add v1, v4
+  v2 = addimm v2, -1
+  branch v2, b1, b2
+b2:
+  r0 = move v1
+  v5 = call @helper r0
+  v6 = add v5, v1
+  ret v6
+}
+`
+
+func TestPublicAPIAllocateAll(t *testing.T) {
+	m := prefcolor.NewMachine(16)
+	for _, name := range prefcolor.AllocatorNames() {
+		f, err := prefcolor.ParseFunction(apiSample)
+		if err != nil {
+			t.Fatalf("ParseFunction: %v", err)
+		}
+		alloc, err := prefcolor.AllocatorByName(name)
+		if err != nil {
+			t.Fatalf("AllocatorByName(%q): %v", name, err)
+		}
+		out, stats, err := prefcolor.Allocate(f, m, alloc)
+		if err != nil {
+			t.Fatalf("Allocate with %s: %v", name, err)
+		}
+		if stats.Allocator != name {
+			t.Errorf("stats.Allocator = %q, want %q", stats.Allocator, name)
+		}
+		// Behavioral equivalence through the public interpreter.
+		in := map[prefcolor.Reg]int64{f.Params[0]: 512}
+		outInit := map[prefcolor.Reg]int64{out.Params[0]: 512}
+		a, err := prefcolor.Interpret(f, m, in)
+		if err != nil {
+			t.Fatalf("Interpret input: %v", err)
+		}
+		b, err := prefcolor.Interpret(out, m, outInit)
+		if err != nil {
+			t.Fatalf("Interpret output (%s): %v", name, err)
+		}
+		if a.Ret != b.Ret {
+			t.Errorf("%s: result changed: %d vs %d", name, a.Ret, b.Ret)
+		}
+		est := prefcolor.EstimateCycles(out, m)
+		if est.Cycles <= 0 {
+			t.Errorf("%s: non-positive cycle estimate", name)
+		}
+	}
+}
+
+func TestPublicAPIPreferenceQuality(t *testing.T) {
+	m := prefcolor.NewMachine(16)
+	f, err := prefcolor.ParseFunction(apiSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := prefcolor.Allocate(f, m, prefcolor.PreferenceDirected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := prefcolor.EstimateCycles(out, m)
+	if est.FusedPairs != 1 || est.MissedPairs != 0 {
+		t.Errorf("preference-directed allocation lost the paired load: %+v", est)
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	m := prefcolor.NewMachine(16)
+	p, err := prefcolor.BenchmarkByName("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := prefcolor.GenerateWorkload(p, m)
+	if len(funcs) != p.Funcs {
+		t.Fatalf("generated %d functions, want %d", len(funcs), p.Funcs)
+	}
+	if len(prefcolor.Benchmarks()) != 9 {
+		t.Errorf("Benchmarks() = %d entries, want 9", len(prefcolor.Benchmarks()))
+	}
+}
+
+func TestPublicAPIRunBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run skipped in -short mode")
+	}
+	m := prefcolor.NewMachine(16)
+	p, _ := prefcolor.BenchmarkByName("jack")
+	res, err := prefcolor.RunBenchmark(p, m, "pref-full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.MovesBefore == 0 {
+		t.Errorf("degenerate benchmark result: %+v", res)
+	}
+}

@@ -1,14 +1,15 @@
-// Command prefgc allocates registers for a function written in the
+// Command prefgc allocates registers for functions written in the
 // textual IR and prints the rewritten code.
 //
 // Usage:
 //
-//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [file]
+//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [file ...]
 //
-// With no file the function is read from standard input. The
-// allocator names are the figure labels: chaitin, briggs-aggressive,
-// briggs-conservative, iterated, optimistic, callcost, pref-coalesce,
-// pref-full.
+// With no file the function is read from standard input; with several
+// files (one function each) the functions are allocated concurrently
+// and printed in argument order. The allocator names are the figure
+// labels: chaitin, briggs-aggressive, briggs-conservative, iterated,
+// optimistic, callcost, pref-coalesce, pref-full.
 package main
 
 import (
@@ -30,33 +31,43 @@ func main() {
 	explain := flag.Bool("explain", false, "print the Register Preference Graph and Coloring Precedence Graph instead of allocating")
 	flag.Parse()
 
-	var src []byte
-	var err error
-	switch flag.NArg() {
-	case 0:
-		src, err = io.ReadAll(os.Stdin)
-	case 1:
-		src, err = os.ReadFile(flag.Arg(0))
-	default:
-		fmt.Fprintln(os.Stderr, "prefgc: at most one input file")
-		os.Exit(2)
-	}
-	if err != nil {
-		fatal(err)
+	var sources []namedSource
+	if flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, namedSource{name: "<stdin>", src: string(src)})
+	} else {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			sources = append(sources, namedSource{name: path, src: string(src)})
+		}
 	}
 
-	f, err := prefcolor.ParseFunction(string(src))
-	if err != nil {
-		fatal(err)
+	funcs := make([]*prefcolor.Function, len(sources))
+	for i, s := range sources {
+		f, err := prefcolor.ParseFunction(s.src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", s.name, err))
+		}
+		if *optimize {
+			prefcolor.ToSSA(f)
+			prefcolor.OptimizeSSA(f)
+			prefcolor.FromSSA(f)
+		}
+		funcs[i] = f
 	}
-	if *optimize {
-		prefcolor.ToSSA(f)
-		prefcolor.OptimizeSSA(f)
-		prefcolor.FromSSA(f)
-	}
+
+	m := prefcolor.NewMachine(*k)
 	if *explain {
-		m := prefcolor.NewMachine(*k)
-		exp, err := prefcolor.Explain(f, m)
+		if len(funcs) > 1 {
+			fatal(fmt.Errorf("-explain takes a single function"))
+		}
+		exp, err := prefcolor.Explain(funcs[0], m)
 		if err != nil {
 			fatal(err)
 		}
@@ -72,26 +83,40 @@ func main() {
 		}
 		return
 	}
-	alloc, err := prefcolor.AllocatorByName(*allocName)
+
+	if _, err := prefcolor.AllocatorByName(*allocName); err != nil {
+		fatal(err)
+	}
+	newAlloc := func() prefcolor.Allocator {
+		a, _ := prefcolor.AllocatorByName(*allocName)
+		return a
+	}
+	outs, sts, err := prefcolor.AllocateAll(funcs, m, newAlloc, prefcolor.Options{})
 	if err != nil {
 		fatal(err)
 	}
-	m := prefcolor.NewMachine(*k)
-	out, st, err := prefcolor.Allocate(f, m, alloc)
-	if err != nil {
-		fatal(err)
+	for i, out := range outs {
+		if len(outs) > 1 {
+			fmt.Printf("; %s\n", sources[i].name)
+		}
+		fmt.Print(out.String())
+		st := sts[i]
+		if *stats {
+			fmt.Printf("; allocator=%s rounds=%d moves: %d -> %d (eliminated %d), spill instrs=%d, caller saves=%d, regs used=%d (%d non-volatile)\n",
+				st.Allocator, st.Rounds, st.MovesBefore, st.MovesRemaining, st.MovesEliminated,
+				st.SpillInstrs(), st.CallerSaveStores+st.CallerSaveLoads, st.UsedRegs, st.UsedNonVolatile)
+		}
+		if *estimate {
+			est := prefcolor.EstimateCycles(out, m)
+			fmt.Printf("; estimate: %.1f cycles, %d paired loads fused, %d missed, %d callee-saved regs\n",
+				est.Cycles, est.FusedPairs, est.MissedPairs, est.CalleeSaveRegs)
+		}
 	}
-	fmt.Print(out.String())
-	if *stats {
-		fmt.Printf("; allocator=%s rounds=%d moves: %d -> %d (eliminated %d), spill instrs=%d, caller saves=%d, regs used=%d (%d non-volatile)\n",
-			st.Allocator, st.Rounds, st.MovesBefore, st.MovesRemaining, st.MovesEliminated,
-			st.SpillInstrs(), st.CallerSaveStores+st.CallerSaveLoads, st.UsedRegs, st.UsedNonVolatile)
-	}
-	if *estimate {
-		est := prefcolor.EstimateCycles(out, m)
-		fmt.Printf("; estimate: %.1f cycles, %d paired loads fused, %d missed, %d callee-saved regs\n",
-			est.Cycles, est.FusedPairs, est.MissedPairs, est.CalleeSaveRegs)
-	}
+}
+
+type namedSource struct {
+	name string
+	src  string
 }
 
 func fatal(err error) {

@@ -67,8 +67,10 @@ func Explain(f *Function, m *Machine) (*Explanation, error) {
 		lines = append(lines, fmt.Sprintf("v%d: {%s}", w, strings.Join(nbs, ", ")))
 	}
 	exp.Interference = strings.Join(lines, "\n")
-	for n := range potential {
-		exp.PotentialSpills = append(exp.PotentialSpills, ctx.Graph.RegOf(n).String())
+	for n, p := range potential {
+		if p {
+			exp.PotentialSpills = append(exp.PotentialSpills, ctx.Graph.RegOf(ig.NodeID(n)).String())
+		}
 	}
 	sortStrings(exp.PotentialSpills)
 	return exp, nil

@@ -7,11 +7,8 @@ package bench
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"prefcolor/internal/core"
-	"prefcolor/internal/ir"
 	"prefcolor/internal/perfmodel"
 	"prefcolor/internal/regalloc"
 	"prefcolor/internal/regalloc/briggs"
@@ -75,53 +72,39 @@ type ProgramResult struct {
 	Funcs           int
 }
 
-// RunProgram allocates every function of the benchmark (in parallel —
-// each function's allocation is independent and generation is
-// deterministic) and sums the statistics and cycle estimates.
+// RunProgram allocates every function of the benchmark through the
+// parallel batch driver (each function's allocation is independent
+// and generation is deterministic) and sums the statistics and cycle
+// estimates. Aggregation walks the batch results in function order,
+// so the floating-point cycle totals are reproducible run to run.
 func RunProgram(p workload.Profile, m *target.Machine, allocName string) (*ProgramResult, error) {
 	if _, err := NewAllocator(allocName); err != nil {
 		return nil, err
 	}
 	funcs := workload.Generate(p, m)
-	res := &ProgramResult{Benchmark: p.Name, Allocator: allocName, Funcs: len(funcs)}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, f := range funcs {
-		wg.Add(1)
-		go func(i int, f *ir.Func) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	batch, err := regalloc.AllocateAll(funcs, m, regalloc.BatchOptions{
+		NewAllocator: func() regalloc.Allocator {
 			alloc, _ := NewAllocator(allocName)
-			out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("bench: %s/%s func %d: %w", p.Name, allocName, i, err)
-				}
-				return
-			}
-			est := perfmodel.Estimate(out, m)
-			res.MovesBefore += stats.MovesBefore
-			res.MovesEliminated += stats.MovesEliminated
-			res.MovesRemaining += stats.MovesRemaining
-			res.SpillInstrs += stats.SpillInstrs()
-			res.CallerSaves += stats.CallerSaveStores + stats.CallerSaveLoads
-			res.Cycles += est.Cycles
-			res.FusedPairs += est.FusedPairs
-			res.MissedPairs += est.MissedPairs
-			res.LimitViolations += est.LimitViolations
-		}(i, f)
+			return alloc
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s: %w", p.Name, allocName, err)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	res := &ProgramResult{Benchmark: p.Name, Allocator: allocName, Funcs: len(funcs)}
+	for i := range funcs {
+		stats := batch.Stats[i]
+		est := perfmodel.Estimate(batch.Funcs[i], m)
+		res.MovesBefore += stats.MovesBefore
+		res.MovesEliminated += stats.MovesEliminated
+		res.MovesRemaining += stats.MovesRemaining
+		res.SpillInstrs += stats.SpillInstrs()
+		res.CallerSaves += stats.CallerSaveStores + stats.CallerSaveLoads
+		res.Cycles += est.Cycles
+		res.FusedPairs += est.FusedPairs
+		res.MissedPairs += est.MissedPairs
+		res.LimitViolations += est.LimitViolations
 	}
 	return res, nil
 }

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// TestAllocationDeterminism runs the full pipeline twice over the
+// same generated workload and asserts bit-identical assignments and
+// spill sets. This guards the dense (slice-indexed) state migration
+// and any future parallel tie-breaking: the map-based implementation
+// left a few iteration-order hazards (selector queues, limit-derived
+// preferences) that only surfaced as run-to-run jitter.
+func TestAllocationDeterminism(t *testing.T) {
+	machines := []*target.Machine{
+		target.UsageModel(16),
+		// X86Like carries limited-register-usage constraints, the one
+		// preference source that used to be emitted in map order.
+		target.X86Like(16).WithIA64AddImmLimit(),
+		target.S390Like(24),
+	}
+	for _, m := range machines {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			p := workload.Benchmarks()[4] // mpegaudio: pair-rich, loop-heavy
+			funcs := workload.Generate(p, m)
+			for _, alloc := range []string{"pref-full", "pref-coalesce", "chaitin"} {
+				first, err := AllocationDigest(funcs, m, alloc)
+				if err != nil {
+					t.Fatalf("%s first run: %v", alloc, err)
+				}
+				second, err := AllocationDigest(funcs, m, alloc)
+				if err != nil {
+					t.Fatalf("%s second run: %v", alloc, err)
+				}
+				if first != second {
+					t.Errorf("%s: allocation digest differs between identical runs:\n  %s\n  %s", alloc, first, second)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+)
+
+// AllocationDigest allocates every function sequentially, in order,
+// and hashes each one's complete allocation outcome — spilled-web
+// count, spill code, and the final rewritten code with its register
+// assignments. Two implementations of the allocation pipeline that
+// produce identical assignments and spill sets produce identical
+// digests, so this is the before/after fingerprint the performance
+// work is checked against.
+func AllocationDigest(funcs []*ir.Func, m *target.Machine, allocName string) (string, error) {
+	h := sha256.New()
+	for _, f := range funcs {
+		alloc, err := NewAllocator(allocName)
+		if err != nil {
+			return "", err
+		}
+		out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+		if err != nil {
+			return "", fmt.Errorf("bench: digest %s/%s: %w", allocName, f.Name, err)
+		}
+		fmt.Fprintf(h, "%s|webs=%d|loads=%d|stores=%d\n%s\n",
+			f.Name, stats.SpilledWebs, stats.SpillLoads, stats.SpillStores, out.String())
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -64,10 +64,7 @@ func NewAblated(ab Ablation) *Allocator {
 // ablation: a single chain in Chaitin select order (reverse of the
 // removal stack), every node also pointing at Bottom.
 func chainCPG(stack []ig.NodeID) *CPG {
-	c := &CPG{
-		succs: map[ig.NodeID][]ig.NodeID{},
-		preds: map[ig.NodeID][]ig.NodeID{},
-	}
+	c := &CPG{}
 	if len(stack) == 0 {
 		return c
 	}

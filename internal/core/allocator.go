@@ -56,19 +56,19 @@ func (a *Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
 
 // SimplifyForBench exposes the optimistic simplification for the
 // repository's benchmarks, which time CPG construction in isolation.
-func SimplifyForBench(g *ig.Graph, k int) ([]ig.NodeID, map[ig.NodeID]bool) {
+func SimplifyForBench(g *ig.Graph, k int) ([]ig.NodeID, []bool) {
 	return simplifyOptimistic(g, k)
 }
 
 // simplifyOptimistic empties the graph in Briggs fashion, returning
 // the removal order and which nodes were removed at significant
-// degree (the potential spills of step 4's "spilled node" clause).
-// The graph is left fully removed; selection works off the original
-// adjacency, as §5.3 prescribes ("add the chosen node to the
-// interference graph").
-func simplifyOptimistic(g *ig.Graph, k int) ([]ig.NodeID, map[ig.NodeID]bool) {
+// degree (the potential spills of step 4's "spilled node" clause),
+// as a node-id-indexed mark slice. The graph is left fully removed;
+// selection works off the original adjacency, as §5.3 prescribes
+// ("add the chosen node to the interference graph").
+func simplifyOptimistic(g *ig.Graph, k int) ([]ig.NodeID, []bool) {
 	var order []ig.NodeID
-	potential := map[ig.NodeID]bool{}
+	potential := make([]bool, g.NumNodes())
 	for {
 		progress := false
 		for _, n := range g.ActiveNodes() {

@@ -17,34 +17,69 @@ const (
 	Bottom ig.NodeID = -2
 )
 
+// cpgIdx maps a node id to its slot in the CPG's slice-indexed
+// storage: Bottom and Top occupy the first two slots, real nodes
+// follow at id+2.
+func cpgIdx(n ig.NodeID) int { return int(n) + 2 }
+
 // CPG is the Coloring Precedence Graph (§5.2): the partial order on
 // register-selection obtained by relaxing the simplification stack's
 // total order without giving up the colorability the stack guarantees.
+// Successor and predecessor lists are slices indexed by node id + 2
+// (dense, like everything downstream of the renumbered graph), grown
+// on demand.
 type CPG struct {
-	succs map[ig.NodeID][]ig.NodeID
-	preds map[ig.NodeID][]ig.NodeID
+	succs [][]ig.NodeID
+	preds [][]ig.NodeID
 
 	// Epoch-marked visited buffer for reachability queries, indexed
-	// by node id + 2 (Top and Bottom occupy the first two slots).
+	// like succs/preds, plus reusable DFS scratch space.
 	visitMark  []uint32
 	visitEpoch uint32
+	work       []ig.NodeID
+	scratch    []ig.NodeID
+}
+
+// ensure grows the edge storage to cover slot i.
+func (c *CPG) ensure(i int) {
+	for i >= len(c.succs) {
+		c.succs = append(c.succs, nil)
+		c.preds = append(c.preds, nil)
+	}
+	for i >= len(c.visitMark) {
+		c.visitMark = append(c.visitMark, 0)
+	}
+}
+
+// succsOf returns n's successor list (nil when n has none).
+func (c *CPG) succsOf(n ig.NodeID) []ig.NodeID {
+	if i := cpgIdx(n); i < len(c.succs) {
+		return c.succs[i]
+	}
+	return nil
+}
+
+// predsOf returns n's predecessor list (nil when n has none).
+func (c *CPG) predsOf(n ig.NodeID) []ig.NodeID {
+	if i := cpgIdx(n); i < len(c.preds) {
+		return c.preds[i]
+	}
+	return nil
 }
 
 // BuildCPG runs the paper's nine-step construction.
 //
 // stack is the simplification stack in removal order (stack[0] was
 // removed first — the paper's RS pops in exactly this order);
-// potentialSpill marks the stack entries that were removed at
-// significant degree (optimistic simplification's "spilled" marks).
-// The working interference graph is the original graph minus its
-// physical nodes, per step 2.
-func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill map[ig.NodeID]bool, k int) (*CPG, error) {
-	c := &CPG{
-		succs: map[ig.NodeID][]ig.NodeID{},
-		preds: map[ig.NodeID][]ig.NodeID{},
-	}
+// potentialSpill, indexed by node id, marks the stack entries that
+// were removed at significant degree (optimistic simplification's
+// "spilled" marks). The working interference graph is the original
+// graph minus its physical nodes, per step 2.
+func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) (*CPG, error) {
+	c := &CPG{}
+	c.ensure(cpgIdx(ig.NodeID(g.NumNodes() - 1)))
 
-	present := map[ig.NodeID]bool{}
+	present := make([]bool, g.NumNodes())
 	for _, n := range stack {
 		if g.IsPhys(n) {
 			return nil, fmt.Errorf("core.BuildCPG: physical node %d on the stack", n)
@@ -56,56 +91,53 @@ func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill map[ig.NodeID]bool,
 	}
 
 	// WIG degrees: original adjacency restricted to stack (web) nodes.
-	wigDeg := map[ig.NodeID]int{}
-	for n := range present {
+	wigDeg := make([]int, g.NumNodes())
+	for _, n := range stack {
 		d := 0
-		for _, nb := range g.OrigNeighbors(n) {
+		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
 			if present[nb] {
 				d++
 			}
-		}
+		})
 		wigDeg[n] = d
 	}
 
-	inCPG := map[ig.NodeID]bool{}
-	ready := map[ig.NodeID]bool{}
-	create := func(n ig.NodeID) {
-		if !inCPG[n] {
-			inCPG[n] = true
-		}
-	}
+	inCPG := make([]bool, g.NumNodes())
+	ready := make([]bool, g.NumNodes())
 
 	// Step 4: initial low-degree nodes (ready) and potential-spill
 	// nodes (not ready) hang off Bottom.
 	for _, n := range stack {
 		switch {
 		case wigDeg[n] < k:
-			create(n)
+			inCPG[n] = true
 			c.addEdge(n, Bottom)
 			ready[n] = true
-		case potentialSpill[n]:
-			create(n)
+		case int(n) < len(potentialSpill) && potentialSpill[n]:
+			inCPG[n] = true
 			c.addEdge(n, Bottom)
 		}
 	}
 
 	// Steps 5–9: replay the removal sequence.
+	var remaining []ig.NodeID
 	for _, n := range stack {
 		present[n] = false
 		if !inCPG[n] {
 			return nil, fmt.Errorf("core.BuildCPG: node %d popped before appearing in the CPG (stack inconsistent with graph)", n)
 		}
-		var remaining []ig.NodeID
-		for _, nb := range g.OrigNeighbors(n) {
+		// ForEachOrigNeighbor visits in ascending node order, so
+		// remaining is already sorted.
+		remaining = remaining[:0]
+		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
 			if present[nb] {
 				remaining = append(remaining, nb)
 			}
-		}
-		sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+		})
 
 		// Step 6: materialize remaining neighbors.
 		for _, nb := range remaining {
-			create(nb)
+			inCPG[nb] = true
 		}
 		// Step 7: non-ready remaining neighbors must precede n.
 		sawNonReady := false
@@ -130,18 +162,25 @@ func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill map[ig.NodeID]bool,
 }
 
 func (c *CPG) addEdge(a, b ig.NodeID) {
-	for _, s := range c.succs[a] {
+	ai, bi := cpgIdx(a), cpgIdx(b)
+	if ai > bi {
+		c.ensure(ai)
+	} else {
+		c.ensure(bi)
+	}
+	for _, s := range c.succs[ai] {
 		if s == b {
 			return
 		}
 	}
-	c.succs[a] = append(c.succs[a], b)
-	c.preds[b] = append(c.preds[b], a)
+	c.succs[ai] = append(c.succs[ai], b)
+	c.preds[bi] = append(c.preds[bi], a)
 }
 
 func (c *CPG) removeEdge(a, b ig.NodeID) {
-	c.succs[a] = removeFrom(c.succs[a], b)
-	c.preds[b] = removeFrom(c.preds[b], a)
+	ai, bi := cpgIdx(a), cpgIdx(b)
+	c.succs[ai] = removeFrom(c.succs[ai], b)
+	c.preds[bi] = removeFrom(c.preds[bi], a)
 }
 
 func removeFrom(s []ig.NodeID, x ig.NodeID) []ig.NodeID {
@@ -156,18 +195,61 @@ func removeFrom(s []ig.NodeID, x ig.NodeID) []ig.NodeID {
 
 // addEdgeReduced adds u→n keeping the graph transitively reduced: the
 // edge is skipped if a path u⇝n already exists, and existing edges
-// u→x that the new edge makes transitive (n⇝x) are removed.
+// u→x that the new edge makes transitive (n⇝x) are removed. One DFS
+// from n marks everything n reaches; testing each successor against
+// the marks replaces the per-successor DFS the naive form needs (the
+// CPG is a DAG, so edge removals at u cannot change what n reaches).
 func (c *CPG) addEdgeReduced(u, n ig.NodeID) {
 	if c.reachable(u, n) {
 		return
 	}
 	c.addEdge(u, n)
-	for _, x := range append([]ig.NodeID(nil), c.succs[u]...) {
-		if x == n {
-			continue
-		}
-		if c.reachable(n, x) {
+	succs := c.succsOf(u)
+	if len(succs) == 1 {
+		return
+	}
+	c.markFrom(n)
+	c.scratch = append(c.scratch[:0], succs...)
+	for _, x := range c.scratch {
+		if x != n && c.marked(x) {
 			c.removeEdge(u, x)
+		}
+	}
+}
+
+// mark records n as visited in the current epoch, reporting whether it
+// was newly marked.
+func (c *CPG) mark(n ig.NodeID) bool {
+	i := cpgIdx(n)
+	for i >= len(c.visitMark) {
+		c.visitMark = append(c.visitMark, 0)
+	}
+	if c.visitMark[i] == c.visitEpoch {
+		return false
+	}
+	c.visitMark[i] = c.visitEpoch
+	return true
+}
+
+// marked reports whether n was visited in the current epoch.
+func (c *CPG) marked(n ig.NodeID) bool {
+	i := cpgIdx(n)
+	return i < len(c.visitMark) && c.visitMark[i] == c.visitEpoch
+}
+
+// markFrom starts a fresh epoch and marks every node reachable from a
+// (including a itself).
+func (c *CPG) markFrom(a ig.NodeID) {
+	c.visitEpoch++
+	c.mark(a)
+	c.work = append(c.work[:0], a)
+	for len(c.work) > 0 {
+		x := c.work[len(c.work)-1]
+		c.work = c.work[:len(c.work)-1]
+		for _, s := range c.succsOf(x) {
+			if c.mark(s) {
+				c.work = append(c.work, s)
+			}
 		}
 	}
 }
@@ -178,28 +260,17 @@ func (c *CPG) reachable(a, b ig.NodeID) bool {
 		return true
 	}
 	c.visitEpoch++
-	mark := func(n ig.NodeID) bool { // returns true if newly marked
-		i := int(n) + 2
-		for i >= len(c.visitMark) {
-			c.visitMark = append(c.visitMark, 0)
-		}
-		if c.visitMark[i] == c.visitEpoch {
-			return false
-		}
-		c.visitMark[i] = c.visitEpoch
-		return true
-	}
-	mark(a)
-	work := []ig.NodeID{a}
-	for len(work) > 0 {
-		x := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, s := range c.succs[x] {
+	c.mark(a)
+	c.work = append(c.work[:0], a)
+	for len(c.work) > 0 {
+		x := c.work[len(c.work)-1]
+		c.work = c.work[:len(c.work)-1]
+		for _, s := range c.succsOf(x) {
 			if s == b {
 				return true
 			}
-			if mark(s) {
-				work = append(work, s)
+			if c.mark(s) {
+				c.work = append(c.work, s)
 			}
 		}
 	}
@@ -208,21 +279,21 @@ func (c *CPG) reachable(a, b ig.NodeID) bool {
 
 // Succs returns the successors of n (sorted copy).
 func (c *CPG) Succs(n ig.NodeID) []ig.NodeID {
-	out := append([]ig.NodeID(nil), c.succs[n]...)
+	out := append([]ig.NodeID(nil), c.succsOf(n)...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Preds returns the predecessors of n (sorted copy).
 func (c *CPG) Preds(n ig.NodeID) []ig.NodeID {
-	out := append([]ig.NodeID(nil), c.preds[n]...)
+	out := append([]ig.NodeID(nil), c.predsOf(n)...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // HasEdge reports whether the edge a→b is present.
 func (c *CPG) HasEdge(a, b ig.NodeID) bool {
-	for _, s := range c.succs[a] {
+	for _, s := range c.succsOf(a) {
 		if s == b {
 			return true
 		}
@@ -233,22 +304,12 @@ func (c *CPG) HasEdge(a, b ig.NodeID) bool {
 // Nodes returns every real (non-pseudo) node mentioned by the CPG,
 // sorted.
 func (c *CPG) Nodes() []ig.NodeID {
-	seen := map[ig.NodeID]bool{}
-	for n := range c.succs {
-		if n >= 0 {
-			seen[n] = true
-		}
-	}
-	for n := range c.preds {
-		if n >= 0 {
-			seen[n] = true
-		}
-	}
 	var out []ig.NodeID
-	for n := range seen {
-		out = append(out, n)
+	for i := cpgIdx(0); i < len(c.succs); i++ {
+		if len(c.succs[i]) > 0 || len(c.preds[i]) > 0 {
+			out = append(out, ig.NodeID(i-2))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -57,7 +57,8 @@ func TestCPGPotentialSpillNotReady(t *testing.T) {
 	// Triangle with K=2: simplification must optimistically remove
 	// one node at significant degree.
 	g := lineGraph(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
-	pot := map[ig.NodeID]bool{0: true}
+	pot := make([]bool, 3)
+	pot[0] = true
 	cpg, err := BuildCPG(g, []ig.NodeID{0, 1, 2}, pot, 2)
 	if err != nil {
 		t.Fatalf("BuildCPG: %v", err)
@@ -74,7 +75,7 @@ func TestCPGPotentialSpillNotReady(t *testing.T) {
 }
 
 func TestCPGTransitiveReduction(t *testing.T) {
-	c := &CPG{succs: map[ig.NodeID][]ig.NodeID{}, preds: map[ig.NodeID][]ig.NodeID{}}
+	c := &CPG{}
 	c.addEdgeReduced(1, 2)
 	c.addEdgeReduced(2, 3)
 	// 1→3 is implied by 1→2→3 and must be skipped.
@@ -95,7 +96,7 @@ func TestCPGTransitiveReduction(t *testing.T) {
 }
 
 func TestCPGReachable(t *testing.T) {
-	c := &CPG{succs: map[ig.NodeID][]ig.NodeID{}, preds: map[ig.NodeID][]ig.NodeID{}}
+	c := &CPG{}
 	c.addEdge(1, 2)
 	c.addEdge(2, 3)
 	if !c.reachable(1, 3) || c.reachable(3, 1) || !c.reachable(2, 2) {

@@ -9,6 +9,53 @@ import (
 // recolorPasses bounds the greedy fixup iterations.
 const recolorPasses = 3
 
+// planOverlay is a proposed recoloring: a handful of (node, color)
+// overrides on top of the current assignment. Plans never exceed
+// maxCompPlan entries, so lookups are a linear scan over a pair of
+// small slices — cheaper than a hash table at this size, and
+// iteration order is insertion order (deterministic).
+type planOverlay struct {
+	nodes  []ig.NodeID
+	colors []int
+}
+
+// lookup returns the planned color for n, if the plan covers it.
+func (p *planOverlay) lookup(n ig.NodeID) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	for i, m := range p.nodes {
+		if m == n {
+			return p.colors[i], true
+		}
+	}
+	return 0, false
+}
+
+func (p *planOverlay) add(n ig.NodeID, c int) {
+	p.nodes = append(p.nodes, n)
+	p.colors = append(p.colors, c)
+}
+
+func (p *planOverlay) removeLast() {
+	p.nodes = p.nodes[:len(p.nodes)-1]
+	p.colors = p.colors[:len(p.colors)-1]
+}
+
+func (p *planOverlay) len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.nodes)
+}
+
+func (p *planOverlay) clone() *planOverlay {
+	return &planOverlay{
+		nodes:  append([]ig.NodeID(nil), p.nodes...),
+		colors: append([]int(nil), p.colors...),
+	}
+}
+
 // recolorFixup is a post-selection cleanup in the direction of the
 // paper's closing remark ("we are working on a heuristic algorithm …
 // that allows aggressive preference resolutions"): after the CPG
@@ -73,11 +120,12 @@ func (s *selector) tryPlans(x, y ig.NodeID) bool {
 	cx, cy := s.colorOf(x), s.colorOf(y)
 
 	bestDelta := 0.0
-	var bestPlan map[ig.NodeID]int
+	var bestPlan *planOverlay
 
-	consider := func(plan map[ig.NodeID]int) {
+	consider := func(plan *planOverlay) {
 		delta := 0.0
-		for n, nc := range plan {
+		for i, n := range plan.nodes {
+			nc := plan.colors[i]
 			if g.IsPhys(n) || !s.colorFreeFor(n, nc, plan) {
 				return
 			}
@@ -85,20 +133,32 @@ func (s *selector) tryPlans(x, y ig.NodeID) bool {
 		}
 		if delta > bestDelta+1e-9 {
 			bestDelta = delta
-			bestPlan = plan
+			bestPlan = plan.clone()
 		}
 	}
 
+	var scratch planOverlay
+	single := func(n ig.NodeID, c int) {
+		scratch.nodes = append(scratch.nodes[:0], n)
+		scratch.colors = append(scratch.colors[:0], c)
+		consider(&scratch)
+	}
+	double := func(c int) {
+		scratch.nodes = append(scratch.nodes[:0], x, y)
+		scratch.colors = append(scratch.colors[:0], c, c)
+		consider(&scratch)
+	}
+
 	if !g.IsPhys(x) {
-		consider(map[ig.NodeID]int{x: cy})
+		single(x, cy)
 	}
 	if !g.IsPhys(y) {
-		consider(map[ig.NodeID]int{y: cx})
+		single(y, cx)
 	}
 	if !g.IsPhys(x) && !g.IsPhys(y) {
 		for c := 0; c < k; c++ {
 			if c != cx && c != cy {
-				consider(map[ig.NodeID]int{x: c, y: c})
+				double(c)
 			}
 		}
 	}
@@ -106,17 +166,19 @@ func (s *selector) tryPlans(x, y ig.NodeID) bool {
 	// onto a single color (star- and chain-shaped copy groups need
 	// more than two nodes to move together).
 	if members := s.compMembers(x); len(members) > 2 && len(members) <= maxCompPlan {
+		var plan planOverlay
 		for c := 0; c < k; c++ {
-			if plan := s.componentPlan(members, c); len(plan) >= 2 {
-				consider(plan)
+			s.componentPlan(members, c, &plan)
+			if plan.len() >= 2 {
+				consider(&plan)
 			}
 		}
 	}
 	if bestPlan == nil {
 		return false
 	}
-	for n, nc := range bestPlan {
-		s.color[n] = nc
+	for i, n := range bestPlan.nodes {
+		s.color[n] = bestPlan.colors[i]
 	}
 	return true
 }
@@ -141,32 +203,32 @@ func (s *selector) compMembers(n ig.NodeID) []ig.NodeID {
 	return out
 }
 
-// componentPlan greedily gathers the members that can all wear color
-// c simultaneously, skipping those already on c.
-func (s *selector) componentPlan(members []ig.NodeID, c int) map[ig.NodeID]int {
-	plan := map[ig.NodeID]int{}
+// componentPlan greedily gathers into plan the members that can all
+// wear color c simultaneously, skipping those already on c.
+func (s *selector) componentPlan(members []ig.NodeID, c int, plan *planOverlay) {
+	plan.nodes = plan.nodes[:0]
+	plan.colors = plan.colors[:0]
 	for _, m := range members {
 		if s.color[m] == c {
 			continue
 		}
-		plan[m] = c
+		plan.add(m, c)
 		if !s.colorFreeFor(m, c, plan) {
-			delete(plan, m)
+			plan.removeLast()
 		}
 	}
-	return plan
 }
 
 // colorFreeFor reports whether node n may wear color c given current
 // colors with the plan's overrides (plan members never interfere with
 // each other here, but the check stays general).
-func (s *selector) colorFreeFor(n ig.NodeID, c int, plan map[ig.NodeID]int) bool {
+func (s *selector) colorFreeFor(n ig.NodeID, c int, plan *planOverlay) bool {
 	free := true
 	s.ctx.Graph.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
 		if !free {
 			return
 		}
-		nbc, ok := plan[nb]
+		nbc, ok := plan.lookup(nb)
 		if !ok {
 			nbc = s.colorOf(nb)
 		}
@@ -184,7 +246,7 @@ func (s *selector) colorFreeFor(n ig.NodeID, c int, plan map[ig.NodeID]int) bool
 // before and after of any recoloring, so only these terms matter.
 // Coalesce and sequential preferences exist in both directions, so
 // scoring only the recolored nodes still sees every affected edge.
-func (s *selector) nodeScore(n ig.NodeID, c int, plan map[ig.NodeID]int) float64 {
+func (s *selector) nodeScore(n ig.NodeID, c int, plan *planOverlay) float64 {
 	m := s.ctx.Machine
 	vol := m.IsVolatile(c)
 	total := 0.0
@@ -199,7 +261,7 @@ func (s *selector) nodeScore(n ig.NodeID, c int, plan map[ig.NodeID]int) float64
 		honored := false
 		switch p.Kind {
 		case Coalesce, SeqPlus, SeqMinus:
-			tc, ok := plan[p.To]
+			tc, ok := plan.lookup(p.To)
 			if !ok {
 				tc = s.colorOf(p.To)
 			}

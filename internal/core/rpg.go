@@ -148,14 +148,19 @@ func (p *Pref) String() string {
 }
 
 // RPG is the Register Preference Graph: preferences indexed by their
-// holder.
+// holder (a node-id-indexed slice, grown on demand).
 type RPG struct {
 	prefs  []Pref
-	byNode map[ig.NodeID][]int
+	byNode [][]int
 }
 
 // Prefs returns the indices of the preferences held by node n.
-func (r *RPG) Prefs(n ig.NodeID) []int { return r.byNode[n] }
+func (r *RPG) Prefs(n ig.NodeID) []int {
+	if int(n) < len(r.byNode) {
+		return r.byNode[n]
+	}
+	return nil
+}
 
 // Pref returns the preference with index i.
 func (r *RPG) Pref(i int) *Pref { return &r.prefs[i] }
@@ -165,6 +170,9 @@ func (r *RPG) NumPrefs() int { return len(r.prefs) }
 
 // add appends a preference and indexes it.
 func (r *RPG) add(p Pref) {
+	for int(p.From) >= len(r.byNode) {
+		r.byNode = append(r.byNode, nil)
+	}
 	r.byNode[p.From] = append(r.byNode[p.From], len(r.prefs))
 	r.prefs = append(r.prefs, p)
 }
@@ -186,8 +194,8 @@ const (
 // BuildRPG constructs the Register Preference Graph for the current
 // round, deriving every strength from the Appendix cost model.
 func BuildRPG(ctx *regalloc.Context, mode Mode) *RPG {
-	r := &RPG{byNode: map[ig.NodeID][]int{}}
 	g, costs := ctx.Graph, ctx.Costs
+	r := &RPG{byNode: make([][]int, g.NumNodes())}
 
 	strengths := func(n ig.NodeID, savings float64) (sv, snv float64) {
 		w := int(n) - g.NumPhys()
@@ -231,27 +239,40 @@ func BuildRPG(ctx *regalloc.Context, mode Mode) *RPG {
 
 	// Limited register usages (second preference kind): one Prefers
 	// edge with an explicit register set per (web, allowed-set),
-	// weighted by the total fixup cost the limit avoids.
-	type limitKey struct {
-		n   ig.NodeID
-		set string
+	// weighted by the total fixup cost the limit avoids. Sites are
+	// accumulated in first-occurrence order — emitting preferences in
+	// map-iteration order here used to be a source of run-to-run
+	// nondeterminism on machines with limits.
+	type limitEntry struct {
+		n      ig.NodeID
+		setKey string
+		set    []int
+		weight float64
 	}
-	limitWeight := map[limitKey]float64{}
-	limitSet := map[limitKey][]int{}
+	var entries []limitEntry
 	for _, site := range costmodel.FindLimitSites(ctx.F, ctx.Machine, ctx.Loops) {
 		if !site.Reg.IsVirt() {
 			continue
 		}
-		key := limitKey{g.NodeOf(site.Reg), fmt.Sprint(site.Allowed)}
-		limitWeight[key] += site.Weight
-		limitSet[key] = site.Allowed
+		n, setKey := g.NodeOf(site.Reg), fmt.Sprint(site.Allowed)
+		found := false
+		for i := range entries {
+			if entries[i].n == n && entries[i].setKey == setKey {
+				entries[i].weight += site.Weight
+				found = true
+				break
+			}
+		}
+		if !found {
+			entries = append(entries, limitEntry{n: n, setKey: setKey, set: site.Allowed, weight: site.Weight})
+		}
 	}
-	for key, weight := range limitWeight {
-		sv, snv := strengths(key.n, weight)
+	for _, e := range entries {
+		sv, snv := strengths(e.n, e.weight)
 		r.add(Pref{
-			From: key.n, To: -1, Kind: Prefers,
-			Allowed: limitSet[key],
-			StrVol:  sv, StrNonVol: snv, Savings: weight,
+			From: e.n, To: -1, Kind: Prefers,
+			Allowed: e.set,
+			StrVol:  sv, StrNonVol: snv, Savings: e.weight,
 		})
 	}
 

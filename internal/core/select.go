@@ -19,28 +19,33 @@ type selector struct {
 	mode Mode
 	ab   Ablation
 
-	color     []int // per node id; physical nodes preset
-	spilled   map[ig.NodeID]bool
-	processed map[ig.NodeID]bool
-	predCount map[ig.NodeID]int
-	queue     map[ig.NodeID]bool
+	// All per-node state is indexed by node id — like the graph
+	// itself, dense slices instead of hash tables.
+	color       []int // per node id; physical nodes preset
+	spilled     []bool
+	processed   []bool
+	nProcessed  int
+	predCount   []int
+	queue       []bool
 
 	// comp groups copy-related nodes into components (transitive
-	// closure over non-interfering copies); compColors counts the
-	// registers already granted inside each component. The final pick
+	// closure over non-interfering copies); compColors counts, per
+	// component, how often each register was granted inside it (nil
+	// until the component first receives a color). The final pick
 	// prefers a component's established registers, which recovers the
 	// transitive-chain coalesces the paper's §6.1 notes its
 	// one-at-a-time scheme can miss.
 	comp       []int32
-	compColors map[int32]map[int]int
+	compColors [][]int
 
-	// priCache memoizes queue priorities; processing a node
+	// priVal/priOK memoize queue priorities; processing a node
 	// invalidates its interference neighbors (their available sets
 	// changed) and its preference partners (their honorable sets
 	// changed). prefSources[t] lists nodes holding a preference
 	// aimed at t.
-	priCache    map[ig.NodeID]float64
-	prefSources map[ig.NodeID][]ig.NodeID
+	priVal      []float64
+	priOK       []bool
+	prefSources [][]ig.NodeID
 }
 
 func newSelector(ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector {
@@ -48,10 +53,10 @@ func newSelector(ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector
 	s := &selector{
 		ctx: ctx, rpg: rpg, cpg: cpg, mode: mode,
 		color:     make([]int, g.NumNodes()),
-		spilled:   map[ig.NodeID]bool{},
-		processed: map[ig.NodeID]bool{},
-		predCount: map[ig.NodeID]int{},
-		queue:     map[ig.NodeID]bool{},
+		spilled:   make([]bool, g.NumNodes()),
+		processed: make([]bool, g.NumNodes()),
+		predCount: make([]int, g.NumNodes()),
+		queue:     make([]bool, g.NumNodes()),
 	}
 	for i := range s.color {
 		s.color[i] = -1
@@ -80,13 +85,14 @@ func newSelector(ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector
 			}
 		}
 	}
-	s.compColors = map[int32]map[int]int{}
+	s.compColors = make([][]int, g.NumNodes())
 	for i := 0; i < g.NumPhys(); i++ {
 		s.noteCompColor(ig.NodeID(i), i)
 	}
 
-	s.priCache = map[ig.NodeID]float64{}
-	s.prefSources = map[ig.NodeID][]ig.NodeID{}
+	s.priVal = make([]float64, g.NumNodes())
+	s.priOK = make([]bool, g.NumNodes())
+	s.prefSources = make([][]ig.NodeID, g.NumNodes())
 	for i := 0; i < rpg.NumPrefs(); i++ {
 		p := rpg.Pref(i)
 		if p.To >= 0 {
@@ -108,12 +114,18 @@ func (s *selector) compOf(n ig.NodeID) int32 {
 // noteCompColor records that node n's component now holds register c.
 func (s *selector) noteCompColor(n ig.NodeID, c int) {
 	comp := s.compOf(n)
-	m := s.compColors[comp]
-	if m == nil {
-		m = map[int]int{}
-		s.compColors[comp] = m
+	counts := s.compColors[comp]
+	if counts == nil {
+		size := s.ctx.Graph.NumPhys()
+		if k := s.ctx.K(); k > size {
+			size = k
+		}
+		counts = make([]int, size)
+		s.compColors[comp] = counts
 	}
-	m[c]++
+	if c < len(counts) {
+		counts[c]++
+	}
 }
 
 // run processes every web node in a CPG-respecting order and returns
@@ -137,10 +149,10 @@ func (s *selector) run() (*regalloc.Result, error) {
 	}
 
 	res := regalloc.NewResult()
-	for len(s.processed) < numWebs {
+	for s.nProcessed < numWebs {
 		n := s.chooseNode()
 		if n < 0 {
-			return nil, fmt.Errorf("core: CPG traversal stuck with %d of %d nodes processed", len(s.processed), numWebs)
+			return nil, fmt.Errorf("core: CPG traversal stuck with %d of %d nodes processed", s.nProcessed, numWebs)
 		}
 		s.processNode(n, res)
 	}
@@ -160,23 +172,24 @@ func (s *selector) run() (*regalloc.Result, error) {
 // honorable preference (a single preference's differential is its own
 // strength — the regret of missing it).
 func (s *selector) chooseNode() ig.NodeID {
-	var qs []ig.NodeID
-	for n := range s.queue {
-		qs = append(qs, n)
-	}
-	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
-	if s.ab.FIFOPriority && len(qs) > 0 {
-		return qs[0]
-	}
+	// The queue scan runs in ascending node order, which both keeps
+	// tie-breaking deterministic and matches the sorted iteration the
+	// map-based implementation paid a sort for.
 	best := ig.NodeID(-1)
 	bestPri := math.Inf(-1)
-	for _, n := range qs {
-		pri, ok := s.priCache[n]
-		if !ok {
-			pri = s.priority(n)
-			s.priCache[n] = pri
+	for i := range s.queue {
+		if !s.queue[i] {
+			continue
 		}
-		if best < 0 || pri > bestPri {
+		n := ig.NodeID(i)
+		if s.ab.FIFOPriority {
+			return n
+		}
+		if !s.priOK[n] {
+			s.priVal[n] = s.priority(n)
+			s.priOK[n] = true
+		}
+		if pri := s.priVal[n]; best < 0 || pri > bestPri {
 			best, bestPri = n, pri
 		}
 	}
@@ -187,11 +200,11 @@ func (s *selector) chooseNode() ig.NodeID {
 // changed: interference neighbors (available registers shrank) and
 // preference partners (a deferred preference may now be honorable).
 func (s *selector) invalidateAround(n ig.NodeID) {
-	for _, nb := range s.ctx.Graph.OrigNeighbors(n) {
-		delete(s.priCache, nb)
-	}
+	s.ctx.Graph.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
+		s.priOK[nb] = false
+	})
 	for _, src := range s.prefSources[n] {
-		delete(s.priCache, src)
+		s.priOK[src] = false
 	}
 }
 
@@ -324,8 +337,9 @@ func (s *selector) availRegs(n ig.NodeID) []int {
 // processNode is step 4 plus the §5.4 active spill, followed by
 // step 5's edge release.
 func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
-	delete(s.queue, n)
+	s.queue[n] = false
 	s.processed[n] = true
+	s.nProcessed++
 
 	switch {
 	case s.shouldActivelySpill(n):
@@ -428,11 +442,11 @@ func (s *selector) chooseReg(n ig.NodeID, avail []int) int {
 	// Step 4.4: pick. Prefer a register the node's copy component
 	// already holds (transitive deferred coalescing); then, in
 	// coalesce-only mode, the paper's "non-volatile first" heuristic.
-	if m := s.compColors[s.compOf(n)]; len(m) > 0 {
+	if counts := s.compColors[s.compOf(n)]; counts != nil {
 		best, bestCount := -1, 0
 		for _, r := range cands {
-			if c := m[r]; c > bestCount {
-				best, bestCount = r, c
+			if r < len(counts) && counts[r] > bestCount {
+				best, bestCount = r, counts[r]
 			}
 		}
 		if best >= 0 {

@@ -1,0 +1,243 @@
+package ig_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prefcolor/internal/ig"
+)
+
+// refGraph is the retained reference adjacency: the map-of-sets
+// representation the bitset Graph replaced, with the original degree
+// and coalescing bookkeeping. The equivalence test drives it and the
+// real Graph through identical operation sequences and demands
+// identical observable state at every step.
+type refGraph struct {
+	nPhys   int
+	n       int
+	adj     []map[ig.NodeID]bool
+	origAdj []map[ig.NodeID]bool
+	alias   []ig.NodeID
+	removed []bool
+	degree  []int
+}
+
+func newRefGraph(nPhys, nWebs int) *refGraph {
+	n := nPhys + nWebs
+	r := &refGraph{
+		nPhys:   nPhys,
+		n:       n,
+		adj:     make([]map[ig.NodeID]bool, n),
+		origAdj: make([]map[ig.NodeID]bool, n),
+		alias:   make([]ig.NodeID, n),
+		removed: make([]bool, n),
+		degree:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		r.adj[i] = map[ig.NodeID]bool{}
+		r.origAdj[i] = map[ig.NodeID]bool{}
+		r.alias[i] = ig.NodeID(i)
+	}
+	for a := 0; a < nPhys; a++ {
+		for b := a + 1; b < nPhys; b++ {
+			r.addEdge(ig.NodeID(a), ig.NodeID(b))
+		}
+	}
+	return r
+}
+
+func (r *refGraph) addEdge(a, b ig.NodeID) {
+	if a == b || r.adj[a][b] {
+		return
+	}
+	r.adj[a][b] = true
+	r.adj[b][a] = true
+	if !r.removed[b] {
+		r.degree[a]++
+	}
+	if !r.removed[a] {
+		r.degree[b]++
+	}
+}
+
+func (r *refGraph) freeze() {
+	for i := 0; i < r.n; i++ {
+		m := make(map[ig.NodeID]bool, len(r.adj[i]))
+		for k := range r.adj[i] {
+			m[k] = true
+		}
+		r.origAdj[i] = m
+	}
+}
+
+func (r *refGraph) find(n ig.NodeID) ig.NodeID {
+	for r.alias[n] != n {
+		n = r.alias[n]
+	}
+	return n
+}
+
+func (r *refGraph) remove(n ig.NodeID) {
+	r.removed[n] = true
+	for nb := range r.adj[n] {
+		if !r.removed[nb] && r.alias[nb] == nb {
+			r.degree[nb]--
+		}
+	}
+}
+
+func (r *refGraph) coalesce(a, b ig.NodeID) {
+	rep, loser := a, b
+	if int(b) < r.nPhys {
+		rep, loser = b, a
+	}
+	for nb := range r.adj[loser] {
+		delete(r.adj[nb], loser)
+		if r.adj[nb][rep] {
+			if !r.removed[nb] && int(nb) >= r.nPhys {
+				r.degree[nb]--
+			}
+			continue
+		}
+		r.adj[nb][rep] = true
+		r.adj[rep][nb] = true
+		if !r.removed[nb] && int(rep) >= r.nPhys {
+			r.degree[rep]++
+		}
+	}
+	r.adj[loser] = map[ig.NodeID]bool{}
+	r.degree[loser] = 0
+	r.alias[loser] = rep
+}
+
+func (r *refGraph) neighbors(n ig.NodeID) []ig.NodeID {
+	out := []ig.NodeID{}
+	for i := 0; i < r.n; i++ {
+		if r.adj[n][ig.NodeID(i)] {
+			out = append(out, ig.NodeID(i))
+		}
+	}
+	return out
+}
+
+func (r *refGraph) origNeighbors(n ig.NodeID) []ig.NodeID {
+	out := []ig.NodeID{}
+	for i := 0; i < r.n; i++ {
+		if r.origAdj[n][ig.NodeID(i)] {
+			out = append(out, ig.NodeID(i))
+		}
+	}
+	return out
+}
+
+// TestGraphMatchesReferenceAdjacency drives the bitset Graph and the
+// reference map adjacency through identical random AddEdge / Freeze /
+// Coalesce / Remove scripts and checks after every operation that
+// neighbor sets, original-neighbor sets, degrees, and pairwise
+// interference agree exactly.
+func TestGraphMatchesReferenceAdjacency(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nPhys, nWebs := 3, 12
+		g := ig.NewGraph(nPhys, nWebs)
+		ref := newRefGraph(nPhys, nWebs)
+		n := nPhys + nWebs
+
+		check := func(step int, op string) {
+			t.Helper()
+			for i := 0; i < n; i++ {
+				node := ig.NodeID(i)
+				if got, want := g.Neighbors(node), ref.neighbors(node); !reflect.DeepEqual(append([]ig.NodeID{}, got...), want) {
+					t.Fatalf("seed %d step %d (%s): Neighbors(%d) = %v, reference %v", seed, step, op, i, got, want)
+				}
+				if got, want := g.OrigNeighbors(node), ref.origNeighbors(node); !reflect.DeepEqual(append([]ig.NodeID{}, got...), want) {
+					t.Fatalf("seed %d step %d (%s): OrigNeighbors(%d) = %v, reference %v", seed, step, op, i, got, want)
+				}
+				if i >= nPhys {
+					if got, want := g.Degree(node), ref.degree[i]; got != want {
+						t.Fatalf("seed %d step %d (%s): Degree(%d) = %d, reference %d", seed, step, op, i, got, want)
+					}
+				}
+				for j := 0; j < n; j++ {
+					other := ig.NodeID(j)
+					if got, want := g.OrigInterferes(node, other), ref.origAdj[i][other]; got != want {
+						t.Fatalf("seed %d step %d (%s): OrigInterferes(%d,%d) = %v, reference %v", seed, step, op, i, j, got, want)
+					}
+				}
+			}
+		}
+
+		// Phase 1: random construction, then freeze both.
+		for e := 0; e < 30; e++ {
+			a := ig.NodeID(rng.Intn(n))
+			b := ig.NodeID(nPhys + rng.Intn(nWebs))
+			g.AddEdge(a, b)
+			ref.addEdge(a, b)
+		}
+		g.Freeze()
+		ref.freeze()
+		check(0, "freeze")
+
+		// Phase 2: random mutation mirroring the allocator's use —
+		// coalesces and removals against the frozen original.
+		for step := 1; step <= 40; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				a := g.Find(ig.NodeID(rng.Intn(n)))
+				b := g.Find(ig.NodeID(nPhys + rng.Intn(nWebs)))
+				if a == b || g.Removed(a) || g.Removed(b) {
+					continue
+				}
+				g.AddEdge(a, b)
+				ref.addEdge(a, b)
+				check(step, "addedge")
+			case 1:
+				a := g.Find(ig.NodeID(rng.Intn(n)))
+				b := g.Find(ig.NodeID(nPhys + rng.Intn(nWebs)))
+				if a == b || g.Interferes(a, b) || g.Removed(a) || g.Removed(b) {
+					continue
+				}
+				if g.IsPhys(a) && g.IsPhys(b) {
+					continue
+				}
+				g.Coalesce(a, b)
+				ref.coalesce(a, b)
+				check(step, "coalesce")
+			case 2:
+				a := g.Find(ig.NodeID(nPhys + rng.Intn(nWebs)))
+				if g.IsPhys(a) || g.Removed(a) || g.Aliased(a) {
+					continue
+				}
+				g.Remove(a)
+				ref.remove(a)
+				check(step, "remove")
+			}
+		}
+	}
+}
+
+// TestFreezeIsImmutableSnapshot pins the copy-on-write contract: the
+// frozen original adjacency must not observe mutations made to the
+// live graph after Freeze.
+func TestFreezeIsImmutableSnapshot(t *testing.T) {
+	g := ig.NewGraph(0, 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.Freeze()
+
+	if !g.OrigInterferes(0, 1) || g.OrigInterferes(0, 2) {
+		t.Fatal("frozen adjacency wrong before mutation")
+	}
+	g.AddEdge(0, 2) // post-freeze mutation must trigger the row copy
+	if !g.Interferes(0, 2) {
+		t.Error("live graph lost the post-freeze edge")
+	}
+	if g.OrigInterferes(0, 2) {
+		t.Error("post-freeze AddEdge leaked into the frozen original")
+	}
+	g.Coalesce(1, 2)
+	if g.OrigInterferes(0, 2) || !g.OrigInterferes(2, 3) {
+		t.Error("coalescing mutated the frozen original")
+	}
+}

@@ -2,7 +2,7 @@ package ig
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"prefcolor/internal/ir"
 )
@@ -24,20 +24,38 @@ type Move struct {
 // removal (simplification), coalescing with union-find aliasing, and
 // an immutable copy of the pre-coalescing adjacency for optimistic
 // coalescing's undo phase.
+//
+// Adjacency is a dense bitset: one []uint64 row per node, bit b of
+// row a set when a and b interfere. Edge tests are one word probe,
+// neighbor iteration walks set bits in ascending order (so iteration
+// is deterministic without sorting), and the whole structure is three
+// pointer dereferences away from a contiguous allocation — the inner
+// loops of simplification and precedence-graph construction touch no
+// hash tables.
 type Graph struct {
 	nPhys int
 	n     int
+	words int // per-row length: ceil(n / 64)
 
 	// adj is the current adjacency under coalescing: edges of a
 	// merged node accumulate on its representative. Membership is
 	// kept even for removed (stacked) nodes; degree tracks only
-	// active neighbors.
-	adj []map[NodeID]struct{}
+	// active neighbors. Rows initially slice one shared backing
+	// array.
+	adj [][]uint64
 
 	// origAdj is frozen at the end of Build: the adjacency before any
 	// coalescing, used by optimistic coalescing's undo and by
-	// validity checks.
-	origAdj []map[NodeID]struct{}
+	// validity checks. Freeze does not copy — each origAdj row
+	// aliases the adj row, and the first post-freeze mutation of an
+	// adj row gives adj a private copy (copy-on-write), so functions
+	// where coalescing touches few nodes never pay for a full
+	// duplicate of the graph.
+	origAdj [][]uint64
+
+	// shared[i] records that adj[i] still aliases origAdj[i] and must
+	// be copied before mutation.
+	shared []bool
 
 	alias   []NodeID
 	members [][]NodeID
@@ -53,11 +71,15 @@ type Graph struct {
 // nWebs live-range nodes. The physical nodes form a clique.
 func NewGraph(nPhys, nWebs int) *Graph {
 	n := nPhys + nWebs
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
 	g := &Graph{
 		nPhys:     nPhys,
 		n:         n,
-		adj:       make([]map[NodeID]struct{}, n),
-		origAdj:   make([]map[NodeID]struct{}, n),
+		words:     words,
+		adj:       make([][]uint64, n),
+		origAdj:   make([][]uint64, n),
+		shared:    make([]bool, n),
 		alias:     make([]NodeID, n),
 		members:   make([][]NodeID, n),
 		removed:   make([]bool, n),
@@ -66,8 +88,7 @@ func NewGraph(nPhys, nWebs int) *Graph {
 		nodeMoves: make([][]int, n),
 	}
 	for i := 0; i < n; i++ {
-		g.adj[i] = map[NodeID]struct{}{}
-		g.origAdj[i] = map[NodeID]struct{}{}
+		g.adj[i] = backing[i*words : (i+1)*words : (i+1)*words]
 		g.alias[i] = NodeID(i)
 		g.members[i] = []NodeID{NodeID(i)}
 	}
@@ -77,6 +98,42 @@ func NewGraph(nPhys, nWebs int) *Graph {
 		}
 	}
 	return g
+}
+
+// hasBit reports whether bit b is set in row (nil rows have no bits).
+func hasBit(row []uint64, b NodeID) bool {
+	w := int(b) >> 6
+	return w < len(row) && row[w]&(1<<(uint(b)&63)) != 0
+}
+
+// forEachBit calls fn for every set bit of row, in ascending order.
+func forEachBit(row []uint64, fn func(NodeID)) {
+	for wi, w := range row {
+		base := NodeID(wi << 6)
+		for w != 0 {
+			fn(base + NodeID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// popRow counts the set bits of row.
+func popRow(row []uint64) int {
+	c := 0
+	for _, w := range row {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// row returns node n's adjacency row for writing, detaching it from
+// the frozen original first if Freeze left them aliased.
+func (g *Graph) row(n NodeID) []uint64 {
+	if g.shared[n] {
+		g.adj[n] = append(make([]uint64, 0, g.words), g.adj[n]...)
+		g.shared[n] = false
+	}
+	return g.adj[n]
 }
 
 // NumPhys returns the number of precolored nodes.
@@ -122,9 +179,9 @@ func (g *Graph) AddEdge(a, b NodeID) {
 	if a == b {
 		return
 	}
-	if _, dup := g.adj[a][b]; !dup {
-		g.adj[a][b] = struct{}{}
-		g.adj[b][a] = struct{}{}
+	if !hasBit(g.adj[a], b) {
+		g.row(a)[int(b)>>6] |= 1 << (uint(b) & 63)
+		g.row(b)[int(a)>>6] |= 1 << (uint(a) & 63)
 		if !g.removed[b] {
 			g.degree[a]++
 		}
@@ -135,14 +192,13 @@ func (g *Graph) AddEdge(a, b NodeID) {
 }
 
 // Freeze snapshots the current adjacency as the "original" graph.
-// Build calls it once; tests may too.
+// Build calls it once; tests may too. The snapshot is copy-on-write:
+// rows are shared with the live adjacency until the live side mutates
+// them.
 func (g *Graph) Freeze() {
 	for i := 0; i < g.n; i++ {
-		m := make(map[NodeID]struct{}, len(g.adj[i]))
-		for k := range g.adj[i] {
-			m[k] = struct{}{}
-		}
-		g.origAdj[i] = m
+		g.origAdj[i] = g.adj[i]
+		g.shared[i] = true
 	}
 }
 
@@ -159,14 +215,12 @@ func (g *Graph) Find(n NodeID) NodeID {
 // edge in the current graph.
 func (g *Graph) Interferes(a, b NodeID) bool {
 	a, b = g.Find(a), g.Find(b)
-	_, ok := g.adj[a][b]
-	return ok
+	return hasBit(g.adj[a], b)
 }
 
 // OrigInterferes reports interference in the pre-coalescing graph.
 func (g *Graph) OrigInterferes(a, b NodeID) bool {
-	_, ok := g.origAdj[a][b]
-	return ok
+	return hasBit(g.origAdj[a], b)
 }
 
 // Degree returns the number of active (not removed, not aliased)
@@ -203,51 +257,40 @@ func (g *Graph) Remove(n NodeID) {
 		panic("ig.Graph.Remove: node already removed")
 	}
 	g.removed[n] = true
-	for nb := range g.adj[n] {
+	forEachBit(g.adj[n], func(nb NodeID) {
 		if !g.removed[nb] && g.alias[nb] == nb {
 			g.degree[nb]--
 		}
-	}
+	})
 }
 
 // ForEachNeighbor calls fn for every current neighbor of the
-// representative n (including removed ones); fn's argument is itself a
-// representative.
+// representative n (including removed ones), in ascending node order;
+// fn's argument is itself a representative.
 func (g *Graph) ForEachNeighbor(n NodeID, fn func(nb NodeID)) {
-	for nb := range g.adj[n] {
-		fn(nb)
-	}
+	forEachBit(g.adj[n], fn)
 }
 
-// Neighbors returns the current neighbors of n, sorted, for
-// deterministic iteration.
+// Neighbors returns the current neighbors of n in ascending order.
 func (g *Graph) Neighbors(n NodeID) []NodeID {
-	out := make([]NodeID, 0, len(g.adj[n]))
-	for nb := range g.adj[n] {
-		out = append(out, nb)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, 0, popRow(g.adj[n]))
+	forEachBit(g.adj[n], func(nb NodeID) { out = append(out, nb) })
 	return out
 }
 
 // OrigNeighbors returns the pre-coalescing neighbors of an original
-// node, sorted.
+// node in ascending order.
 func (g *Graph) OrigNeighbors(n NodeID) []NodeID {
-	out := make([]NodeID, 0, len(g.origAdj[n]))
-	for nb := range g.origAdj[n] {
-		out = append(out, nb)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, 0, popRow(g.origAdj[n]))
+	forEachBit(g.origAdj[n], func(nb NodeID) { out = append(out, nb) })
 	return out
 }
 
 // ForEachOrigNeighbor visits the pre-coalescing neighbors of an
-// original node in unspecified order, without allocating — the hot
+// original node in ascending order, without allocating — the hot
 // path for availability checks.
 func (g *Graph) ForEachOrigNeighbor(n NodeID, fn func(nb NodeID)) {
-	for nb := range g.origAdj[n] {
-		fn(nb)
-	}
+	forEachBit(g.origAdj[n], fn)
 }
 
 // Members returns the original nodes merged into representative n
@@ -275,23 +318,32 @@ func (g *Graph) Coalesce(a, b NodeID) NodeID {
 	if g.IsPhys(b) {
 		rep, loser = b, a
 	}
-	for nb := range g.adj[loser] {
-		delete(g.adj[nb], loser)
-		if _, already := g.adj[nb][rep]; already {
+	// rep is never a neighbor of loser (they don't interfere), so
+	// rep's row can be fetched once without the loop invalidating it.
+	repRow := g.row(rep)
+	repW, repM := int(rep)>>6, uint64(1)<<(uint(rep)&63)
+	loserW, loserM := int(loser)>>6, uint64(1)<<(uint(loser)&63)
+	forEachBit(g.adj[loser], func(nb NodeID) {
+		nbRow := g.row(nb)
+		nbRow[loserW] &^= loserM
+		if nbRow[repW]&repM != 0 {
 			// nb had both endpoints as distinct neighbors; it keeps
 			// only the representative.
 			if !g.removed[nb] && !g.IsPhys(nb) {
 				g.degree[nb]--
 			}
-			continue
+			return
 		}
-		g.adj[nb][rep] = struct{}{}
-		g.adj[rep][nb] = struct{}{}
+		nbRow[repW] |= repM
+		repRow[int(nb)>>6] |= 1 << (uint(nb) & 63)
 		if !g.removed[nb] && !g.IsPhys(rep) {
 			g.degree[rep]++
 		}
+	})
+	lr := g.row(loser)
+	for i := range lr {
+		lr[i] = 0
 	}
-	g.adj[loser] = map[NodeID]struct{}{}
 	g.degree[loser] = 0
 	g.alias[loser] = rep
 	g.members[rep] = append(g.members[rep], g.members[loser]...)
@@ -352,7 +404,7 @@ func (g *Graph) MoveRelated(n NodeID) bool {
 }
 
 // ActiveNodes returns all web representatives still in the graph
-// (not removed, not aliased), sorted for determinism.
+// (not removed, not aliased), in ascending order.
 func (g *Graph) ActiveNodes() []NodeID {
 	var out []NodeID
 	for i := g.nPhys; i < g.n; i++ {

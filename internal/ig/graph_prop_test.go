@@ -26,7 +26,7 @@ func TestPropGraphDegreeInvariant(t *testing.T) {
 					continue
 				}
 				want := 0
-				for nb := range g.adj[n] {
+				for _, nb := range g.Neighbors(n) {
 					if !g.removed[nb] && g.alias[nb] == nb {
 						want++
 					}

@@ -43,100 +43,109 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 	// Enumerate definition sites. Site 0..len(Params)-1 are the
 	// parameter pseudo-definitions at entry; further sites follow in
 	// block/instruction order. Synthetic sites for uses with no
-	// reaching definition are appended on demand.
-	type siteKey struct {
-		b ir.BlockID
-		i int
+	// reaching definition are appended on demand. Every per-register
+	// table below is a dense slice indexed by VirtNum — virtual
+	// registers are contiguous, so hashing them is pure overhead.
+	nv := f.NumVirt
+	var siteReg []ir.Reg                     // original register each site defines
+	siteAt := make([][]int32, len(f.Blocks)) // def site per instruction, -1 if none
+	paramSite := make([]int32, nv)
+	undefSite := make([]int32, nv)
+	for i := range paramSite {
+		paramSite[i] = -1
+		undefSite[i] = -1
 	}
-	var siteReg []ir.Reg // original register each site defines
-	siteOf := map[siteKey]int{}
-	paramSite := map[ir.Reg]int{}
 	for _, p := range f.Params {
-		if p.IsVirt() {
-			if _, dup := paramSite[p]; !dup {
-				paramSite[p] = len(siteReg)
-				siteReg = append(siteReg, p)
-			}
+		if p.IsVirt() && paramSite[p.VirtNum()] < 0 {
+			paramSite[p.VirtNum()] = int32(len(siteReg))
+			siteReg = append(siteReg, p)
 		}
 	}
 	for _, b := range f.Blocks {
+		sa := make([]int32, len(b.Instrs))
 		for i := range b.Instrs {
+			sa[i] = -1
 			if d := b.Instrs[i].Def(); d.IsVirt() {
-				siteOf[siteKey{b.ID, i}] = len(siteReg)
+				sa[i] = int32(len(siteReg))
 				siteReg = append(siteReg, d)
 			}
 		}
+		siteAt[b.ID] = sa
 	}
-	undefSite := map[ir.Reg]int{}
 
 	uf := newUnionFind(len(siteReg))
-	grow := func() { uf.grow(len(siteReg)) }
 
 	// Reaching definitions, as per-register sets of site ids. Site
 	// sets are sorted, deduplicated slices treated as immutable, so
-	// maps can share them; apply() always builds a fresh map.
+	// the dataflow vectors can share them.
 	singleton := make([]siteSet, len(siteReg))
-	single := func(s int) siteSet {
-		for len(singleton) <= s {
+	single := func(s int32) siteSet {
+		for len(singleton) <= int(s) {
 			singleton = append(singleton, nil)
 		}
 		if singleton[s] == nil {
-			singleton[s] = siteSet{int32(s)}
+			singleton[s] = siteSet{s}
 		}
 		return singleton[s]
 	}
-	type regSites map[ir.Reg]siteSet
+	type regSites []siteSet // indexed by VirtNum; nil = no reaching def
 
-	// Per-block gen (last def site per register) and the set of
-	// registers killed.
-	gens := make([]map[ir.Reg]int, len(f.Blocks))
+	// Per-block gen (last def site per register).
+	gens := make([]regSites, len(f.Blocks))
 	for _, b := range f.Blocks {
-		g := map[ir.Reg]int{}
+		g := make(regSites, nv)
 		for i := range b.Instrs {
 			if d := b.Instrs[i].Def(); d.IsVirt() {
-				g[d] = siteOf[siteKey{b.ID, i}]
+				g[d.VirtNum()] = single(siteAt[b.ID][i])
 			}
 		}
 		gens[b.ID] = g
 	}
 
-	entryRS := regSites{}
-	for r, s := range paramSite {
-		entryRS[r] = single(s)
-	}
-
-	mergeIn := func(b *ir.Block, out []regSites) regSites {
-		rs := regSites{}
+	mergeIn := func(b *ir.Block, out []regSites, rs regSites) {
+		for i := range rs {
+			rs[i] = nil
+		}
 		if b.ID == 0 {
-			for r, s := range entryRS {
-				rs[r] = s
+			for _, p := range f.Params {
+				if p.IsVirt() {
+					rs[p.VirtNum()] = single(paramSite[p.VirtNum()])
+				}
 			}
 		}
 		for _, p := range b.Preds {
 			for r, sites := range out[p] {
-				rs[r] = unionSites(rs[r], sites)
+				if sites != nil {
+					rs[r] = unionSites(rs[r], sites)
+				}
 			}
 		}
-		return rs
 	}
 
 	in := make([]regSites, len(f.Blocks))
 	out := make([]regSites, len(f.Blocks))
+	for i := range f.Blocks {
+		in[i] = make(regSites, nv)
+		out[i] = make(regSites, nv)
+	}
 	changed := true
 	for changed {
 		changed = false
 		for _, b := range f.Blocks {
-			rs := mergeIn(b, out)
-			in[b.ID] = rs
-			newOut := make(regSites, len(rs)+len(gens[b.ID]))
-			for r, sites := range rs {
-				newOut[r] = sites
+			rs := in[b.ID]
+			mergeIn(b, out, rs)
+			blockChanged := false
+			for r := 0; r < nv; r++ {
+				sites := rs[r]
+				if g := gens[b.ID][r]; g != nil {
+					sites = g
+				}
+				if !sitesEqual(out[b.ID][r], sites) {
+					out[b.ID][r] = sites
+					blockChanged = true
+				}
 			}
-			for r, s := range gens[b.ID] {
-				newOut[r] = single(s)
-			}
-			if !regSitesEqual(out[b.ID], newOut) {
-				out[b.ID] = newOut
+			if blockChanged {
 				changed = true
 			}
 		}
@@ -144,33 +153,27 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 
 	// Walk each block, unioning every use with all of its reaching
 	// definitions.
-	reachingAt := func(cur regSites, u ir.Reg) int {
-		sites := cur[u]
+	reachingAt := func(cur regSites, u ir.Reg) int32 {
+		sites := cur[u.VirtNum()]
 		if len(sites) == 0 {
-			s, ok := undefSite[u]
-			if !ok {
-				s = len(siteReg)
+			s := undefSite[u.VirtNum()]
+			if s < 0 {
+				s = int32(len(siteReg))
 				siteReg = append(siteReg, u)
-				undefSite[u] = s
-				grow()
+				undefSite[u.VirtNum()] = s
+				uf.grow(len(siteReg))
 			}
 			return s
 		}
-		first := int(sites[0])
+		first := sites[0]
 		for _, s := range sites[1:] {
-			uf.union(first, int(s))
+			uf.union(int(first), int(s))
 		}
 		return first
 	}
-	shallow := func(rs regSites) regSites {
-		c := make(regSites, len(rs))
-		for r, s := range rs {
-			c[r] = s
-		}
-		return c
-	}
+	cur := make(regSites, nv)
 	for _, b := range f.Blocks {
-		cur := shallow(in[b.ID])
+		copy(cur, in[b.ID])
 		for i := range b.Instrs {
 			instr := &b.Instrs[i]
 			for _, u := range instr.Uses {
@@ -179,20 +182,25 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 				}
 			}
 			if d := instr.Def(); d.IsVirt() {
-				cur[d] = single(siteOf[siteKey{b.ID, i}])
+				cur[d.VirtNum()] = single(siteAt[b.ID][i])
 			}
 		}
 	}
 
 	// Assign web numbers to union-find roots, in deterministic
 	// (site-order) sequence, and rewrite operands in a second walk.
-	webOf := map[int]int{}
+	// siteReg is final now: the second walk resolves the same uses, so
+	// every undef site already exists.
+	webOf := make([]int32, len(siteReg))
+	for i := range webOf {
+		webOf[i] = -1
+	}
 	info := &RenumberInfo{}
-	webFor := func(site int) ir.Reg {
-		root := uf.find(site)
-		w, ok := webOf[root]
-		if !ok {
-			w = info.NumWebs
+	webFor := func(site int32) ir.Reg {
+		root := uf.find(int(site))
+		w := webOf[root]
+		if w < 0 {
+			w = int32(info.NumWebs)
 			webOf[root] = w
 			info.NumWebs++
 			info.Origins = append(info.Origins, nil)
@@ -208,21 +216,21 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 		if !found {
 			info.Origins[w] = append(info.Origins[w], orig)
 		}
-		return ir.Virt(w)
+		return ir.Virt(int(w))
 	}
 
 	// Parameters first, so their webs get the smallest numbers.
 	newParams := make([]ir.Reg, len(f.Params))
 	for i, p := range f.Params {
 		if p.IsVirt() {
-			newParams[i] = webFor(paramSite[p])
+			newParams[i] = webFor(paramSite[p.VirtNum()])
 		} else {
 			newParams[i] = p
 		}
 	}
 
 	for _, b := range f.Blocks {
-		cur := shallow(in[b.ID])
+		copy(cur, in[b.ID])
 		for i := range b.Instrs {
 			instr := &b.Instrs[i]
 			for ui, u := range instr.Uses {
@@ -231,9 +239,9 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 				}
 			}
 			if d := instr.Def(); d.IsVirt() {
-				site := siteOf[siteKey{b.ID, i}]
+				site := siteAt[b.ID][i]
 				instr.Defs[0] = webFor(site)
-				cur[d] = single(site)
+				cur[d.VirtNum()] = single(site)
 			}
 		}
 	}
@@ -306,19 +314,6 @@ func sitesEqual(a, b siteSet) bool {
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func regSitesEqual(a, b map[ir.Reg]siteSet) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for r, sa := range a {
-		sb, ok := b[r]
-		if !ok || !sitesEqual(sa, sb) {
 			return false
 		}
 	}

@@ -1,0 +1,86 @@
+package regalloc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+// BatchOptions configures AllocateAll.
+type BatchOptions struct {
+	Options
+
+	// NewAllocator returns a fresh allocator for one function.
+	// Allocator instances are stateful, so one cannot be shared
+	// across concurrently-allocated functions. Required.
+	NewAllocator func() Allocator
+
+	// Workers bounds the worker pool; zero or negative means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// BatchResult holds the per-function outputs of AllocateAll,
+// index-aligned with the input slice.
+type BatchResult struct {
+	Funcs []*ir.Func
+	Stats []*Stats
+}
+
+// AllocateAll runs the full allocation driver over every function
+// with a bounded worker pool. Each function's allocation is
+// independent (Run clones its input), so the batch is embarrassingly
+// parallel; results land at the input's index, making the output —
+// and the error, which is always the lowest-index failure — identical
+// regardless of worker count or scheduling.
+func AllocateAll(funcs []*ir.Func, m *target.Machine, opts BatchOptions) (*BatchResult, error) {
+	if opts.NewAllocator == nil {
+		return nil, fmt.Errorf("regalloc: AllocateAll requires a NewAllocator factory")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+
+	res := &BatchResult{
+		Funcs: make([]*ir.Func, len(funcs)),
+		Stats: make([]*Stats, len(funcs)),
+	}
+	errs := make([]error, len(funcs))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(funcs) {
+					return
+				}
+				out, stats, err := Run(funcs[i], m, opts.NewAllocator(), opts.Options)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				res.Funcs[i], res.Stats[i] = out, stats
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("regalloc: function %d (%s): %w", i, funcs[i].Name, err)
+		}
+	}
+	return res, nil
+}

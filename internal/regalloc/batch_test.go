@@ -1,0 +1,73 @@
+package regalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+func TestAllocateAllMatchesSequentialRun(t *testing.T) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Benchmarks()[0], m)
+
+	batch, err := regalloc.AllocateAll(funcs, m, regalloc.BatchOptions{
+		NewAllocator: func() regalloc.Allocator { return core.New() },
+		Workers:      4,
+	})
+	if err != nil {
+		t.Fatalf("AllocateAll: %v", err)
+	}
+	if len(batch.Funcs) != len(funcs) || len(batch.Stats) != len(funcs) {
+		t.Fatalf("batch sized %d/%d funcs/stats, want %d", len(batch.Funcs), len(batch.Stats), len(funcs))
+	}
+	for i, f := range funcs {
+		out, stats, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", f.Name, err)
+		}
+		if got, want := batch.Funcs[i].String(), out.String(); got != want {
+			t.Errorf("func %d (%s): batch output differs from sequential Run", i, f.Name)
+		}
+		if batch.Stats[i].SpilledWebs != stats.SpilledWebs || batch.Stats[i].MovesEliminated != stats.MovesEliminated {
+			t.Errorf("func %d (%s): batch stats differ: %+v vs %+v", i, f.Name, batch.Stats[i], stats)
+		}
+	}
+}
+
+func TestAllocateAllWorkerCountInvariance(t *testing.T) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Benchmarks()[1], m)
+
+	render := func(workers int) string {
+		batch, err := regalloc.AllocateAll(funcs, m, regalloc.BatchOptions{
+			NewAllocator: func() regalloc.Allocator { return core.New() },
+			Workers:      workers,
+		})
+		if err != nil {
+			t.Fatalf("AllocateAll(workers=%d): %v", workers, err)
+		}
+		var b strings.Builder
+		for _, f := range batch.Funcs {
+			b.WriteString(f.String())
+		}
+		return b.String()
+	}
+
+	want := render(1)
+	for _, workers := range []int{2, 8, 0} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d produced different allocations than workers=1", workers)
+		}
+	}
+}
+
+func TestAllocateAllRequiresFactory(t *testing.T) {
+	m := target.UsageModel(16)
+	if _, err := regalloc.AllocateAll(nil, m, regalloc.BatchOptions{}); err == nil {
+		t.Fatal("want error for missing NewAllocator factory")
+	}
+}

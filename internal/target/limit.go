@@ -1,0 +1,68 @@
+package target
+
+import "prefcolor/internal/ir"
+
+// Limit is one limited-register-usage constraint (the paper's second
+// preference kind, §3.1): a particular operand of a particular
+// instruction kind prefers a subset of the register file, and landing
+// outside the subset costs FixupCost extra cycles per execution
+// (modeling the move the backend would insert).
+type Limit struct {
+	// Name labels the constraint in tool output.
+	Name string
+
+	// Op is the constrained instruction kind.
+	Op ir.Op
+
+	// The constrained operand: Defs[Operand] when OperandIsDef,
+	// Uses[Operand] otherwise.
+	OperandIsDef bool
+	Operand      int
+
+	// MinImmBits, when positive, activates the limit only for
+	// instructions whose immediate does not fit a signed MinImmBits-bit
+	// field (the IA-64 large-immediate add case).
+	MinImmBits int
+
+	// Regs is the allowed register subset.
+	Regs []int
+
+	// FixupCost is the per-execution cycle penalty of violating the
+	// limit.
+	FixupCost float64
+}
+
+// Applies reports whether the limit constrains instruction in, and if
+// so returns the constrained register operand.
+func (l *Limit) Applies(in *ir.Instr) (ir.Reg, bool) {
+	if in.Op != l.Op {
+		return ir.NoReg, false
+	}
+	if l.MinImmBits > 0 && fitsSigned(in.Imm, l.MinImmBits) {
+		return ir.NoReg, false
+	}
+	ops := in.Uses
+	if l.OperandIsDef {
+		ops = in.Defs
+	}
+	if l.Operand >= len(ops) {
+		return ir.NoReg, false
+	}
+	return ops[l.Operand], true
+}
+
+// Allows reports whether register r is in the limit's allowed subset.
+func (l *Limit) Allows(r int) bool {
+	for _, a := range l.Regs {
+		if a == r {
+			return true
+		}
+	}
+	return false
+}
+
+// fitsSigned reports whether v fits a signed bits-wide immediate.
+func fitsSigned(v int64, bits int) bool {
+	lim := int64(1) << (bits - 1)
+	return v >= -lim && v < lim
+}

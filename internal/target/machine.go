@@ -1,0 +1,201 @@
+// Package target models the register file and calling convention the
+// allocators color against: how many registers exist, which are
+// volatile (caller-saved) versus non-volatile (callee-saved), where
+// parameters and results travel, the machine's paired-load rule
+// (the paper's "dependent register usage", §3.1), and any
+// limited-register-usage constraints (the paper's second preference
+// kind: operands that strongly prefer a register subset, like x86
+// shift counts in CL).
+package target
+
+import (
+	"fmt"
+
+	"prefcolor/internal/ir"
+)
+
+// PairRule says when two destination registers (d1, d2) of adjacent
+// loads may fuse into one paired load.
+type PairRule uint8
+
+const (
+	// PairNone disables paired loads entirely.
+	PairNone PairRule = iota
+
+	// PairParity accepts destinations of different parity (the
+	// IA-64-flavored rule of the paper's worked example: Figure 7
+	// honors the pair with an odd/even register combination).
+	PairParity
+
+	// PairSequential requires strictly consecutive destinations,
+	// second = first + 1 (the S/390- and Power-like rule of §3.1).
+	PairSequential
+)
+
+// Machine is one register-file and calling-convention model. Fields
+// are exported and freely overridable: the examples shrink NumRegs and
+// reshape Volatile to build the paper's three-register teaching
+// machine out of the stock usage model.
+type Machine struct {
+	// Name labels the model in tool output.
+	Name string
+
+	// NumRegs is the number of allocatable machine registers
+	// (the paper's K; its experiments use 16, 24, and 32).
+	NumRegs int
+
+	// Volatile[r] reports that register r is caller-saved (clobbered
+	// by calls). Registers at or beyond len(Volatile) are treated as
+	// non-volatile.
+	Volatile []bool
+
+	// ParamRegs lists the registers carrying the first arguments, in
+	// order. RetReg carries the return value (and doubles as the first
+	// parameter register in the usage model, like the paper's r1).
+	ParamRegs []int
+	RetReg    int
+
+	// WordSize is the byte distance between paired-load offsets.
+	WordSize int64
+
+	// PairRule is the machine's paired-load destination constraint.
+	PairRule PairRule
+
+	// Limits are the machine's limited-register-usage constraints.
+	Limits []Limit
+}
+
+// IsVolatile reports whether register r is caller-saved.
+func (m *Machine) IsVolatile(r int) bool {
+	return r >= 0 && r < len(m.Volatile) && m.Volatile[r]
+}
+
+// VolatileRegs returns the caller-saved register numbers in order.
+func (m *Machine) VolatileRegs() []int {
+	var out []int
+	for r := 0; r < m.NumRegs; r++ {
+		if m.IsVolatile(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NonVolatileRegs returns the callee-saved register numbers in order.
+func (m *Machine) NonVolatileRegs() []int {
+	var out []int
+	for r := 0; r < m.NumRegs; r++ {
+		if !m.IsVolatile(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PairOK reports whether destinations (d1, d2), in load order, satisfy
+// the machine's paired-load rule.
+func (m *Machine) PairOK(d1, d2 int) bool {
+	switch m.PairRule {
+	case PairParity:
+		return d1%2 != d2%2
+	case PairSequential:
+		return d2 == d1+1
+	}
+	return false
+}
+
+// CallClobbers returns the physical registers every call destroys —
+// the volatile set — as IR registers, for the interpreter.
+func (m *Machine) CallClobbers() []ir.Reg {
+	var out []ir.Reg
+	for _, r := range m.VolatileRegs() {
+		out = append(out, ir.Phys(r))
+	}
+	return out
+}
+
+// UsageModel returns the paper's IA-64-like model with k registers:
+// the lower half volatile, up to eight parameter registers, r0
+// doubling as first parameter and return register, and
+// parity-constrained paired loads.
+func UsageModel(k int) *Machine {
+	m := &Machine{
+		Name:     fmt.Sprintf("usage%d", k),
+		NumRegs:  k,
+		Volatile: make([]bool, k),
+		RetReg:   0,
+		WordSize: 4,
+		PairRule: PairParity,
+	}
+	nVol := k / 2
+	for r := 0; r < nVol; r++ {
+		m.Volatile[r] = true
+	}
+	nParams := nVol
+	if nParams > 8 {
+		nParams = 8
+	}
+	for r := 0; r < nParams; r++ {
+		m.ParamRegs = append(m.ParamRegs, r)
+	}
+	return m
+}
+
+// Figure7Machine returns the three-register machine of the paper's
+// worked example (Figure 7): r0 and r1 volatile (r0 = first argument
+// and return register, r1 = second argument), r2 non-volatile, and
+// paired loads requiring destinations of different parity.
+func Figure7Machine() *Machine {
+	return &Machine{
+		Name:      "figure7",
+		NumRegs:   3,
+		Volatile:  []bool{true, true, false},
+		ParamRegs: []int{0, 1},
+		RetReg:    0,
+		WordSize:  4,
+		PairRule:  PairParity,
+	}
+}
+
+// S390Like returns a model whose paired loads require strictly
+// sequential destination registers (S/390- and Power-like, §3.1).
+func S390Like(k int) *Machine {
+	m := UsageModel(k)
+	m.Name = fmt.Sprintf("s390-%d", k)
+	m.PairRule = PairSequential
+	return m
+}
+
+// X86Like returns an x86-flavored model with the paper's §3.1 limited
+// register usages — shift counts in the CL-like register r2, loads
+// into the byte-addressable low quarter of the file, division results
+// in the EAX-like register r0 — and no paired loads.
+func X86Like(k int) *Machine {
+	m := UsageModel(k)
+	m.Name = fmt.Sprintf("x86-%d", k)
+	m.PairRule = PairNone
+	lowQuarter := make([]int, 0, k/4)
+	for r := 0; r < k/4; r++ {
+		lowQuarter = append(lowQuarter, r)
+	}
+	m.Limits = []Limit{
+		{Name: "shl-count", Op: ir.Shl, Operand: 1, Regs: []int{2}, FixupCost: 1},
+		{Name: "shr-count", Op: ir.Shr, Operand: 1, Regs: []int{2}, FixupCost: 1},
+		{Name: "load-low", Op: ir.Load, OperandIsDef: true, Regs: lowQuarter, FixupCost: 1},
+		{Name: "div-result", Op: ir.Div, OperandIsDef: true, Regs: []int{0}, FixupCost: 1},
+	}
+	return m
+}
+
+// WithIA64AddImmLimit appends the IA-64 large-immediate add
+// constraint: an addimm whose immediate does not fit the short
+// 14-bit form may only read its source from the first four registers
+// (the 22-bit form's restricted source field). It returns m for
+// chaining.
+func (m *Machine) WithIA64AddImmLimit() *Machine {
+	m.Limits = append(m.Limits, Limit{
+		Name: "ia64-addl", Op: ir.AddImm, Operand: 0,
+		MinImmBits: 14, Regs: []int{0, 1, 2, 3}, FixupCost: 1,
+	})
+	return m
+}

@@ -85,6 +85,19 @@ func Benchmarks() []Profile {
 	}
 }
 
+// Large returns the oversized stress profile the performance
+// benchmarks allocate: many functions at the statement-budget
+// ceiling with a wide variable pool, so interference graphs are as
+// big and dense as the generator produces and spill rounds engage.
+func Large() Profile {
+	return Profile{
+		Name: "large", Funcs: 40, Stmts: 100, MaxDepth: 3,
+		LoopProb: 0.12, IfProb: 0.12, CallProb: 0.08,
+		PairProb: 0.08, StoreProb: 0.10,
+		Vars: 48, Params: 6, Seed: 0x1A26E,
+	}
+}
+
 // ByName returns the profile with the given name.
 func ByName(name string) (Profile, error) {
 	for _, p := range Benchmarks() {

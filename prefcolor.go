@@ -158,6 +158,24 @@ func AllocateOpts(f *Function, m *Machine, a Allocator, opts Options) (*Function
 	return regalloc.Run(f, m, a, opts)
 }
 
+// AllocateAll allocates every function concurrently with a
+// GOMAXPROCS-bounded worker pool — allocations are independent, so a
+// whole program batches embarrassingly. newAllocator must return a
+// fresh Allocator per call (instances are stateful and cannot be
+// shared across functions). Outputs are index-aligned with funcs and
+// identical to calling Allocate on each function in order, whatever
+// the scheduling.
+func AllocateAll(funcs []*Function, m *Machine, newAllocator func() Allocator, opts Options) ([]*Function, []*Stats, error) {
+	batch, err := regalloc.AllocateAll(funcs, m, regalloc.BatchOptions{
+		Options:      opts,
+		NewAllocator: newAllocator,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return batch.Funcs, batch.Stats, nil
+}
+
 // EstimateCycles prices allocated code with the paper's Appendix cost
 // model (loads 2, stores 1, caller save/restore 3, callee save 2,
 // 10× per loop level), recognizing fused paired loads.

@@ -3,19 +3,27 @@
 //
 // Usage:
 //
-//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [file ...]
+//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [-telemetry] [-trace file] [file ...]
 //
 // With no file the function is read from standard input; with several
 // files (one function each) the functions are allocated concurrently
 // and printed in argument order. The allocator names are the figure
 // labels: chaitin, briggs-aggressive, briggs-conservative, iterated,
 // optimistic, callcost, pref-coalesce, pref-full.
+//
+// -telemetry prints the merged instrumentation report (phase timers,
+// preference counters, ready-set histogram) after the code; -trace
+// writes one JSON line per selection or spill decision to the given
+// file ("-" for standard error). -pprof serves net/http/pprof on the
+// given address for profiling long batches.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -23,26 +31,51 @@ import (
 )
 
 func main() {
-	k := flag.Int("k", 16, "number of machine registers (the paper uses 16, 24, 32)")
-	allocName := flag.String("alloc", "pref-full", "allocator: "+strings.Join(prefcolor.AllocatorNames(), ", "))
-	stats := flag.Bool("stats", false, "print allocation statistics")
-	estimate := flag.Bool("estimate", false, "print the cycle estimate of the result")
-	optimize := flag.Bool("O", false, "run the SSA scalar optimizations before allocation")
-	explain := flag.Bool("explain", false, "print the Register Preference Graph and Coloring Precedence Graph instead of allocating")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected, so the golden tests can drive
+// the binary in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prefgc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k := fs.Int("k", 16, "number of machine registers (the paper uses 16, 24, 32)")
+	allocName := fs.String("alloc", "pref-full", "allocator: "+strings.Join(prefcolor.AllocatorNames(), ", "))
+	stats := fs.Bool("stats", false, "print allocation statistics")
+	estimate := fs.Bool("estimate", false, "print the cycle estimate of the result")
+	optimize := fs.Bool("O", false, "run the SSA scalar optimizations before allocation")
+	explain := fs.Bool("explain", false, "print the Register Preference Graph and Coloring Precedence Graph instead of allocating")
+	telemetry := fs.Bool("telemetry", false, "print the allocation telemetry report")
+	tracePath := fs.String("trace", "", "write a JSON event trace to this file (\"-\" for standard error)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "prefgc:", err)
+		return 1
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(stderr, "prefgc: pprof:", err)
+			}
+		}()
+	}
 
 	var sources []namedSource
-	if flag.NArg() == 0 {
-		src, err := io.ReadAll(os.Stdin)
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		sources = append(sources, namedSource{name: "<stdin>", src: string(src)})
 	} else {
-		for _, path := range flag.Args() {
+		for _, path := range fs.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			sources = append(sources, namedSource{name: path, src: string(src)})
 		}
@@ -52,7 +85,7 @@ func main() {
 	for i, s := range sources {
 		f, err := prefcolor.ParseFunction(s.src)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", s.name, err))
+			return fail(fmt.Errorf("%s: %w", s.name, err))
 		}
 		if *optimize {
 			prefcolor.ToSSA(f)
@@ -65,63 +98,84 @@ func main() {
 	m := prefcolor.NewMachine(*k)
 	if *explain {
 		if len(funcs) > 1 {
-			fatal(fmt.Errorf("-explain takes a single function"))
+			return fail(fmt.Errorf("-explain takes a single function"))
 		}
 		exp, err := prefcolor.Explain(funcs[0], m)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("; %d live ranges\n", exp.Webs)
-		fmt.Println("; interference:")
-		fmt.Println(indent(exp.Interference))
-		fmt.Println("; register preference graph:")
-		fmt.Println(indent(exp.RPG))
-		fmt.Println("; coloring precedence graph:")
-		fmt.Println(indent(exp.CPG))
+		fmt.Fprintf(stdout, "; %d live ranges\n", exp.Webs)
+		fmt.Fprintln(stdout, "; interference:")
+		fmt.Fprintln(stdout, indent(exp.Interference))
+		fmt.Fprintln(stdout, "; register preference graph:")
+		fmt.Fprintln(stdout, indent(exp.RPG))
+		fmt.Fprintln(stdout, "; coloring precedence graph:")
+		fmt.Fprintln(stdout, indent(exp.CPG))
 		if len(exp.PotentialSpills) > 0 {
-			fmt.Printf("; potential spills: %v\n", exp.PotentialSpills)
+			fmt.Fprintf(stdout, "; potential spills: %v\n", exp.PotentialSpills)
 		}
-		return
+		return 0
 	}
 
 	if _, err := prefcolor.AllocatorByName(*allocName); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	newAlloc := func() prefcolor.Allocator {
 		a, _ := prefcolor.AllocatorByName(*allocName)
 		return a
 	}
-	outs, sts, err := prefcolor.AllocateAll(funcs, m, newAlloc, prefcolor.Options{})
+	opts := prefcolor.Options{CollectTelemetry: *telemetry}
+	var traceFile *os.File
+	if *tracePath != "" {
+		if *tracePath == "-" {
+			opts.TraceWriter = stderr
+		} else {
+			var err error
+			traceFile, err = os.Create(*tracePath)
+			if err != nil {
+				return fail(err)
+			}
+			opts.TraceWriter = traceFile
+		}
+	}
+	outs, sts, err := prefcolor.AllocateAll(funcs, m, newAlloc, opts)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	for i, out := range outs {
 		if len(outs) > 1 {
-			fmt.Printf("; %s\n", sources[i].name)
+			fmt.Fprintf(stdout, "; %s\n", sources[i].name)
 		}
-		fmt.Print(out.String())
+		fmt.Fprint(stdout, out.String())
 		st := sts[i]
 		if *stats {
-			fmt.Printf("; allocator=%s rounds=%d moves: %d -> %d (eliminated %d), spill instrs=%d, caller saves=%d, regs used=%d (%d non-volatile)\n",
+			fmt.Fprintf(stdout, "; allocator=%s rounds=%d moves: %d -> %d (eliminated %d), spill instrs=%d, caller saves=%d, regs used=%d (%d non-volatile)\n",
 				st.Allocator, st.Rounds, st.MovesBefore, st.MovesRemaining, st.MovesEliminated,
 				st.SpillInstrs(), st.CallerSaveStores+st.CallerSaveLoads, st.UsedRegs, st.UsedNonVolatile)
 		}
 		if *estimate {
 			est := prefcolor.EstimateCycles(out, m)
-			fmt.Printf("; estimate: %.1f cycles, %d paired loads fused, %d missed, %d callee-saved regs\n",
+			fmt.Fprintf(stdout, "; estimate: %.1f cycles, %d paired loads fused, %d missed, %d callee-saved regs\n",
 				est.Cycles, est.FusedPairs, est.MissedPairs, est.CalleeSaveRegs)
 		}
 	}
+	if *telemetry {
+		if snap := prefcolor.MergeTelemetry(sts); snap != nil {
+			fmt.Fprint(stdout, indent(strings.TrimSuffix(snap.Report(), "\n")))
+			fmt.Fprintln(stdout)
+		}
+	}
+	return 0
 }
 
 type namedSource struct {
 	name string
 	src  string
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefgc:", err)
-	os.Exit(1)
 }
 
 func indent(s string) string {

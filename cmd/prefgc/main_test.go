@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// durations matches Go duration tokens (1.2ms, 53.79µs, 913ns, 0s) so
+// the golden comparison can mask the only nondeterministic columns of
+// the telemetry report.
+var durations = regexp.MustCompile(`\b\d+(\.\d+)?(ns|µs|us|ms|s)\b`)
+
+// spaceRuns collapses the column padding that shifts with the masked
+// durations' widths.
+var spaceRuns = regexp.MustCompile(` {2,}`)
+
+func normalize(out string) string {
+	return spaceRuns.ReplaceAllString(durations.ReplaceAllString(out, "<dur>"), " ")
+}
+
+// golden compares output against testdata/<name>.golden, rewriting the
+// file when UPDATE_GOLDEN=1.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestGoldenAllocate(t *testing.T) {
+	out, stderr, code := runCLI(t, "", "-stats", "-estimate", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	golden(t, "allocate", out)
+}
+
+func TestGoldenTelemetryReport(t *testing.T) {
+	out, stderr, code := runCLI(t, "", "-stats", "-telemetry", "testdata/pairs.ir", "testdata/loop.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// Counters are deterministic (batch merge is order-independent);
+	// only the timer columns need masking.
+	golden(t, "telemetry", normalize(out))
+}
+
+func TestGoldenExplain(t *testing.T) {
+	out, stderr, code := runCLI(t, "", "-explain", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	golden(t, "explain", out)
+}
+
+func TestStdinMatchesFile(t *testing.T) {
+	src, err := os.ReadFile("testdata/pairs.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStdin, _, code := runCLI(t, string(src))
+	if code != 0 {
+		t.Fatal("stdin run failed")
+	}
+	fromFile, _, code := runCLI(t, "", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatal("file run failed")
+	}
+	if fromStdin != fromFile {
+		t.Error("stdin and file input produce different output")
+	}
+}
+
+func TestTraceFlagEmitsJSONLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	_, stderr, code := runCLI(t, "", "-trace", path, "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Func   string `json:"func"`
+			Action string `json:"action"`
+			Chosen int    `json:"chosen"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", lines, err)
+		}
+		if ev.Func != "pairs" || ev.Action == "" {
+			t.Fatalf("trace line %d malformed: %s", lines, sc.Text())
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+}
+
+func TestBadAllocatorFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "", "-alloc", "nonsense", "testdata/pairs.ir")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "nonsense") {
+		t.Errorf("stderr does not name the bad allocator: %s", stderr)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	_, _, code := runCLI(t, "", "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

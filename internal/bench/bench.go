@@ -18,6 +18,7 @@ import (
 	"prefcolor/internal/regalloc/optimistic"
 	"prefcolor/internal/regalloc/priority"
 	"prefcolor/internal/target"
+	"prefcolor/internal/telemetry"
 	"prefcolor/internal/workload"
 )
 
@@ -70,6 +71,12 @@ type ProgramResult struct {
 	MissedPairs     int
 	LimitViolations int
 	Funcs           int
+
+	// Telemetry is the batch's merged instrumentation report: phase
+	// timers, preference-outcome counters, and the ready-set
+	// histogram, so benchmark records carry a phase breakdown
+	// alongside the end-to-end numbers.
+	Telemetry *telemetry.Snapshot
 }
 
 // RunProgram allocates every function of the benchmark through the
@@ -83,6 +90,7 @@ func RunProgram(p workload.Profile, m *target.Machine, allocName string) (*Progr
 	}
 	funcs := workload.Generate(p, m)
 	batch, err := regalloc.AllocateAll(funcs, m, regalloc.BatchOptions{
+		Options: regalloc.Options{CollectTelemetry: true},
 		NewAllocator: func() regalloc.Allocator {
 			alloc, _ := NewAllocator(allocName)
 			return alloc
@@ -92,7 +100,10 @@ func RunProgram(p workload.Profile, m *target.Machine, allocName string) (*Progr
 		return nil, fmt.Errorf("bench: %s/%s: %w", p.Name, allocName, err)
 	}
 
-	res := &ProgramResult{Benchmark: p.Name, Allocator: allocName, Funcs: len(funcs)}
+	res := &ProgramResult{
+		Benchmark: p.Name, Allocator: allocName, Funcs: len(funcs),
+		Telemetry: batch.Telemetry,
+	}
 	for i := range funcs {
 		stats := batch.Stats[i]
 		est := perfmodel.Estimate(batch.Funcs[i], m)

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"io"
 	"testing"
 
+	"prefcolor/internal/regalloc"
 	"prefcolor/internal/target"
 	"prefcolor/internal/workload"
 )
@@ -38,6 +40,19 @@ func TestAllocationDeterminism(t *testing.T) {
 				}
 				if first != second {
 					t.Errorf("%s: allocation digest differs between identical runs:\n  %s\n  %s", alloc, first, second)
+				}
+				// Telemetry is observation-only: full collection plus
+				// an event trace must leave every assignment, spill
+				// set, and rewrite bit-identical.
+				instrumented, err := AllocationDigestOpts(funcs, m, alloc, regalloc.Options{
+					CollectTelemetry: true,
+					TraceWriter:      io.Discard,
+				})
+				if err != nil {
+					t.Fatalf("%s instrumented run: %v", alloc, err)
+				}
+				if instrumented != first {
+					t.Errorf("%s: telemetry perturbed the allocation:\n  quiet %s\n  loud  %s", alloc, first, instrumented)
 				}
 			}
 		})

@@ -18,13 +18,22 @@ import (
 // digests, so this is the before/after fingerprint the performance
 // work is checked against.
 func AllocationDigest(funcs []*ir.Func, m *target.Machine, allocName string) (string, error) {
+	return AllocationDigestOpts(funcs, m, allocName, regalloc.Options{})
+}
+
+// AllocationDigestOpts is AllocationDigest with explicit driver
+// options. The digest hashes only the allocation outcome, never the
+// telemetry, so it is the tool for asserting that instrumentation
+// observes without steering: digests must match with collection on
+// and off.
+func AllocationDigestOpts(funcs []*ir.Func, m *target.Machine, allocName string, opts regalloc.Options) (string, error) {
 	h := sha256.New()
 	for _, f := range funcs {
 		alloc, err := NewAllocator(allocName)
 		if err != nil {
 			return "", err
 		}
-		out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+		out, stats, err := regalloc.Run(f, m, alloc, opts)
 		if err != nil {
 			return "", fmt.Errorf("bench: digest %s/%s: %w", allocName, f.Name, err)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"prefcolor/internal/ig"
 	"prefcolor/internal/regalloc"
+	"prefcolor/internal/telemetry"
 )
 
 // Allocator is the paper's full coloring system (Figure 8): renumber
@@ -36,9 +37,14 @@ func (a *Allocator) Mode() Mode { return a.mode }
 
 // Allocate implements regalloc.Allocator.
 func (a *Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
-	g, k := ctx.Graph, ctx.K()
+	g, k, tel := ctx.Graph, ctx.K(), ctx.Telemetry
+	sp := tel.Begin()
 	rpg := BuildRPG(ctx, a.mode)
+	tel.End(telemetry.PhaseRPG, sp)
+	sp = tel.Begin()
 	stack, potential := simplifyOptimistic(g, k)
+	tel.End(telemetry.PhaseSimplify, sp)
+	sp = tel.Begin()
 	var cpg *CPG
 	if a.ablation.NoCPG {
 		cpg = chainCPG(stack)
@@ -49,6 +55,7 @@ func (a *Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
 			return nil, err
 		}
 	}
+	tel.End(telemetry.PhaseCPG, sp)
 	s := newSelector(ctx, rpg, cpg, a.mode)
 	s.ab = a.ablation
 	return s.run()

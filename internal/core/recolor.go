@@ -180,6 +180,7 @@ func (s *selector) tryPlans(x, y ig.NodeID) bool {
 	for i, n := range bestPlan.nodes {
 		s.color[n] = bestPlan.colors[i]
 	}
+	s.ctx.Telemetry.NoteRecolor()
 	return true
 }
 

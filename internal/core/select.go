@@ -7,6 +7,7 @@ import (
 
 	"prefcolor/internal/ig"
 	"prefcolor/internal/regalloc"
+	"prefcolor/internal/telemetry"
 )
 
 // selector runs the §5.3 register-selection algorithm: a traversal of
@@ -21,12 +22,12 @@ type selector struct {
 
 	// All per-node state is indexed by node id — like the graph
 	// itself, dense slices instead of hash tables.
-	color       []int // per node id; physical nodes preset
-	spilled     []bool
-	processed   []bool
-	nProcessed  int
-	predCount   []int
-	queue       []bool
+	color      []int // per node id; physical nodes preset
+	spilled    []bool
+	processed  []bool
+	nProcessed int
+	predCount  []int
+	queue      []bool
 
 	// comp groups copy-related nodes into components (transitive
 	// closure over non-interfering copies); compColors counts, per
@@ -131,9 +132,10 @@ func (s *selector) noteCompColor(n ig.NodeID, c int) {
 // run processes every web node in a CPG-respecting order and returns
 // the round's result.
 func (s *selector) run() (*regalloc.Result, error) {
-	g := s.ctx.Graph
+	g, tel := s.ctx.Graph, s.ctx.Telemetry
 	numWebs := g.NumWebs()
 
+	sp := tel.Begin()
 	// Step 1: Q starts as the successors of Top.
 	for _, n := range s.cpg.Nodes() {
 		cnt := 0
@@ -150,14 +152,20 @@ func (s *selector) run() (*regalloc.Result, error) {
 
 	res := regalloc.NewResult()
 	for s.nProcessed < numWebs {
+		if tel.Enabled() {
+			tel.ObserveReady(s.countReady())
+		}
 		n := s.chooseNode()
 		if n < 0 {
 			return nil, fmt.Errorf("core: CPG traversal stuck with %d of %d nodes processed", s.nProcessed, numWebs)
 		}
 		s.processNode(n, res)
 	}
+	tel.End(telemetry.PhaseSelect, sp)
 	if !s.ab.NoRecolor {
+		sp = tel.Begin()
 		s.recolorFixup()
+		tel.End(telemetry.PhaseRecolor, sp)
 	}
 	for n := ig.NodeID(g.NumPhys()); int(n) < g.NumNodes(); n++ {
 		if c := s.color[n]; c >= 0 {
@@ -165,6 +173,17 @@ func (s *selector) run() (*regalloc.Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// countReady sizes the current ready set for the telemetry histogram.
+func (s *selector) countReady() int {
+	n := 0
+	for _, q := range s.queue {
+		if q {
+			n++
+		}
+	}
+	return n
 }
 
 // chooseNode is steps 2–3: among ready nodes, pick the one with the
@@ -337,23 +356,50 @@ func (s *selector) availRegs(n ig.NodeID) []int {
 // processNode is step 4 plus the §5.4 active spill, followed by
 // step 5's edge release.
 func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
+	tel := s.ctx.Telemetry
 	s.queue[n] = false
 	s.processed[n] = true
 	s.nProcessed++
 
+	chosen, active := -1, false
+	var avail, cands []int
 	switch {
 	case s.shouldActivelySpill(n):
+		active = true
 		s.spilled[n] = true
 		res.Spilled = append(res.Spilled, n)
 	default:
-		avail := s.availRegs(n)
+		avail = s.availRegs(n)
 		if len(avail) == 0 {
 			s.spilled[n] = true
 			res.Spilled = append(res.Spilled, n)
 		} else {
-			c := s.chooseReg(n, avail)
+			c, screened := s.chooseReg(n, avail)
+			cands = screened
 			s.color[n] = c
 			s.noteCompColor(n, c)
+			chosen = c
+		}
+	}
+	if tel.Enabled() {
+		tel.NoteSelection(chosen < 0, active)
+		honored := s.tallyPrefs(n, chosen, tel)
+		if tel.Tracing() {
+			action := "select"
+			switch {
+			case active:
+				action = "active-spill"
+			case chosen < 0:
+				action = "spill"
+			}
+			tel.TraceEvent(&telemetry.Event{
+				Action: action,
+				Node:   int(n),
+				Reg:    s.ctx.Graph.RegOf(n).String(),
+				Pri:    s.tracePriority(n),
+				Avail:  avail, Cands: cands,
+				Chosen: chosen, Honored: honored,
+			})
 		}
 	}
 	s.invalidateAround(n)
@@ -368,6 +414,98 @@ func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
 			s.queue[succ] = true
 		}
 	}
+}
+
+// tracePriority reports the strength differential that ranked n, for
+// telemetry only. Nodes with no honorable preference rank at -Inf,
+// which JSON cannot carry; they trace as 0.
+func (s *selector) tracePriority(n ig.NodeID) float64 {
+	pri := s.priVal[n]
+	if !s.priOK[n] {
+		pri = s.priority(n)
+	}
+	if math.IsInf(pri, 0) {
+		return 0
+	}
+	return pri
+}
+
+// prefTelemetryClass maps an RPG edge onto telemetry's preference
+// axis, splitting Prefers into class and limited-usage edges.
+func prefTelemetryClass(p *Pref) telemetry.PrefClass {
+	switch p.Kind {
+	case Coalesce:
+		return telemetry.PrefCoalesce
+	case SeqPlus:
+		return telemetry.PrefSeqPlus
+	case SeqMinus:
+		return telemetry.PrefSeqMinus
+	}
+	if p.Allowed != nil {
+		return telemetry.PrefLimit
+	}
+	return telemetry.PrefRegClass
+}
+
+// honorsReg reports whether granting register r honors preference p
+// under the current partner colors.
+func (s *selector) honorsReg(p *Pref, r int) bool {
+	m := s.ctx.Machine
+	switch p.Kind {
+	case Coalesce:
+		return r == s.color[p.To]
+	case SeqPlus:
+		return m.PairOK(r, s.color[p.To])
+	case SeqMinus:
+		return m.PairOK(s.color[p.To], r)
+	case Prefers:
+		if p.Allowed != nil {
+			for _, a := range p.Allowed {
+				if a == r {
+					return true
+				}
+			}
+			return false
+		}
+		return (p.Class == ClassVolatile) == m.IsVolatile(r)
+	}
+	return false
+}
+
+// tallyPrefs classifies every preference held by n after its decision
+// (chosen < 0 means n spilled) into honored/deferred/broken counters,
+// returning the honored kind names when tracing wants them. Pure
+// observation: it reads the same state the decision read and mutates
+// nothing but the collector.
+func (s *selector) tallyPrefs(n ig.NodeID, chosen int, tel *telemetry.Collector) []string {
+	var honored []string
+	for _, pi := range s.rpg.Prefs(n) {
+		p := s.rpg.Pref(pi)
+		cl := prefTelemetryClass(p)
+		if chosen < 0 {
+			tel.CountPref(cl, telemetry.Broken)
+			continue
+		}
+		if p.To >= 0 {
+			if s.spilled[p.To] || (p.Kind == Coalesce && s.ctx.Graph.OrigInterferes(p.From, p.To)) {
+				tel.CountPref(cl, telemetry.Broken)
+				continue
+			}
+			if s.color[p.To] < 0 {
+				tel.CountPref(cl, telemetry.Deferred)
+				continue
+			}
+		}
+		if s.honorsReg(p, chosen) {
+			tel.CountPref(cl, telemetry.Honored)
+			if tel.Tracing() {
+				honored = append(honored, cl.String())
+			}
+		} else {
+			tel.CountPref(cl, telemetry.Broken)
+		}
+	}
+	return honored
 }
 
 // shouldActivelySpill implements §5.4: a node whose strongest
@@ -395,8 +533,9 @@ func (s *selector) shouldActivelySpill(n ig.NodeID) bool {
 // chooseReg is steps 4.2–4.4: screen candidates by honorable
 // preferences from strongest to weakest, then keep registers that
 // leave deferred live-range-to-live-range preferences honorable, then
-// pick.
-func (s *selector) chooseReg(n ig.NodeID, avail []int) int {
+// pick. It returns the chosen register and the candidate set that
+// survived screening (the trace's "cands").
+func (s *selector) chooseReg(n ig.NodeID, avail []int) (int, []int) {
 	type ranked struct {
 		p  *Pref
 		st float64
@@ -450,17 +589,17 @@ func (s *selector) chooseReg(n ig.NodeID, avail []int) int {
 			}
 		}
 		if best >= 0 {
-			return best
+			return best, cands
 		}
 	}
 	if s.mode == CoalesceOnly {
 		for _, r := range cands {
 			if !s.ctx.Machine.IsVolatile(r) {
-				return r
+				return r, cands
 			}
 		}
 	}
-	return cands[0]
+	return cands[0], cands
 }
 
 // partnerStillPossible reports whether giving n register r leaves the

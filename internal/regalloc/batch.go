@@ -8,6 +8,7 @@ import (
 
 	"prefcolor/internal/ir"
 	"prefcolor/internal/target"
+	"prefcolor/internal/telemetry"
 )
 
 // BatchOptions configures AllocateAll.
@@ -29,6 +30,15 @@ type BatchOptions struct {
 type BatchResult struct {
 	Funcs []*ir.Func
 	Stats []*Stats
+
+	// Telemetry is the batch's merged instrumentation report; nil
+	// unless Options.CollectTelemetry (or a TraceWriter) was set.
+	// Every worker aggregates its own functions' snapshots privately
+	// — no locks, no shared counters — and the per-worker partials
+	// are merged once after the pool drains. All snapshot fields are
+	// integral sums, so the merged report is identical whatever the
+	// scheduling.
+	Telemetry *telemetry.Snapshot
 }
 
 // AllocateAll runs the full allocation driver over every function
@@ -49,31 +59,39 @@ func AllocateAll(funcs []*ir.Func, m *target.Machine, opts BatchOptions) (*Batch
 		workers = len(funcs)
 	}
 
+	runOpts := opts.Options
+	if runOpts.TraceWriter != nil {
+		// One trace stream, many workers: serialize whole lines.
+		runOpts.TraceWriter = telemetry.NewLockedWriter(runOpts.TraceWriter)
+	}
+
 	res := &BatchResult{
 		Funcs: make([]*ir.Func, len(funcs)),
 		Stats: make([]*Stats, len(funcs)),
 	}
 	errs := make([]error, len(funcs))
+	workerSnaps := make([]telemetry.Snapshot, workers)
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(snap *telemetry.Snapshot) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(funcs) {
 					return
 				}
-				out, stats, err := Run(funcs[i], m, opts.NewAllocator(), opts.Options)
+				out, stats, err := Run(funcs[i], m, opts.NewAllocator(), runOpts)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
 				res.Funcs[i], res.Stats[i] = out, stats
+				snap.Merge(stats.Telemetry)
 			}
-		}()
+		}(&workerSnaps[w])
 	}
 	wg.Wait()
 
@@ -81,6 +99,13 @@ func AllocateAll(funcs []*ir.Func, m *target.Machine, opts BatchOptions) (*Batch
 		if err != nil {
 			return nil, fmt.Errorf("regalloc: function %d (%s): %w", i, funcs[i].Name, err)
 		}
+	}
+	if runOpts.telemetryOn() {
+		merged := &telemetry.Snapshot{}
+		for w := range workerSnaps {
+			merged.Merge(&workerSnaps[w])
+		}
+		res.Telemetry = merged
 	}
 	return res, nil
 }

@@ -2,10 +2,12 @@ package regalloc
 
 import (
 	"fmt"
+	"io"
 
 	"prefcolor/internal/ig"
 	"prefcolor/internal/ir"
 	"prefcolor/internal/target"
+	"prefcolor/internal/telemetry"
 )
 
 // Options configures the allocation driver.
@@ -31,6 +33,24 @@ type Options struct {
 	// temporary falls back to spill-everywhere, which guarantees
 	// termination.
 	BlockLocalSpills bool
+
+	// CollectTelemetry turns on the instrumentation layer: per-phase
+	// wall/CPU timers, preference-outcome counters, and the ready-set
+	// histogram land in Stats.Telemetry. Collection only observes, so
+	// the assignment is bit-identical with it on or off.
+	CollectTelemetry bool
+
+	// TraceWriter, when non-nil, receives one JSON line per selection
+	// or spill decision (and implies CollectTelemetry). Under the
+	// batch driver wrap it with telemetry.NewLockedWriter — or let
+	// AllocateAll do it — so concurrent workers do not interleave
+	// lines.
+	TraceWriter io.Writer
+}
+
+// telemetryOn reports whether the options ask for any instrumentation.
+func (o *Options) telemetryOn() bool {
+	return o.CollectTelemetry || o.TraceWriter != nil
 }
 
 // Stats summarizes one complete allocation, the raw numbers behind
@@ -61,6 +81,10 @@ type Stats struct {
 
 	UsedRegs        int
 	UsedNonVolatile int
+
+	// Telemetry is this allocation's instrumentation snapshot; nil
+	// unless Options.CollectTelemetry (or a TraceWriter) was set.
+	Telemetry *telemetry.Snapshot
 }
 
 // SpillInstrs returns the total spill-code count the paper reports.
@@ -83,11 +107,19 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 		Allocator:   alloc.Name(),
 		MovesBefore: f.CountOp(ir.Move),
 	}
+	var tel *telemetry.Collector
+	if opts.telemetryOn() {
+		tel = telemetry.New(opts.TraceWriter)
+		tel.BeginFunc(f.Name)
+	}
 
 	tempRegs := map[ir.Reg]bool{}
 	blockLocalRegs := map[ir.Reg]bool{}
 	for round := 1; round <= maxRounds; round++ {
+		tel.BeginRound(round)
+		sp := tel.Begin()
 		info, err := ig.Renumber(f)
+		tel.End(telemetry.PhaseRenumber, sp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -103,10 +135,13 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 				}
 			}
 		}
+		sp = tel.Begin()
 		ctx, err := NewContext(f, machine, spillTemp)
+		tel.End(telemetry.PhaseBuildIG, sp)
 		if err != nil {
 			return nil, nil, err
 		}
+		ctx.Telemetry = tel
 		res, err := alloc.Allocate(ctx)
 		if err != nil {
 			return nil, nil, fmt.Errorf("regalloc: %s round %d: %w", alloc.Name(), round, err)
@@ -122,8 +157,10 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 			if err != nil {
 				return nil, nil, err
 			}
+			stats.Telemetry = tel.Snapshot()
 			return out, stats, nil
 		}
+		spillSpan := tel.Begin()
 		webs := expandSpills(ctx.Graph, res.Spilled)
 		stats.SpilledWebs += len(webs)
 		// Re-key the carried-over marker sets to this round's naming:
@@ -170,6 +207,7 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 		for _, t := range insertSpillCode(f, webs) {
 			tempRegs[t] = true
 		}
+		tel.End(telemetry.PhaseSpill, spillSpan)
 	}
 	return nil, nil, fmt.Errorf("regalloc: %s did not converge in %d rounds", alloc.Name(), maxRounds)
 }

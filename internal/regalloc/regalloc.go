@@ -14,6 +14,7 @@ import (
 	"prefcolor/internal/ir"
 	"prefcolor/internal/liveness"
 	"prefcolor/internal/target"
+	"prefcolor/internal/telemetry"
 )
 
 // InfiniteCost marks spill temporaries: live ranges the spiller just
@@ -32,6 +33,12 @@ type Context struct {
 
 	// SpillTemp[w] marks web w as allocator-created spill traffic.
 	SpillTemp []bool
+
+	// Telemetry is the round's instrumentation collector; nil (the
+	// common case) disables collection, and every collector method is
+	// nil-safe, so allocators thread it unconditionally. Telemetry
+	// observes only — it must never steer an allocation decision.
+	Telemetry *telemetry.Collector
 }
 
 // NewContext runs the standard analyses over a renumbered function.

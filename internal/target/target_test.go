@@ -1,0 +1,219 @@
+package target
+
+import (
+	"testing"
+
+	"prefcolor/internal/ir"
+)
+
+func TestUsageModelShape(t *testing.T) {
+	for _, k := range []int{16, 24, 32} {
+		m := UsageModel(k)
+		if m.NumRegs != k {
+			t.Errorf("k=%d: NumRegs = %d", k, m.NumRegs)
+		}
+		if got := len(m.VolatileRegs()); got != k/2 {
+			t.Errorf("k=%d: %d volatile registers, want %d", k, got, k/2)
+		}
+		if got := len(m.NonVolatileRegs()); got != k-k/2 {
+			t.Errorf("k=%d: %d non-volatile registers, want %d", k, got, k-k/2)
+		}
+		wantParams := k / 2
+		if wantParams > 8 {
+			wantParams = 8
+		}
+		if got := len(m.ParamRegs); got != wantParams {
+			t.Errorf("k=%d: %d parameter registers, want %d", k, got, wantParams)
+		}
+		// The paper's r1 analogue: first parameter register doubles as
+		// the return register, and parameters travel in volatile regs.
+		if m.RetReg != 0 || m.ParamRegs[0] != 0 {
+			t.Errorf("k=%d: RetReg=%d ParamRegs[0]=%d, want 0, 0", k, m.RetReg, m.ParamRegs[0])
+		}
+		for _, p := range m.ParamRegs {
+			if !m.IsVolatile(p) {
+				t.Errorf("k=%d: parameter register r%d is not volatile", k, p)
+			}
+		}
+		if m.PairRule != PairParity {
+			t.Errorf("k=%d: PairRule = %v, want PairParity", k, m.PairRule)
+		}
+	}
+}
+
+func TestVolatilePartition(t *testing.T) {
+	m := UsageModel(16)
+	seen := map[int]bool{}
+	for _, r := range m.VolatileRegs() {
+		seen[r] = true
+	}
+	for _, r := range m.NonVolatileRegs() {
+		if seen[r] {
+			t.Errorf("r%d is both volatile and non-volatile", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != m.NumRegs {
+		t.Errorf("partition covers %d of %d registers", len(seen), m.NumRegs)
+	}
+	// Out-of-range probes are non-volatile, per the field contract.
+	if m.IsVolatile(-1) || m.IsVolatile(m.NumRegs+5) {
+		t.Error("out-of-range register reported volatile")
+	}
+}
+
+func TestPairOK(t *testing.T) {
+	cases := []struct {
+		rule   PairRule
+		d1, d2 int
+		want   bool
+	}{
+		{PairParity, 0, 1, true},
+		{PairParity, 1, 0, true},
+		{PairParity, 3, 6, true},
+		{PairParity, 2, 4, false},
+		{PairParity, 5, 5, false},
+		{PairSequential, 4, 5, true},
+		{PairSequential, 5, 4, false},
+		{PairSequential, 4, 6, false},
+		{PairSequential, 4, 4, false},
+		{PairNone, 0, 1, false},
+		{PairNone, 4, 5, false},
+	}
+	for _, c := range cases {
+		m := &Machine{PairRule: c.rule}
+		if got := m.PairOK(c.d1, c.d2); got != c.want {
+			t.Errorf("rule %d PairOK(%d, %d) = %v, want %v", c.rule, c.d1, c.d2, got, c.want)
+		}
+	}
+}
+
+func TestCallClobbersMatchesVolatileSet(t *testing.T) {
+	m := UsageModel(16)
+	clob := m.CallClobbers()
+	vol := m.VolatileRegs()
+	if len(clob) != len(vol) {
+		t.Fatalf("%d clobbers, %d volatile registers", len(clob), len(vol))
+	}
+	for i, r := range clob {
+		if !r.IsPhys() || r.PhysNum() != vol[i] {
+			t.Errorf("clobber %d = %v, want r%d", i, r, vol[i])
+		}
+	}
+}
+
+func TestLimitApplies(t *testing.T) {
+	shl := Limit{Name: "shl-count", Op: ir.Shl, Operand: 1, Regs: []int{2}}
+	in := ir.Instr{Op: ir.Shl, Defs: []ir.Reg{ir.Phys(4)}, Uses: []ir.Reg{ir.Phys(5), ir.Phys(6)}}
+	r, ok := shl.Applies(&in)
+	if !ok || r != ir.Phys(6) {
+		t.Errorf("Applies = (%v, %v), want (r6, true)", r, ok)
+	}
+	if _, ok := shl.Applies(&ir.Instr{Op: ir.Shr, Uses: []ir.Reg{ir.Phys(1), ir.Phys(2)}}); ok {
+		t.Error("limit applied to the wrong op")
+	}
+	// Operand index beyond the instruction's operand list: no match.
+	if _, ok := shl.Applies(&ir.Instr{Op: ir.Shl, Uses: []ir.Reg{ir.Phys(1)}}); ok {
+		t.Error("limit applied past the operand list")
+	}
+	def := Limit{Name: "div-result", Op: ir.Div, OperandIsDef: true, Regs: []int{0}}
+	in = ir.Instr{Op: ir.Div, Defs: []ir.Reg{ir.Phys(7)}, Uses: []ir.Reg{ir.Phys(1), ir.Phys(2)}}
+	if r, ok := def.Applies(&in); !ok || r != ir.Phys(7) {
+		t.Errorf("def-limit Applies = (%v, %v), want (r7, true)", r, ok)
+	}
+}
+
+func TestLimitAllows(t *testing.T) {
+	l := Limit{Regs: []int{0, 1, 2, 3}}
+	for r := 0; r < 4; r++ {
+		if !l.Allows(r) {
+			t.Errorf("Allows(%d) = false inside the subset", r)
+		}
+	}
+	if l.Allows(4) || l.Allows(-1) {
+		t.Error("Allows accepted a register outside the subset")
+	}
+}
+
+func TestLimitMinImmBits(t *testing.T) {
+	l := Limit{Op: ir.AddImm, Operand: 0, MinImmBits: 14, Regs: []int{0, 1, 2, 3}}
+	small := ir.Instr{Op: ir.AddImm, Defs: []ir.Reg{ir.Phys(1)}, Uses: []ir.Reg{ir.Phys(5)}, Imm: 100}
+	if _, ok := l.Applies(&small); ok {
+		t.Error("limit activated for a short-form immediate")
+	}
+	// Signed 14-bit range is [-8192, 8191]; both boundaries inclusive.
+	for _, imm := range []int64{8191, -8192} {
+		in := small
+		in.Imm = imm
+		if _, ok := l.Applies(&in); ok {
+			t.Errorf("limit activated for fitting immediate %d", imm)
+		}
+	}
+	for _, imm := range []int64{8192, -8193} {
+		in := small
+		in.Imm = imm
+		r, ok := l.Applies(&in)
+		if !ok || r != ir.Phys(5) {
+			t.Errorf("limit missed large immediate %d: (%v, %v)", imm, r, ok)
+		}
+	}
+}
+
+func TestX86LikeLimits(t *testing.T) {
+	m := X86Like(16)
+	if m.PairRule != PairNone {
+		t.Error("x86 model has paired loads")
+	}
+	byName := map[string]*Limit{}
+	for i := range m.Limits {
+		byName[m.Limits[i].Name] = &m.Limits[i]
+	}
+	for _, want := range []string{"shl-count", "shr-count", "load-low", "div-result"} {
+		if byName[want] == nil {
+			t.Fatalf("missing limit %q", want)
+		}
+	}
+	if l := byName["load-low"]; len(l.Regs) != 4 || !l.Allows(3) || l.Allows(4) {
+		t.Errorf("load-low subset = %v, want the low quarter [0,4)", l.Regs)
+	}
+	if l := byName["shl-count"]; !l.Allows(2) || l.Allows(1) {
+		t.Errorf("shl-count subset = %v, want exactly {2}", l.Regs)
+	}
+}
+
+func TestS390LikeAndFigure7(t *testing.T) {
+	s := S390Like(16)
+	if s.PairRule != PairSequential {
+		t.Error("S390Like is not sequential-paired")
+	}
+	f7 := Figure7Machine()
+	if f7.NumRegs != 3 {
+		t.Errorf("Figure7Machine has %d registers, want 3", f7.NumRegs)
+	}
+	if !f7.IsVolatile(0) || !f7.IsVolatile(1) || f7.IsVolatile(2) {
+		t.Error("Figure7Machine volatility should be {r0, r1} volatile, r2 not")
+	}
+	if f7.PairRule != PairParity {
+		t.Error("Figure7Machine pairs by parity")
+	}
+}
+
+func TestWithIA64AddImmLimit(t *testing.T) {
+	m := UsageModel(16).WithIA64AddImmLimit()
+	var addl *Limit
+	for i := range m.Limits {
+		if m.Limits[i].Name == "ia64-addl" {
+			addl = &m.Limits[i]
+		}
+	}
+	if addl == nil {
+		t.Fatal("ia64-addl limit not appended")
+	}
+	in := ir.Instr{Op: ir.AddImm, Defs: []ir.Reg{ir.Phys(1)}, Uses: []ir.Reg{ir.Phys(9)}, Imm: 1 << 20}
+	if r, ok := addl.Applies(&in); !ok || r != ir.Phys(9) {
+		t.Errorf("large-immediate addimm not constrained: (%v, %v)", r, ok)
+	}
+	if !addl.Allows(3) || addl.Allows(4) {
+		t.Error("addl subset should be the first four registers")
+	}
+}

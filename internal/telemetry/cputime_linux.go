@@ -1,0 +1,25 @@
+//go:build linux
+
+package telemetry
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is Linux's CLOCK_THREAD_CPUTIME_ID.
+const clockThreadCPUTimeID = 3
+
+// threadCPUTime returns the calling OS thread's consumed CPU time.
+// Goroutines may migrate between threads, so per-phase CPU deltas are
+// estimates; zero means the clock is unavailable.
+func threadCPUTime() time.Duration {
+	var ts syscall.Timespec
+	_, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0
+	}
+	return time.Duration(ts.Sec)*time.Second + time.Duration(ts.Nsec)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package telemetry
+
+import "time"
+
+// threadCPUTime is unavailable off Linux; phase CPU columns read zero
+// and only wall time is reported.
+func threadCPUTime() time.Duration { return 0 }

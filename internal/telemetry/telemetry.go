@@ -1,0 +1,487 @@
+// Package telemetry is the allocation pipeline's instrumentation
+// layer: per-phase wall/CPU timers, counters keyed by preference kind
+// and outcome, a ready-set size histogram for the CPG traversal, and
+// an optional structured event trace (one JSON line per selection or
+// spill decision).
+//
+// The layer is designed to cost nothing when off: a nil *Collector is
+// the disabled state, every method is nil-receiver safe, and the hot
+// paths guard their argument construction behind Enabled/Tracing so a
+// disabled pipeline performs no allocation and no time syscalls.
+// Telemetry only observes — it never influences an allocation
+// decision, so enabling it must leave assignments and spill sets
+// bit-identical (the determinism test pins this).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase enumerates the pipeline stages the timers decompose an
+// allocation into.
+type Phase uint8
+
+const (
+	// PhaseRenumber is live-range construction (ig.Renumber).
+	PhaseRenumber Phase = iota
+	// PhaseBuildIG covers the per-round analyses and interference-
+	// graph construction (regalloc.NewContext).
+	PhaseBuildIG
+	// PhaseRPG is Register Preference Graph construction.
+	PhaseRPG
+	// PhaseSimplify is the optimistic simplification pass.
+	PhaseSimplify
+	// PhaseCPG is Coloring Precedence Graph construction.
+	PhaseCPG
+	// PhaseSelect is the CPG-directed register selection.
+	PhaseSelect
+	// PhaseRecolor is the post-selection recoloring fixup.
+	PhaseRecolor
+	// PhaseSpill is spill-code insertion between rounds.
+	PhaseSpill
+
+	// NumPhases bounds the Phase enum.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"renumber", "build-ig", "rpg", "simplify", "cpg", "select",
+	"recolor", "spill",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase%d", p)
+}
+
+// PrefClass is telemetry's preference-kind axis. It splits the
+// paper's Prefers edges into class preferences (volatile versus
+// non-volatile residence) and limited-register-usage preferences
+// (explicit register subsets), which the counters report separately.
+type PrefClass uint8
+
+const (
+	// PrefCoalesce counts coalescing preferences from copies.
+	PrefCoalesce PrefClass = iota
+	// PrefSeqPlus counts first-destination paired-load preferences.
+	PrefSeqPlus
+	// PrefSeqMinus counts second-destination paired-load preferences.
+	PrefSeqMinus
+	// PrefRegClass counts volatile/non-volatile class preferences.
+	PrefRegClass
+	// PrefLimit counts limited-register-usage preferences.
+	PrefLimit
+
+	// NumPrefClasses bounds the PrefClass enum.
+	NumPrefClasses
+)
+
+var prefClassNames = [NumPrefClasses]string{
+	"coalesce", "sequential+", "sequential-", "class", "limit",
+}
+
+func (c PrefClass) String() string {
+	if int(c) < len(prefClassNames) {
+		return prefClassNames[c]
+	}
+	return fmt.Sprintf("pref%d", c)
+}
+
+// Outcome is what became of one preference at the decision that
+// settled (or postponed) it.
+type Outcome uint8
+
+const (
+	// Honored: the chosen register satisfies the preference.
+	Honored Outcome = iota
+	// Deferred: the partner was not yet allocated when the holder was
+	// colored; the preference's fate belongs to a later decision.
+	Deferred
+	// Broken: the preference can no longer be honored (partner
+	// spilled, holder spilled, or the pick missed it).
+	Broken
+
+	// NumOutcomes bounds the Outcome enum.
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{"honored", "deferred", "broken"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome%d", o)
+}
+
+// NumReadyBuckets is the ready-set histogram's bucket count: sizes
+// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, and 65+.
+const NumReadyBuckets = 8
+
+// readyBucket maps a ready-set size to its histogram bucket.
+func readyBucket(n int) int {
+	b := 0
+	for n > 1 && b < NumReadyBuckets-1 {
+		n = (n + 1) / 2
+		b++
+	}
+	return b
+}
+
+// ReadyBucketLabel names histogram bucket b ("1", "2", "3-4", …).
+func ReadyBucketLabel(b int) string {
+	if b == 0 {
+		return "1"
+	}
+	if b == 1 {
+		return "2"
+	}
+	lo, hi := 1<<b>>1+1, 1<<b
+	if b == NumReadyBuckets-1 {
+		return fmt.Sprintf("%d+", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// PhaseTimes is one phase's accumulated timing. CPU is thread CPU
+// time sampled at the phase boundaries; Go may migrate a goroutine
+// between OS threads mid-phase, so treat it as an estimate (wall time
+// is exact).
+type PhaseTimes struct {
+	Wall time.Duration `json:"wall_ns"`
+	CPU  time.Duration `json:"cpu_ns"`
+}
+
+// Snapshot is one allocation's (or one merged batch's) telemetry.
+// Every field is a plain sum, so Merge is commutative and
+// order-independent — per-worker snapshots combine into the same
+// batch report whatever the scheduling.
+type Snapshot struct {
+	// Funcs and Rounds count completed allocations and spill rounds.
+	Funcs  int
+	Rounds int
+
+	// Selections counts processed CPG nodes; SelectSpills the nodes
+	// spilled for want of a candidate register; ActiveSpills the §5.4
+	// would-rather-be-in-memory spills; Recolors the recoloring plans
+	// the fixup pass applied.
+	Selections   int64
+	SelectSpills int64
+	ActiveSpills int64
+	Recolors     int64
+
+	// TraceEvents counts emitted trace lines (zero unless tracing).
+	TraceEvents int64
+
+	// Phases accumulates per-phase timing, indexed by Phase.
+	Phases [NumPhases]PhaseTimes
+
+	// Prefs counts preference dispositions, indexed by PrefClass and
+	// Outcome.
+	Prefs [NumPrefClasses][NumOutcomes]int64
+
+	// ReadyHist is the CPG ready-set size histogram, one sample per
+	// selection step, indexed by readyBucket.
+	ReadyHist [NumReadyBuckets]int64
+}
+
+// Merge adds o into s.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	s.Funcs += o.Funcs
+	s.Rounds += o.Rounds
+	s.Selections += o.Selections
+	s.SelectSpills += o.SelectSpills
+	s.ActiveSpills += o.ActiveSpills
+	s.Recolors += o.Recolors
+	s.TraceEvents += o.TraceEvents
+	for p := range s.Phases {
+		s.Phases[p].Wall += o.Phases[p].Wall
+		s.Phases[p].CPU += o.Phases[p].CPU
+	}
+	for c := range s.Prefs {
+		for out := range s.Prefs[c] {
+			s.Prefs[c][out] += o.Prefs[c][out]
+		}
+	}
+	for b := range s.ReadyHist {
+		s.ReadyHist[b] += o.ReadyHist[b]
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Snapshot) Clone() *Snapshot {
+	c := *s
+	return &c
+}
+
+// PrefTotal sums a preference class across outcomes.
+func (s *Snapshot) PrefTotal(c PrefClass) int64 {
+	var t int64
+	for _, v := range s.Prefs[c] {
+		t += v
+	}
+	return t
+}
+
+// MarshalJSON renders the snapshot with named phases, preference
+// kinds, and histogram buckets, so BENCH_*.json files stay readable
+// without the enum definitions at hand.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	phases := map[string]PhaseTimes{}
+	for p := Phase(0); p < NumPhases; p++ {
+		if s.Phases[p].Wall != 0 || s.Phases[p].CPU != 0 {
+			phases[p.String()] = s.Phases[p]
+		}
+	}
+	prefs := map[string]map[string]int64{}
+	for c := PrefClass(0); c < NumPrefClasses; c++ {
+		if s.PrefTotal(c) == 0 {
+			continue
+		}
+		m := map[string]int64{}
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			m[o.String()] = s.Prefs[c][o]
+		}
+		prefs[c.String()] = m
+	}
+	hist := map[string]int64{}
+	for b := 0; b < NumReadyBuckets; b++ {
+		if s.ReadyHist[b] != 0 {
+			hist[ReadyBucketLabel(b)] = s.ReadyHist[b]
+		}
+	}
+	return json.Marshal(struct {
+		Funcs        int                         `json:"funcs"`
+		Rounds       int                         `json:"rounds"`
+		Selections   int64                       `json:"selections"`
+		SelectSpills int64                       `json:"select_spills"`
+		ActiveSpills int64                       `json:"active_spills"`
+		Recolors     int64                       `json:"recolors"`
+		TraceEvents  int64                       `json:"trace_events,omitempty"`
+		Phases       map[string]PhaseTimes       `json:"phases"`
+		Prefs        map[string]map[string]int64 `json:"prefs"`
+		ReadyHist    map[string]int64            `json:"ready_hist"`
+	}{
+		Funcs: s.Funcs, Rounds: s.Rounds,
+		Selections: s.Selections, SelectSpills: s.SelectSpills,
+		ActiveSpills: s.ActiveSpills, Recolors: s.Recolors,
+		TraceEvents: s.TraceEvents,
+		Phases:      phases, Prefs: prefs, ReadyHist: hist,
+	})
+}
+
+// Report renders the snapshot as the aligned text block the CLI and
+// bench harness print. Counter lines are deterministic; only the
+// duration columns vary run to run.
+func (s *Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry: %d function(s), %d round(s), %d selections (%d spilled, %d active-spills), %d recolors\n",
+		s.Funcs, s.Rounds, s.Selections, s.SelectSpills, s.ActiveSpills, s.Recolors)
+	b.WriteString("phase        wall          cpu\n")
+	for p := Phase(0); p < NumPhases; p++ {
+		fmt.Fprintf(&b, "%-12s %-13v %v\n", p, s.Phases[p].Wall, s.Phases[p].CPU)
+	}
+	b.WriteString("preference   honored  deferred  broken\n")
+	for c := PrefClass(0); c < NumPrefClasses; c++ {
+		fmt.Fprintf(&b, "%-12s %-8d %-9d %d\n", c,
+			s.Prefs[c][Honored], s.Prefs[c][Deferred], s.Prefs[c][Broken])
+	}
+	b.WriteString("ready-set size:")
+	any := false
+	for i := 0; i < NumReadyBuckets; i++ {
+		if s.ReadyHist[i] != 0 {
+			fmt.Fprintf(&b, " %s:%d", ReadyBucketLabel(i), s.ReadyHist[i])
+			any = true
+		}
+	}
+	if !any {
+		b.WriteString(" (empty)")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Span is an open phase timing started by Collector.Begin.
+type Span struct {
+	wall time.Time
+	cpu  time.Duration
+	live bool
+}
+
+// Event is one trace line: a selection or spill decision with the
+// candidate screen results and the strength differential that ranked
+// the node.
+type Event struct {
+	Func   string  `json:"func"`
+	Round  int     `json:"round"`
+	Action string  `json:"action"` // "select" | "spill" | "active-spill"
+	Node   int     `json:"node"`
+	Reg    string  `json:"reg"`
+	Pri    float64 `json:"strength_differential"`
+	// Avail is the candidate set before preference screening, Cands
+	// what survived it; Chosen is the granted register (-1 on spill).
+	Avail   []int    `json:"avail,omitempty"`
+	Cands   []int    `json:"cands,omitempty"`
+	Chosen  int      `json:"chosen"`
+	Honored []string `json:"honored,omitempty"`
+}
+
+// Collector accumulates one allocation run's telemetry. The zero
+// value is unusable — construct with New. A nil collector is the
+// disabled instrument: every method returns immediately.
+//
+// A Collector is not safe for concurrent use; the batch driver gives
+// every worker its own and merges snapshots after the pool drains.
+type Collector struct {
+	snap  Snapshot
+	fn    string
+	round int
+	trace io.Writer
+	buf   []byte
+}
+
+// New returns a collector; trace may be nil to collect counters and
+// timers without an event stream. Trace lines are emitted with a
+// single Write each, so a mutex-wrapped writer makes the stream safe
+// under the batch driver's concurrency.
+func New(trace io.Writer) *Collector {
+	return &Collector{trace: trace}
+}
+
+// Enabled reports whether the collector is live; use it to guard
+// argument construction on hot paths.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Tracing reports whether an event stream is attached.
+func (c *Collector) Tracing() bool { return c != nil && c.trace != nil }
+
+// BeginFunc marks the start of one function's allocation.
+func (c *Collector) BeginFunc(name string) {
+	if c == nil {
+		return
+	}
+	c.fn = name
+	c.snap.Funcs++
+}
+
+// BeginRound marks the start of spill round r (1-based).
+func (c *Collector) BeginRound(r int) {
+	if c == nil {
+		return
+	}
+	c.round = r
+	c.snap.Rounds++
+}
+
+// Begin opens a phase timing span; pair with End.
+func (c *Collector) Begin() Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{wall: time.Now(), cpu: threadCPUTime(), live: true}
+}
+
+// End closes span sp, charging the elapsed wall and CPU time to
+// phase p.
+func (c *Collector) End(p Phase, sp Span) {
+	if c == nil || !sp.live {
+		return
+	}
+	c.snap.Phases[p].Wall += time.Since(sp.wall)
+	if cpu := threadCPUTime(); cpu > 0 && sp.cpu > 0 && cpu >= sp.cpu {
+		c.snap.Phases[p].CPU += cpu - sp.cpu
+	}
+}
+
+// CountPref tallies one preference disposition.
+func (c *Collector) CountPref(class PrefClass, o Outcome) {
+	if c == nil {
+		return
+	}
+	c.snap.Prefs[class][o]++
+}
+
+// ObserveReady records one CPG ready-set size sample.
+func (c *Collector) ObserveReady(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.snap.ReadyHist[readyBucket(n)]++
+}
+
+// NoteSelection records a processed node: colored, spilled for want
+// of a register, or actively spilled.
+func (c *Collector) NoteSelection(spilled, active bool) {
+	if c == nil {
+		return
+	}
+	c.snap.Selections++
+	if active {
+		c.snap.ActiveSpills++
+	} else if spilled {
+		c.snap.SelectSpills++
+	}
+}
+
+// NoteRecolor records one applied recoloring plan.
+func (c *Collector) NoteRecolor() {
+	if c == nil {
+		return
+	}
+	c.snap.Recolors++
+}
+
+// TraceEvent emits one JSON trace line. The collector fills Func and
+// Round; a marshalling failure is swallowed (telemetry must never
+// fail an allocation).
+func (c *Collector) TraceEvent(e *Event) {
+	if c == nil || c.trace == nil {
+		return
+	}
+	e.Func, e.Round = c.fn, c.round
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	c.buf = append(c.buf[:0], line...)
+	c.buf = append(c.buf, '\n')
+	if _, err := c.trace.Write(c.buf); err == nil {
+		c.snap.TraceEvents++
+	}
+}
+
+// Snapshot returns a copy of the accumulated telemetry; nil when the
+// collector is disabled.
+func (c *Collector) Snapshot() *Snapshot {
+	if c == nil {
+		return nil
+	}
+	return c.snap.Clone()
+}
+
+// LockedWriter wraps w so each Write is serialized — the adapter the
+// batch driver uses to share one trace stream across workers.
+type LockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLockedWriter returns a mutex-serialized writer over w.
+func NewLockedWriter(w io.Writer) *LockedWriter { return &LockedWriter{w: w} }
+
+// Write implements io.Writer under the lock.
+func (l *LockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

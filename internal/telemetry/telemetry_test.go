@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilCollectorIsInert pins the disabled-state contract: every
+// method on a nil collector is a no-op, so the pipeline can thread a
+// nil pointer unconditionally.
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	if c.Enabled() || c.Tracing() {
+		t.Fatal("nil collector claims to be enabled")
+	}
+	c.BeginFunc("f")
+	c.BeginRound(1)
+	sp := c.Begin()
+	c.End(PhaseSelect, sp)
+	c.CountPref(PrefCoalesce, Honored)
+	c.ObserveReady(3)
+	c.NoteSelection(true, false)
+	c.NoteRecolor()
+	c.TraceEvent(&Event{})
+	if snap := c.Snapshot(); snap != nil {
+		t.Fatalf("nil collector produced a snapshot: %+v", snap)
+	}
+}
+
+// TestDisabledPathAllocatesNothing pins the zero-allocation claim for
+// the guarded hot-path calls.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := c.Begin()
+		c.CountPref(PrefSeqPlus, Deferred)
+		c.ObserveReady(7)
+		c.NoteSelection(false, false)
+		c.End(PhaseSelect, sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f times per op", allocs)
+	}
+}
+
+func TestCountersAndSnapshot(t *testing.T) {
+	c := New(nil)
+	c.BeginFunc("f")
+	c.BeginRound(1)
+	c.CountPref(PrefCoalesce, Honored)
+	c.CountPref(PrefCoalesce, Honored)
+	c.CountPref(PrefLimit, Broken)
+	c.ObserveReady(1)
+	c.ObserveReady(5)
+	c.NoteSelection(false, false)
+	c.NoteSelection(true, false)
+	c.NoteSelection(true, true)
+	c.NoteRecolor()
+
+	s := c.Snapshot()
+	if s.Funcs != 1 || s.Rounds != 1 {
+		t.Errorf("funcs/rounds = %d/%d, want 1/1", s.Funcs, s.Rounds)
+	}
+	if s.Prefs[PrefCoalesce][Honored] != 2 || s.Prefs[PrefLimit][Broken] != 1 {
+		t.Errorf("pref counters wrong: %+v", s.Prefs)
+	}
+	if s.Selections != 3 || s.SelectSpills != 1 || s.ActiveSpills != 1 {
+		t.Errorf("selections=%d spills=%d active=%d", s.Selections, s.SelectSpills, s.ActiveSpills)
+	}
+	if s.Recolors != 1 {
+		t.Errorf("recolors = %d", s.Recolors)
+	}
+	if s.ReadyHist[readyBucket(1)] != 1 || s.ReadyHist[readyBucket(5)] != 1 {
+		t.Errorf("ready histogram wrong: %v", s.ReadyHist)
+	}
+	// Snapshot is a copy: further counting must not leak into it.
+	c.NoteRecolor()
+	if s.Recolors != 1 {
+		t.Error("snapshot aliases the live collector state")
+	}
+}
+
+func TestReadyBuckets(t *testing.T) {
+	cases := []struct {
+		n, bucket int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {32, 5}, {33, 6}, {64, 6}, {65, 7}, {1000, 7},
+	}
+	for _, tc := range cases {
+		if got := readyBucket(tc.n); got != tc.bucket {
+			t.Errorf("readyBucket(%d) = %d, want %d", tc.n, got, tc.bucket)
+		}
+	}
+	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+	for b, want := range labels {
+		if got := ReadyBucketLabel(b); got != want {
+			t.Errorf("ReadyBucketLabel(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestMergeIsCommutativeSum(t *testing.T) {
+	a := &Snapshot{Funcs: 1, Rounds: 2, Selections: 10}
+	a.Prefs[PrefCoalesce][Honored] = 3
+	a.Phases[PhaseSelect].Wall = 5 * time.Millisecond
+	a.ReadyHist[0] = 4
+	b := &Snapshot{Funcs: 2, Rounds: 1, Selections: 7}
+	b.Prefs[PrefCoalesce][Honored] = 2
+	b.Phases[PhaseSelect].Wall = 3 * time.Millisecond
+	b.ReadyHist[0] = 1
+
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if *ab != *ba {
+		t.Fatalf("merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	if ab.Funcs != 3 || ab.Selections != 17 || ab.Prefs[PrefCoalesce][Honored] != 5 {
+		t.Errorf("merge sums wrong: %+v", ab)
+	}
+	if ab.Phases[PhaseSelect].Wall != 8*time.Millisecond || ab.ReadyHist[0] != 5 {
+		t.Errorf("merge sums wrong: %+v", ab)
+	}
+	ab.Merge(nil) // nil-safe
+}
+
+func TestPhaseTimers(t *testing.T) {
+	c := New(nil)
+	sp := c.Begin()
+	busy := 0
+	deadline := time.Now().Add(2 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		busy++
+	}
+	c.End(PhaseRPG, sp)
+	s := c.Snapshot()
+	if s.Phases[PhaseRPG].Wall < 2*time.Millisecond {
+		t.Errorf("wall time %v shorter than the busy loop", s.Phases[PhaseRPG].Wall)
+	}
+	if s.Phases[PhaseSelect].Wall != 0 {
+		t.Errorf("untouched phase has wall time %v", s.Phases[PhaseSelect].Wall)
+	}
+	_ = busy
+}
+
+func TestTraceEvents(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(&buf)
+	if !c.Tracing() {
+		t.Fatal("collector with writer reports Tracing() == false")
+	}
+	c.BeginFunc("f")
+	c.BeginRound(2)
+	c.TraceEvent(&Event{Action: "select", Node: 5, Reg: "v3", Pri: 1.5,
+		Avail: []int{0, 1}, Cands: []int{1}, Chosen: 1, Honored: []string{"coalesce"}})
+	c.TraceEvent(&Event{Action: "spill", Node: 6, Reg: "v4", Chosen: -1})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("trace line is not JSON: %v", err)
+	}
+	if e.Func != "f" || e.Round != 2 || e.Action != "select" || e.Chosen != 1 {
+		t.Errorf("decoded event wrong: %+v", e)
+	}
+	if c.Snapshot().TraceEvents != 2 {
+		t.Errorf("TraceEvents = %d, want 2", c.Snapshot().TraceEvents)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	s := &Snapshot{Funcs: 1, Rounds: 2, Selections: 3}
+	s.Prefs[PrefCoalesce][Honored] = 4
+	s.Phases[PhaseSelect].Wall = time.Millisecond
+	s.ReadyHist[2] = 9
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	phases, ok := decoded["phases"].(map[string]any)
+	if !ok || phases["select"] == nil {
+		t.Errorf("phases not keyed by name: %s", raw)
+	}
+	prefs, ok := decoded["prefs"].(map[string]any)
+	if !ok || prefs["coalesce"] == nil {
+		t.Errorf("prefs not keyed by kind: %s", raw)
+	}
+	hist, ok := decoded["ready_hist"].(map[string]any)
+	if !ok || hist["3-4"] == nil {
+		t.Errorf("ready_hist not keyed by bucket label: %s", raw)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	s := &Snapshot{Funcs: 2, Rounds: 3, Selections: 40, SelectSpills: 1}
+	s.Prefs[PrefCoalesce][Honored] = 7
+	s.ReadyHist[0] = 12
+	r := s.Report()
+	for _, want := range []string{
+		"telemetry: 2 function(s), 3 round(s)",
+		"renumber", "select", "recolor",
+		"coalesce", "sequential+", "limit",
+		"ready-set size: 1:12",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestLockedWriter(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLockedWriter(&buf)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				if _, err := lw.Write([]byte("0123456789\n")); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("got %d lines, want 200", len(lines))
+	}
+	for _, l := range lines {
+		if l != "0123456789" {
+			t.Fatalf("interleaved write: %q", l)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"prefcolor/internal/regalloc/priority"
 	"prefcolor/internal/ssa"
 	"prefcolor/internal/target"
+	"prefcolor/internal/telemetry"
 	"prefcolor/internal/workload"
 )
 
@@ -55,8 +56,16 @@ type Allocator = regalloc.Allocator
 type Stats = regalloc.Stats
 
 // Options tunes the allocation driver (spill-round limit,
-// validation).
+// validation, telemetry collection and tracing).
 type Options = regalloc.Options
+
+// TelemetrySnapshot is one allocation's (or a merged batch's)
+// instrumentation report: per-phase wall/CPU timers, preference
+// counters by kind and outcome, and the CPG ready-set histogram.
+// Enable collection with Options.CollectTelemetry (the snapshot lands
+// in Stats.Telemetry) and attach Options.TraceWriter for a structured
+// per-decision JSON event stream.
+type TelemetrySnapshot = telemetry.Snapshot
 
 // CycleEstimate is the static performance estimate of allocated code.
 type CycleEstimate = perfmodel.Result
@@ -174,6 +183,23 @@ func AllocateAll(funcs []*Function, m *Machine, newAllocator func() Allocator, o
 		return nil, nil, err
 	}
 	return batch.Funcs, batch.Stats, nil
+}
+
+// MergeTelemetry combines the per-function telemetry snapshots of a
+// batch into one report; entries without telemetry (collection off)
+// contribute nothing. It returns nil when no snapshot was present.
+func MergeTelemetry(stats []*Stats) *TelemetrySnapshot {
+	var merged *TelemetrySnapshot
+	for _, st := range stats {
+		if st == nil || st.Telemetry == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &TelemetrySnapshot{}
+		}
+		merged.Merge(st.Telemetry)
+	}
+	return merged
 }
 
 // EstimateCycles prices allocated code with the paper's Appendix cost

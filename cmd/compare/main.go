@@ -19,23 +19,37 @@ import (
 )
 
 func main() {
-	k := flag.Int("k", 16, "number of machine registers")
-	machine := flag.String("machine", "ia64", "machine model: ia64, x86, s390")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected, so the golden tests can drive
+// the binary in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k := fs.Int("k", 16, "number of machine registers")
+	machine := fs.String("machine", "ia64", "machine model: ia64, x86, s390")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "compare:", err)
+		return 1
+	}
 
 	var src []byte
 	var err error
-	switch flag.NArg() {
+	switch fs.NArg() {
 	case 0:
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	case 1:
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(fs.Arg(0))
 	default:
-		fmt.Fprintln(os.Stderr, "compare: at most one input file")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "compare: at most one input file")
+		return 2
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var m *prefcolor.Machine
@@ -47,35 +61,31 @@ func main() {
 	case "s390":
 		m = prefcolor.NewS390Machine(*k)
 	default:
-		fatal(fmt.Errorf("unknown machine %q", *machine))
+		return fail(fmt.Errorf("unknown machine %q", *machine))
 	}
 
-	fmt.Printf("machine: %s (%d registers)\n\n", m.Name, m.NumRegs)
-	fmt.Printf("%-22s %7s %7s %7s %7s %7s %7s %10s\n",
+	fmt.Fprintf(stdout, "machine: %s (%d registers)\n\n", m.Name, m.NumRegs)
+	fmt.Fprintf(stdout, "%-22s %7s %7s %7s %7s %7s %7s %10s\n",
 		"allocator", "moves", "left", "spills", "saves", "fused", "limviol", "cycles")
 	for _, name := range prefcolor.AllocatorNames() {
 		f, err := prefcolor.ParseFunction(string(src))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		alloc, err := prefcolor.AllocatorByName(name)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		out, st, err := prefcolor.Allocate(f, m, alloc)
 		if err != nil {
-			fmt.Printf("%-22s failed: %v\n", name, err)
+			fmt.Fprintf(stdout, "%-22s failed: %v\n", name, err)
 			continue
 		}
 		est := prefcolor.EstimateCycles(out, m)
-		fmt.Printf("%-22s %7d %7d %7d %7d %7d %7d %10.0f\n",
+		fmt.Fprintf(stdout, "%-22s %7d %7d %7d %7d %7d %7d %10.0f\n",
 			name, st.MovesBefore, st.MovesRemaining, st.SpillInstrs(),
 			st.CallerSaveStores+st.CallerSaveLoads, est.FusedPairs,
 			est.LimitViolations, est.Cycles)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "compare:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// golden compares output against testdata/<name>.golden, rewriting the
+// file when UPDATE_GOLDEN=1.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestGoldenCompare pins the full comparison table — every allocator
+// configuration on the pairs function — so an allocator regression
+// shows up as a diff in one place.
+func TestGoldenCompare(t *testing.T) {
+	out, stderr, code := runCLI(t, "", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	golden(t, "compare", out)
+}
+
+func TestStdinMatchesFile(t *testing.T) {
+	src, err := os.ReadFile("testdata/pairs.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStdin, _, code := runCLI(t, string(src))
+	if code != 0 {
+		t.Fatal("stdin run failed")
+	}
+	fromFile, _, code := runCLI(t, "", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatal("file run failed")
+	}
+	if fromStdin != fromFile {
+		t.Error("stdin and file input produce different output")
+	}
+}
+
+func TestBadMachineFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "", "-machine", "vax", "testdata/pairs.ir")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "vax") {
+		t.Errorf("stderr does not name the bad machine: %s", stderr)
+	}
+}
+
+func TestTooManyFilesFails(t *testing.T) {
+	_, _, code := runCLI(t, "", "testdata/pairs.ir", "testdata/pairs.ir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	_, _, code := runCLI(t, "", "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

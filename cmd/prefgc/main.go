@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [-telemetry] [-trace file] [file ...]
+//	prefgc [-k 16] [-alloc pref-full] [-stats] [-estimate] [-telemetry] [-trace file] [-timeout 30s] [file ...]
 //
 // With no file the function is read from standard input; with several
 // files (one function each) the functions are allocated concurrently
@@ -14,11 +14,13 @@
 // -telemetry prints the merged instrumentation report (phase timers,
 // preference counters, ready-set histogram) after the code; -trace
 // writes one JSON line per selection or spill decision to the given
-// file ("-" for standard error). -pprof serves net/http/pprof on the
-// given address for profiling long batches.
+// file ("-" for standard error). -timeout aborts the whole batch at
+// the next phase boundary once the deadline passes. -pprof serves
+// net/http/pprof on the given address for profiling long batches.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +49,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	explain := fs.Bool("explain", false, "print the Register Preference Graph and Coloring Precedence Graph instead of allocating")
 	telemetry := fs.Bool("telemetry", false, "print the allocation telemetry report")
 	tracePath := fs.String("trace", "", "write a JSON event trace to this file (\"-\" for standard error)")
+	timeout := fs.Duration("timeout", 0, "abort allocation after this long (0 = no deadline)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,6 +128,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return a
 	}
 	opts := prefcolor.Options{CollectTelemetry: *telemetry}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
 	var traceFile *os.File
 	if *tracePath != "" {
 		if *tracePath == "-" {

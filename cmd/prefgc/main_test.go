@@ -127,6 +127,35 @@ func TestTraceFlagEmitsJSONLines(t *testing.T) {
 	}
 }
 
+// TestGoldenTimeout pins the error path of -timeout: a deadline that
+// has already lapsed must abort the batch at the first phase boundary
+// with exit 1, and the error must name the function, the allocator,
+// and context.DeadlineExceeded.
+func TestGoldenTimeout(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "", "-timeout", "1ns", "testdata/pairs.ir")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("timed-out run still produced output:\n%s", stdout)
+	}
+	golden(t, "timeout", stderr)
+}
+
+func TestTimeoutGenerousDeadlineSucceeds(t *testing.T) {
+	withTimeout, stderr, code := runCLI(t, "", "-timeout", "1m", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	without, _, code := runCLI(t, "", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatal("plain run failed")
+	}
+	if withTimeout != without {
+		t.Error("a generous -timeout changed the output")
+	}
+}
+
 func TestBadAllocatorFails(t *testing.T) {
 	_, stderr, code := runCLI(t, "", "-alloc", "nonsense", "testdata/pairs.ir")
 	if code != 1 {

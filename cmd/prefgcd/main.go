@@ -1,0 +1,257 @@
+// Command prefgcd is the allocation daemon: it serves the
+// preference-directed allocator (and every baseline configuration)
+// over HTTP/JSON with a bounded admission queue, a single-flight LRU
+// result cache, per-request deadlines, Prometheus metrics, and pprof.
+//
+// Serve mode (the default):
+//
+//	prefgcd [-addr localhost:8377] [-workers 4] [-queue 64] [-cache 1024]
+//	        [-default-timeout 30s] [-max-timeout 2m]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: admission stops,
+// queued allocations finish, then the process exits.
+//
+// Load mode (-load) drives sustained concurrent traffic against a
+// running daemon from the synthetic workload corpora and prints a
+// throughput/latency/cache report; -out writes the benchmark record
+// (BENCH_PR3.json format):
+//
+//	prefgcd -load -addr http://localhost:8377 -duration 5s -concurrency 8 \
+//	        -corpus compress,large -out BENCH_PR3.json
+//
+// Load mode exits non-zero if any request failed hard or any two
+// responses for the same function disagreed, so it doubles as a CI
+// smoke check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"prefcolor/internal/server"
+	"prefcolor/internal/server/loadgen"
+	"prefcolor/internal/target"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected so tests can drive the binary
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prefgcd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	// Serve-mode flags.
+	addr := fs.String("addr", "localhost:8377", "serve: listen address; load: daemon base URL")
+	workers := fs.Int("workers", 0, "allocation worker pool size (0 = 4)")
+	queueSize := fs.Int("queue", 0, "admission queue bound (0 = 64)")
+	cacheEntries := fs.Int("cache", 0, "result cache entries (0 = 1024, negative disables)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when none given (0 = 30s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on requested deadlines (0 = 2m)")
+
+	// Load-mode flags.
+	load := fs.Bool("load", false, "drive load against a running daemon instead of serving")
+	duration := fs.Duration("duration", 5*time.Second, "load: run duration")
+	concurrency := fs.Int("concurrency", 8, "load: client goroutines")
+	corpus := fs.String("corpus", "compress,large", "load: workload profiles (comma list, \"all\", or \"large\")")
+	allocator := fs.String("alloc", "pref-full", "load: allocator name sent with every request")
+	k := fs.Int("k", 16, "load: machine register count")
+	machine := fs.String("machine", "ia64", "load: machine model (ia64, x86, s390)")
+	requests := fs.Int("requests", 0, "load: stop after this many requests (0 = duration only)")
+	seed := fs.Int64("seed", 1, "load: corpus-picking RNG seed")
+	out := fs.String("out", "", "load: write the benchmark record (BENCH_PR3.json format) to this file")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *load {
+		return runLoad(stdout, stderr, loadConfig{
+			addr: *addr, duration: *duration, concurrency: *concurrency,
+			corpus: *corpus, allocator: *allocator, k: *k, machine: *machine,
+			requests: *requests, seed: *seed, out: *out,
+		})
+	}
+	return serve(stdout, stderr, *addr, server.Config{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+}
+
+func serve(stdout, stderr io.Writer, addr string, cfg server.Config) int {
+	s := server.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "prefgcd: serving on %s\n", addr)
+
+	select {
+	case err := <-errCh:
+		// Listen failed before any signal.
+		s.Close()
+		fmt.Fprintln(stderr, "prefgcd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let in-flight
+	// handlers finish, then drain the queued allocations.
+	fmt.Fprintln(stdout, "prefgcd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "prefgcd: shutdown:", err)
+	}
+	s.Close()
+	fmt.Fprintln(stdout, "prefgcd: drained")
+	return 0
+}
+
+type loadConfig struct {
+	addr        string
+	duration    time.Duration
+	concurrency int
+	corpus      string
+	allocator   string
+	k           int
+	machine     string
+	requests    int
+	seed        int64
+	out         string
+}
+
+// benchRecord is the BENCH_PR3.json schema: environment, load
+// configuration, and the loadgen report.
+type benchRecord struct {
+	PR          int    `json:"pr"`
+	Title       string `json:"title"`
+	Environment struct {
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPUs   int    `json:"cpus_available"`
+		CPU    string `json:"cpu,omitempty"`
+	} `json:"environment"`
+	Config struct {
+		Server      string  `json:"server"`
+		DurationSec float64 `json:"duration_sec"`
+		Concurrency int     `json:"concurrency"`
+		Corpus      string  `json:"corpus"`
+		Allocator   string  `json:"allocator"`
+		K           int     `json:"k"`
+		Machine     string  `json:"machine"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	Report *loadgen.Report `json:"report"`
+}
+
+func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "prefgcd:", err)
+		return 1
+	}
+	var m *target.Machine
+	switch cfg.machine {
+	case "ia64":
+		m = target.UsageModel(cfg.k)
+	case "x86":
+		m = target.X86Like(cfg.k)
+	case "s390":
+		m = target.S390Like(cfg.k)
+	default:
+		return fail(fmt.Errorf("unknown machine %q (want ia64, x86, or s390)", cfg.machine))
+	}
+	items, err := loadgen.CorpusFromProfiles(cfg.corpus, m)
+	if err != nil {
+		return fail(err)
+	}
+	base := cfg.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:     base,
+		Corpus:      items,
+		Concurrency: cfg.concurrency,
+		Duration:    cfg.duration,
+		MaxRequests: cfg.requests,
+		Allocator:   cfg.allocator,
+		Machine:     cfg.machine,
+		K:           cfg.k,
+		Seed:        cfg.seed,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	rec := &benchRecord{PR: 3, Title: "Allocation-as-a-service: prefgcd daemon under sustained load", Report: rep}
+	rec.Environment.GOOS = runtime.GOOS
+	rec.Environment.GOARCH = runtime.GOARCH
+	rec.Environment.CPUs = runtime.NumCPU()
+	rec.Environment.CPU = cpuModel()
+	rec.Config.Server = base
+	rec.Config.DurationSec = cfg.duration.Seconds()
+	rec.Config.Concurrency = cfg.concurrency
+	rec.Config.Corpus = cfg.corpus
+	rec.Config.Allocator = cfg.allocator
+	rec.Config.K = cfg.k
+	rec.Config.Machine = cfg.machine
+	rec.Config.Seed = cfg.seed
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	buf = append(buf, '\n')
+	fmt.Fprintf(stdout, "%s", buf)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, buf, 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	if rep.Errors > 0 {
+		return fail(fmt.Errorf("%d hard errors during load", rep.Errors))
+	}
+	if rep.DigestMismatches > 0 {
+		return fail(fmt.Errorf("%d digest mismatches: the daemon served diverging allocations", rep.DigestMismatches))
+	}
+	if rep.OK == 0 {
+		return fail(errors.New("no successful requests"))
+	}
+	return 0
+}
+
+// cpuModel reads the CPU model name, best effort.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prefcolor/internal/server"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nosuch"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestLoadModeBadMachine(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-load", "-machine", "vax"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown machine") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+func TestLoadModeBadCorpus(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-load", "-corpus", "nosuch"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+}
+
+// TestLoadModeEndToEnd runs the load mode in-process against a live
+// server and checks the exit code, the report on stdout, and the
+// benchmark record written by -out.
+func TestLoadModeEndToEnd(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, QueueSize: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-load", "-addr", ts.URL, "-corpus", "compress",
+		"-requests", "30", "-duration", "30s", "-concurrency", "2",
+		"-out", outPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.PR != 3 {
+		t.Errorf("pr = %d, want 3", rec.PR)
+	}
+	if rec.Report == nil || rec.Report.Requests != 30 {
+		t.Errorf("report requests = %+v, want 30", rec.Report)
+	}
+	if rec.Report.OK == 0 || rec.Report.Errors != 0 {
+		t.Errorf("ok=%d errors=%d", rec.Report.OK, rec.Report.Errors)
+	}
+	if !bytes.Equal(bytes.TrimSpace(out.Bytes()), bytes.TrimSpace(data)) {
+		t.Error("stdout report differs from -out file")
+	}
+}

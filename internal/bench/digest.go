@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 
 	"prefcolor/internal/ir"
 	"prefcolor/internal/regalloc"
@@ -37,8 +38,25 @@ func AllocationDigestOpts(funcs []*ir.Func, m *target.Machine, allocName string,
 		if err != nil {
 			return "", fmt.Errorf("bench: digest %s/%s: %w", allocName, f.Name, err)
 		}
-		fmt.Fprintf(h, "%s|webs=%d|loads=%d|stores=%d\n%s\n",
-			f.Name, stats.SpilledWebs, stats.SpillLoads, stats.SpillStores, out.String())
+		writeFuncDigest(h, f.Name, stats, out)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FuncDigest fingerprints one already-completed allocation with the
+// same per-function record AllocationDigest hashes, so a result served
+// from a cache can be compared bit-for-bit against a fresh
+// single-function AllocationDigest run. name is the input function's
+// name (identical to out.Name under the driver, which never renames).
+func FuncDigest(name string, stats *regalloc.Stats, out *ir.Func) string {
+	h := sha256.New()
+	writeFuncDigest(h, name, stats, out)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFuncDigest appends one function's allocation-outcome record —
+// spilled-web count, spill code, final rewritten code — to h.
+func writeFuncDigest(h io.Writer, name string, stats *regalloc.Stats, out *ir.Func) {
+	fmt.Fprintf(h, "%s|webs=%d|loads=%d|stores=%d\n%s\n",
+		name, stats.SpilledWebs, stats.SpillLoads, stats.SpillStores, out.String())
 }

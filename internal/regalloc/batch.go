@@ -83,6 +83,13 @@ func AllocateAll(funcs []*ir.Func, m *target.Machine, opts BatchOptions) (*Batch
 				if i >= len(funcs) {
 					return
 				}
+				// A done context fails the remaining functions without
+				// starting them; Run re-checks between phases, so
+				// in-flight allocations stop at their next boundary.
+				if err := runOpts.interrupted("batch"); err != nil {
+					errs[i] = err
+					continue
+				}
 				out, stats, err := Run(funcs[i], m, opts.NewAllocator(), runOpts)
 				if err != nil {
 					errs[i] = err

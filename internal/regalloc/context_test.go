@@ -1,0 +1,115 @@
+package regalloc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// contextTestFunc returns a small function for the cancellation tests.
+func contextTestFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	f, err := ir.Parse(`func ctxf(v0) {
+b0:
+  v1 = add v0, v0
+  v2 = mul v1, v0
+  ret v2
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	f := contextTestFunc(t)
+	m := target.UsageModel(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	f := contextTestFunc(t)
+	m := target.UsageModel(16)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{Context: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRunNilContextUnchanged(t *testing.T) {
+	f := contextTestFunc(t)
+	m := target.UsageModel(16)
+	plain, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, _, err := regalloc.Run(f, m, core.New(), regalloc.Options{Context: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != bounded.String() {
+		t.Fatalf("live context changed the allocation:\n%s\nvs\n%s", plain, bounded)
+	}
+}
+
+func TestAllocateAllCancelledContext(t *testing.T) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Benchmarks()[0], m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := regalloc.AllocateAll(funcs, m, regalloc.BatchOptions{
+		Options:      regalloc.Options{Context: ctx},
+		NewAllocator: func() regalloc.Allocator { return core.New() },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunCancelMidway drives a long allocation with a context that is
+// cancelled by the allocator itself after the first phase boundary has
+// passed, proving the driver aborts at the next checkpoint rather than
+// running the round to completion.
+func TestRunCancelMidway(t *testing.T) {
+	f := contextTestFunc(t)
+	m := target.UsageModel(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	alloc := &cancellingAllocator{inner: core.New(), cancel: cancel}
+	_, _, err := regalloc.Run(f, m, alloc, regalloc.Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !alloc.ran {
+		t.Fatal("allocator never ran; cancellation fired too early to test the midway checkpoint")
+	}
+}
+
+type cancellingAllocator struct {
+	inner  regalloc.Allocator
+	cancel context.CancelFunc
+	ran    bool
+}
+
+func (a *cancellingAllocator) Name() string { return a.inner.Name() }
+
+func (a *cancellingAllocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
+	a.ran = true
+	res, err := a.inner.Allocate(ctx)
+	a.cancel() // driver must notice at the post-Allocate checkpoint
+	return res, err
+}

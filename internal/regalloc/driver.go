@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -12,6 +13,15 @@ import (
 
 // Options configures the allocation driver.
 type Options struct {
+	// Context, when non-nil, bounds the allocation. The driver polls
+	// it at the phase boundaries of every spill round (round start,
+	// after graph construction, after coloring, before spill
+	// insertion) and abandons the run with the context's error once it
+	// is done — so a deadline or cancellation never interrupts a phase
+	// midway, it only stops the pipeline between phases. A nil Context
+	// means no bound, the historical behavior.
+	Context context.Context
+
 	// MaxRounds bounds the spill-and-retry loop; 0 means 16.
 	MaxRounds int
 
@@ -51,6 +61,20 @@ type Options struct {
 // telemetryOn reports whether the options ask for any instrumentation.
 func (o *Options) telemetryOn() bool {
 	return o.CollectTelemetry || o.TraceWriter != nil
+}
+
+// interrupted reports the options' context error, if the context is
+// set and done; allocName labels the wrapped error.
+func (o *Options) interrupted(allocName string) error {
+	if o.Context == nil {
+		return nil
+	}
+	select {
+	case <-o.Context.Done():
+		return fmt.Errorf("regalloc: %s interrupted: %w", allocName, o.Context.Err())
+	default:
+		return nil
+	}
 }
 
 // Stats summarizes one complete allocation, the raw numbers behind
@@ -116,6 +140,9 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 	tempRegs := map[ir.Reg]bool{}
 	blockLocalRegs := map[ir.Reg]bool{}
 	for round := 1; round <= maxRounds; round++ {
+		if err := opts.interrupted(alloc.Name()); err != nil {
+			return nil, nil, err
+		}
 		tel.BeginRound(round)
 		sp := tel.Begin()
 		info, err := ig.Renumber(f)
@@ -141,10 +168,16 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 		if err != nil {
 			return nil, nil, err
 		}
+		if err := opts.interrupted(alloc.Name()); err != nil {
+			return nil, nil, err
+		}
 		ctx.Telemetry = tel
 		res, err := alloc.Allocate(ctx)
 		if err != nil {
 			return nil, nil, fmt.Errorf("regalloc: %s round %d: %w", alloc.Name(), round, err)
+		}
+		if err := opts.interrupted(alloc.Name()); err != nil {
+			return nil, nil, err
 		}
 		if !opts.SkipValidate {
 			if err := CheckResult(ctx, res); err != nil {

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// cacheKey is the content address of one allocation request: the
+// SHA-256 of the function source plus every setting that can steer the
+// allocation outcome (machine model and register count, allocator
+// name, pre-allocation optimization, driver options). Telemetry
+// settings are deliberately excluded — collection observes without
+// steering, so instrumented and quiet runs share cache entries.
+type cacheKey [sha256.Size]byte
+
+// keyFor derives the cache key of one normalized request.
+func keyFor(source string, spec requestSpec) cacheKey {
+	src := sha256.Sum256([]byte(source))
+	return sha256.Sum256([]byte(fmt.Sprintf(
+		"src=%x|machine=%s|k=%d|alloc=%s|optimize=%t|remat=%t|bls=%t|rounds=%d",
+		src, spec.Machine, spec.K, spec.Allocator,
+		spec.Optimize, spec.Rematerialize, spec.BlockLocalSpills, spec.MaxRounds)))
+}
+
+// entry is one cached allocation outcome. Entries are immutable after
+// insertion, so readers share them without copying.
+type entry struct {
+	Function string    // rewritten code, textual IR
+	Digest   string    // bench.FuncDigest fingerprint
+	Stats    statsJSON // allocation statistics
+}
+
+// lruCache is a fixed-capacity least-recently-used result cache. A
+// zero capacity disables caching (every Get misses, Add drops).
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *lruItem
+	items    map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruItem struct {
+	key cacheKey
+	val *entry
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached entry for key, refreshing its recency.
+func (c *lruCache) Get(key cacheKey) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+// Add inserts (or refreshes) key's entry, evicting the least recently
+// used entry when the cache is at capacity.
+func (c *lruCache) Add(key cacheKey, val *entry) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		c.evictions++
+	}
+	c.items[key] = c.order.PushFront(&lruItem{key: key, val: val})
+}
+
+// Len is the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the hit/miss/eviction totals.
+func (c *lruCache) Counters() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// flightGroup deduplicates concurrent identical computations: the
+// first caller for a key becomes the leader and computes; callers that
+// arrive while the leader is in flight just wait for its result. Each
+// key computes at most once per flight — the cache, not the group,
+// provides cross-flight reuse.
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[cacheKey]*flightCall
+
+	shared int64 // waiters served by another caller's computation
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are set
+	val  *entry
+	err  error
+	code int // HTTP status for err; 0 when val is set
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[cacheKey]*flightCall)}
+}
+
+// join returns the in-flight call for key, creating one when absent;
+// leader reports whether this caller must compute and complete it.
+func (g *flightGroup) join(key cacheKey) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.flight[key]; ok {
+		g.shared++
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.flight[key] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome and retires the flight, so
+// later callers start fresh (hitting the cache on success).
+func (g *flightGroup) complete(key cacheKey, c *flightCall, val *entry, err error, code int) {
+	c.val, c.err, c.code = val, err, code
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// Shared returns the number of calls that piggybacked on another
+// caller's computation.
+func (g *flightGroup) Shared() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.shared
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testKey(i int) cacheKey {
+	return keyFor(fmt.Sprintf("func k%d() {\nb0:\n  ret r0\n}\n", i), requestSpec{})
+}
+
+func testEntry(i int) *entry {
+	return &entry{Function: fmt.Sprintf("f%d", i), Digest: fmt.Sprintf("d%d", i)}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(2)
+	kA, kB, kC := testKey(0), testKey(1), testKey(2)
+	c.Add(kA, testEntry(0))
+	c.Add(kB, testEntry(1))
+
+	// Touch A so B becomes the least recently used entry.
+	if _, ok := c.Get(kA); !ok {
+		t.Fatal("A missing before eviction")
+	}
+	c.Add(kC, testEntry(2))
+
+	if _, ok := c.Get(kB); ok {
+		t.Error("B survived eviction; LRU order ignored the Get(A) refresh")
+	}
+	if _, ok := c.Get(kA); !ok {
+		t.Error("A evicted despite being most recently used")
+	}
+	if e, ok := c.Get(kC); !ok || e.Function != "f2" {
+		t.Errorf("C missing or wrong after insert: %+v ok=%v", e, ok)
+	}
+	if n := c.Len(); n != 2 {
+		t.Errorf("len = %d, want 2", n)
+	}
+	hits, misses, evictions := c.Counters()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("hits=%d misses=%d, want both non-zero", hits, misses)
+	}
+}
+
+func TestLRURefreshOnAdd(t *testing.T) {
+	c := newLRUCache(2)
+	kA, kB, kC := testKey(0), testKey(1), testKey(2)
+	c.Add(kA, testEntry(0))
+	c.Add(kB, testEntry(1))
+	c.Add(kA, testEntry(10)) // refresh A: B is now oldest
+	c.Add(kC, testEntry(2))
+	if _, ok := c.Get(kB); ok {
+		t.Error("B survived; re-Add of A did not refresh recency")
+	}
+	if e, ok := c.Get(kA); !ok || e.Function != "f10" {
+		t.Errorf("A = %+v ok=%v, want refreshed value f10", e, ok)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Add(testKey(0), testEntry(0))
+	if _, ok := c.Get(testKey(0)); ok {
+		t.Error("zero-capacity cache returned a hit")
+	}
+}
+
+// TestFlightGroupSingleLeader floods one key from many goroutines and
+// asserts exactly one caller computes per flight; run under -race this
+// also exercises the publication path.
+func TestFlightGroupSingleLeader(t *testing.T) {
+	g := newFlightGroup()
+	key := testKey(0)
+	const callers = 32
+
+	var leaders, computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			call, leader := g.join(key)
+			if leader {
+				leaders.Add(1)
+				computes.Add(1)
+				g.complete(key, call, testEntry(7), nil, 0)
+			}
+			<-call.done
+			if call.val == nil || call.val.Function != "f7" {
+				t.Errorf("caller saw %+v, want shared f7", call.val)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// All callers overlapped one flight window or raced into several;
+	// either way every flight had exactly one computation and leaders
+	// plus shared waiters account for every caller.
+	if computes.Load() != leaders.Load() {
+		t.Errorf("computes=%d leaders=%d", computes.Load(), leaders.Load())
+	}
+	if leaders.Load()+g.Shared() != callers {
+		t.Errorf("leaders=%d shared=%d, want sum %d", leaders.Load(), g.Shared(), callers)
+	}
+	if leaders.Load() < 1 {
+		t.Error("no leader at all")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	src := "func f(v0) {\nb0:\n  ret v0\n}\n"
+	base := requestSpec{Machine: "ia64", K: 16, Allocator: "pref-full"}
+	if keyFor(src, base) != keyFor(src, base) {
+		t.Error("identical requests produced different keys")
+	}
+	variants := []requestSpec{
+		{Machine: "x86", K: 16, Allocator: "pref-full"},
+		{Machine: "ia64", K: 24, Allocator: "pref-full"},
+		{Machine: "ia64", K: 16, Allocator: "chaitin"},
+		{Machine: "ia64", K: 16, Allocator: "pref-full", Optimize: true},
+		{Machine: "ia64", K: 16, Allocator: "pref-full", Rematerialize: true},
+		{Machine: "ia64", K: 16, Allocator: "pref-full", BlockLocalSpills: true},
+		{Machine: "ia64", K: 16, Allocator: "pref-full", MaxRounds: 3},
+	}
+	seen := map[cacheKey]bool{keyFor(src, base): true}
+	for _, v := range variants {
+		k := keyFor(src, v)
+		if seen[k] {
+			t.Errorf("spec %+v collided with another key", v)
+		}
+		seen[k] = true
+	}
+	if seen[keyFor("func g() {\nb0:\n  ret r0\n}\n", base)] {
+		t.Error("different source collided")
+	}
+}

@@ -1,0 +1,318 @@
+// Package loadgen drives sustained concurrent traffic against a live
+// prefgcd daemon from the synthetic workload corpora and reports
+// throughput, latency percentiles, and cache behavior — the harness
+// behind BENCH_PR3.json and the CI service smoke.
+//
+// Each client goroutine draws functions from the corpus with its own
+// seeded RNG, posts them to /v1/allocate, and records one sample per
+// request. 429 responses (the daemon's admission control shedding
+// load) are counted and retried after a short backoff; any two
+// responses for the same corpus item must carry the same allocation
+// digest, so the generator doubles as a cross-request determinism
+// check against the service's cache and single-flight paths.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// Item is one corpus entry: a named function in the textual IR.
+type Item struct {
+	Name   string
+	Source string
+}
+
+// CorpusFromProfiles serializes the named workload profiles ("all"
+// for every benchmark, "large" for the stress profile, or a comma
+// list like "compress,jess") into a corpus lowered for machine m.
+func CorpusFromProfiles(names string, m *target.Machine) ([]Item, error) {
+	var profiles []workload.Profile
+	switch names {
+	case "", "all":
+		profiles = workload.Benchmarks()
+	default:
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if name == "large" {
+				profiles = append(profiles, workload.Large())
+				continue
+			}
+			p, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			profiles = append(profiles, p)
+		}
+	}
+	var corpus []Item
+	for _, p := range profiles {
+		for _, f := range workload.Generate(p, m) {
+			corpus = append(corpus, Item{Name: f.Name, Source: f.String()})
+		}
+	}
+	return corpus, nil
+}
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL locates the daemon (e.g. "http://localhost:8377").
+	BaseURL string
+
+	// Corpus is the function pool; required.
+	Corpus []Item
+
+	// Concurrency is the client goroutine count; 0 means 4.
+	Concurrency int
+
+	// Duration bounds the run; 0 means 5s.
+	Duration time.Duration
+
+	// MaxRequests, when positive, stops the run after that many
+	// requests even if Duration has not elapsed.
+	MaxRequests int
+
+	// Allocator, Machine, K, and TimeoutMS are forwarded on every
+	// request (zero values let the daemon's defaults apply).
+	Allocator string
+	Machine   string
+	K         int
+	TimeoutMS int
+
+	// Seed makes the corpus-picking sequence deterministic; 0 means 1.
+	Seed int64
+
+	// KeepResponses retains the first successful response per corpus
+	// item in Report.Responses, for offline re-validation.
+	KeepResponses bool
+
+	// Client overrides the HTTP client; nil uses a pooled default.
+	Client *http.Client
+}
+
+// Response is one retained allocation response.
+type Response struct {
+	Item     int    `json:"item"`
+	Name     string `json:"name"`
+	Function string `json:"function"`
+	Digest   string `json:"digest"`
+}
+
+// Report is one load run's outcome. Latencies cover successful (200)
+// requests only.
+type Report struct {
+	DurationSec   float64 `json:"duration_sec"`
+	Concurrency   int     `json:"concurrency"`
+	CorpusSize    int     `json:"corpus_size"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	CacheHits     int     `json:"cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Rejected429   int     `json:"rejected_429"`
+	Timeouts      int     `json:"timeouts"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP90MS  float64 `json:"latency_p90_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+
+	// DigestMismatches counts responses whose digest disagreed with an
+	// earlier response for the same item — always zero for a correct
+	// daemon.
+	DigestMismatches int `json:"digest_mismatches"`
+
+	// Responses holds one retained response per corpus item reached
+	// during the run (only with Options.KeepResponses).
+	Responses []Response `json:"-"`
+}
+
+type allocateBody struct {
+	Source    string `json:"source"`
+	Machine   string `json:"machine,omitempty"`
+	K         int    `json:"k,omitempty"`
+	Allocator string `json:"allocator,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type allocateReply struct {
+	Function string `json:"function"`
+	Digest   string `json:"digest"`
+	Cached   bool   `json:"cached"`
+	Error    string `json:"error"`
+}
+
+// Run drives the daemon until the duration elapses, the request
+// budget is spent, or ctx is cancelled.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	if len(o.Corpus) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus")
+	}
+	if o.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: no base URL")
+	}
+	concurrency := o.Concurrency
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	duration := o.Duration
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: concurrency,
+			},
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rep       = Report{Concurrency: concurrency, CorpusSize: len(o.Corpus)}
+		digests   = make(map[int]string)
+		kept      = make(map[int]Response)
+		budget    = o.MaxRequests
+	)
+	takeBudget := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if o.MaxRequests > 0 && budget <= 0 {
+			return false
+		}
+		budget--
+		rep.Requests++
+		return true
+	}
+
+	url := strings.TrimSuffix(o.BaseURL, "/") + "/v1/allocate"
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(rng *rand.Rand) {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				if !takeBudget() {
+					return
+				}
+				i := rng.Intn(len(o.Corpus))
+				body, _ := json.Marshal(allocateBody{
+					Source: o.Corpus[i].Source, Machine: o.Machine, K: o.K,
+					Allocator: o.Allocator, TimeoutMS: o.TimeoutMS,
+				})
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(runCtx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					rep.Errors++
+					mu.Unlock()
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if runCtx.Err() == nil {
+						mu.Lock()
+						rep.Errors++
+						mu.Unlock()
+					}
+					continue
+				}
+				payload, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(t0)
+
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var r allocateReply
+					if err := json.Unmarshal(payload, &r); err != nil {
+						rep.Errors++
+						mu.Unlock()
+						continue
+					}
+					rep.OK++
+					if r.Cached {
+						rep.CacheHits++
+					}
+					latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+					if prev, ok := digests[i]; ok && prev != r.Digest {
+						rep.DigestMismatches++
+					} else {
+						digests[i] = r.Digest
+					}
+					if o.KeepResponses {
+						if _, ok := kept[i]; !ok {
+							kept[i] = Response{Item: i, Name: o.Corpus[i].Name, Function: r.Function, Digest: r.Digest}
+						}
+					}
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					rep.Rejected429++
+					mu.Unlock()
+					// Brief backoff: the daemon's Retry-After hint is
+					// seconds-granular, too coarse for a tight load loop.
+					select {
+					case <-time.After(5 * time.Millisecond):
+					case <-runCtx.Done():
+					}
+				case http.StatusGatewayTimeout:
+					rep.Timeouts++
+					mu.Unlock()
+				default:
+					rep.Errors++
+					mu.Unlock()
+				}
+			}
+		}(rand.New(rand.NewSource(seed + int64(w))))
+	}
+	wg.Wait()
+
+	rep.DurationSec = time.Since(start).Seconds()
+	if rep.DurationSec > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / rep.DurationSec
+	}
+	if rep.OK > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(rep.OK)
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		pct := func(p float64) float64 { return latencies[int(p*float64(n-1))] }
+		rep.LatencyP50MS = pct(0.50)
+		rep.LatencyP90MS = pct(0.90)
+		rep.LatencyP99MS = pct(0.99)
+		rep.LatencyMaxMS = latencies[n-1]
+	}
+	items := make([]int, 0, len(kept))
+	for i := range kept {
+		items = append(items, i)
+	}
+	sort.Ints(items)
+	for _, i := range items {
+		rep.Responses = append(rep.Responses, kept[i])
+	}
+	return &rep, nil
+}

@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/server"
+	"prefcolor/internal/target"
+)
+
+// TestLoadgenSmoke is the end-to-end service check: a live server
+// under sustained concurrent traffic from the compress corpus, with a
+// deliberately tiny queue so admission control engages. It asserts
+//
+//   - zero hard errors and zero cross-request digest mismatches,
+//   - at least one cache hit (identical requests recur),
+//   - 429s observed (the queue bound was exceeded and load was shed),
+//   - every retained response re-validated: regalloc.RunChecked on the
+//     same input reproduces the served code and digest bit for bit, so
+//     the daemon returned zero invalid allocations.
+func TestLoadgenSmoke(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1, QueueSize: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// compress functions are cheap (cache hits recur fast); the large
+	// profile's are expensive enough to keep the single worker busy, so
+	// the 1-slot queue saturates and 429s are guaranteed, not lucky.
+	m := target.UsageModel(16)
+	corpus, err := CorpusFromProfiles("compress,large", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Options{
+		BaseURL:       ts.URL,
+		Corpus:        corpus,
+		Concurrency:   8,
+		Duration:      1200 * time.Millisecond,
+		Allocator:     "pref-full",
+		Seed:          42,
+		KeepResponses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("requests=%d ok=%d hits=%d rejected=%d timeouts=%d errors=%d rps=%.0f p50=%.2fms p99=%.2fms",
+		rep.Requests, rep.OK, rep.CacheHits, rep.Rejected429, rep.Timeouts,
+		rep.Errors, rep.ThroughputRPS, rep.LatencyP50MS, rep.LatencyP99MS)
+
+	if rep.Errors != 0 {
+		t.Errorf("hard errors: %d", rep.Errors)
+	}
+	if rep.DigestMismatches != 0 {
+		t.Errorf("digest mismatches across requests: %d", rep.DigestMismatches)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no successful requests")
+	}
+	if rep.CacheHits < 1 {
+		t.Error("no cache hits despite recurring requests")
+	}
+	if rep.Rejected429 < 1 {
+		t.Error("queue bound never produced a 429 under 8-way load on a 1-slot queue")
+	}
+	if len(rep.Responses) == 0 {
+		t.Fatal("no responses retained for validation")
+	}
+
+	// Re-validate every served allocation against the full oracle.
+	for _, r := range rep.Responses {
+		f, err := ir.Parse(corpus[r.Item].Source)
+		if err != nil {
+			t.Fatalf("%s: corpus source does not parse: %v", r.Name, err)
+		}
+		alloc, err := bench.NewAllocator("pref-full")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := regalloc.RunChecked(f, m, alloc, regalloc.Options{})
+		if err != nil {
+			t.Errorf("%s: oracle rejects reference allocation: %v", r.Name, err)
+			continue
+		}
+		if out.String() != r.Function {
+			t.Errorf("%s: served code differs from RunChecked reference", r.Name)
+		}
+		if want := bench.FuncDigest(f.Name, stats, out); r.Digest != want {
+			t.Errorf("%s: served digest %s != reference %s", r.Name, r.Digest, want)
+		}
+	}
+}
+
+func TestCorpusFromProfiles(t *testing.T) {
+	m := target.UsageModel(16)
+	corpus, err := CorpusFromProfiles("compress,jess", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 20 { // compress has 8 functions, jess 12
+		t.Errorf("corpus size %d, want 20", len(corpus))
+	}
+	for _, item := range corpus {
+		if _, err := ir.Parse(item.Source); err != nil {
+			t.Errorf("%s does not re-parse: %v", item.Name, err)
+		}
+	}
+	if _, err := CorpusFromProfiles("nosuch", m); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	large, err := CorpusFromProfiles("large", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large) != 40 {
+		t.Errorf("large corpus size %d, want 40", len(large))
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{BaseURL: "http://x"}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Run(context.Background(), Options{Corpus: []Item{{Name: "a", Source: "b"}}}); err == nil {
+		t.Error("missing base URL accepted")
+	}
+}
+
+// TestRunMaxRequests pins the request budget: the run must stop at the
+// budget even with time left on the clock.
+func TestRunMaxRequests(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, QueueSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	m := target.UsageModel(16)
+	corpus, err := CorpusFromProfiles("compress", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Corpus:      corpus[:2],
+		Concurrency: 2,
+		Duration:    30 * time.Second,
+		MaxRequests: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 6 {
+		t.Errorf("requests = %d, want exactly 6", rep.Requests)
+	}
+	if rep.DurationSec > 20 {
+		t.Errorf("run took %.1fs; budget did not stop it", rep.DurationSec)
+	}
+}

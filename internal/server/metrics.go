@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prefcolor/internal/telemetry"
+)
+
+// metrics is the daemon's counter registry, rendered as Prometheus
+// text exposition on /metrics. Request counters are keyed by endpoint
+// and status code; allocation telemetry is merged from every completed
+// job, so the phase timers and preference counters of the whole
+// service lifetime are one scrape away.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // endpoint -> status code -> count
+	dropped  int64                    // jobs whose deadline expired while queued
+	executed int64                    // jobs actually run by the pool
+	tel      telemetry.Snapshot       // merged across all completed allocations
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]map[int]int64)}
+}
+
+// CountRequest tallies one finished HTTP request.
+func (m *metrics) CountRequest(endpoint string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+}
+
+// CountDropped tallies a job abandoned in the queue past its deadline.
+func (m *metrics) CountDropped() {
+	m.mu.Lock()
+	m.dropped++
+	m.mu.Unlock()
+}
+
+// CountExecuted merges one completed allocation's telemetry.
+func (m *metrics) CountExecuted(snap *telemetry.Snapshot) {
+	m.mu.Lock()
+	m.executed++
+	m.tel.Merge(snap)
+	m.mu.Unlock()
+}
+
+// Render writes the Prometheus text exposition. The server passes in
+// the live queue and cache gauges so the scrape reflects the moment.
+func (m *metrics) Render(queueDepth, queueCapacity, cacheEntries int,
+	cacheHits, cacheMisses, cacheEvictions, flightShared int64) string {
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	b.WriteString("# HELP prefgcd_requests_total HTTP requests by endpoint and status code.\n")
+	b.WriteString("# TYPE prefgcd_requests_total counter\n")
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "prefgcd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+		}
+	}
+
+	gauge("prefgcd_queue_depth", "Admitted jobs not yet finished.", queueDepth)
+	gauge("prefgcd_queue_capacity", "Admission bound of the work queue.", queueCapacity)
+	gauge("prefgcd_cache_entries", "Entries resident in the result cache.", cacheEntries)
+	counter("prefgcd_cache_hits_total", "Allocate requests served from the result cache.", cacheHits)
+	counter("prefgcd_cache_misses_total", "Allocate requests that missed the result cache.", cacheMisses)
+	counter("prefgcd_cache_evictions_total", "Entries evicted from the result cache.", cacheEvictions)
+	counter("prefgcd_singleflight_shared_total", "Requests served by another request's in-flight computation.", flightShared)
+	counter("prefgcd_jobs_executed_total", "Allocation jobs run by the worker pool.", m.executed)
+	counter("prefgcd_jobs_deadline_dropped_total", "Queued jobs abandoned because their deadline expired before a worker picked them up.", m.dropped)
+
+	counter("prefgcd_alloc_functions_total", "Functions allocated.", int64(m.tel.Funcs))
+	counter("prefgcd_alloc_rounds_total", "Spill rounds run.", int64(m.tel.Rounds))
+	counter("prefgcd_alloc_selections_total", "CPG selection steps processed.", m.tel.Selections)
+	counter("prefgcd_alloc_select_spills_total", "Selections spilled for want of a candidate register.", m.tel.SelectSpills)
+	counter("prefgcd_alloc_active_spills_total", "Would-rather-be-in-memory active spills.", m.tel.ActiveSpills)
+	counter("prefgcd_alloc_recolors_total", "Recoloring plans applied.", m.tel.Recolors)
+
+	b.WriteString("# HELP prefgcd_alloc_phase_wall_seconds Cumulative wall time per allocation phase.\n")
+	b.WriteString("# TYPE prefgcd_alloc_phase_wall_seconds counter\n")
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		fmt.Fprintf(&b, "prefgcd_alloc_phase_wall_seconds{phase=%q} %g\n",
+			p.String(), m.tel.Phases[p].Wall.Seconds())
+	}
+
+	b.WriteString("# HELP prefgcd_alloc_prefs_total Preference dispositions by kind and outcome.\n")
+	b.WriteString("# TYPE prefgcd_alloc_prefs_total counter\n")
+	for c := telemetry.PrefClass(0); c < telemetry.NumPrefClasses; c++ {
+		for o := telemetry.Outcome(0); o < telemetry.NumOutcomes; o++ {
+			fmt.Fprintf(&b, "prefgcd_alloc_prefs_total{kind=%q,outcome=%q} %d\n",
+				c.String(), o.String(), m.tel.Prefs[c][o])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// queue is the server's bounded work queue: a fixed-capacity channel
+// drained by a fixed worker pool. Admission is explicit — TrySubmit
+// refuses immediately when the buffer is full, which is what turns
+// overload into fast 429 responses instead of unbounded goroutine
+// pile-up; Submit blocks, the backpressure variant the batch endpoint
+// uses. Close stops admission and drains: queued jobs still run, so a
+// SIGTERM never abandons accepted work.
+type queue struct {
+	jobs   chan func()
+	wg     sync.WaitGroup
+	active atomic.Int64 // jobs currently executing
+
+	mu     sync.RWMutex // guards closed vs. concurrent sends
+	closed bool
+}
+
+// newQueue starts a queue with the given buffer capacity and worker
+// count (both forced to at least 1).
+func newQueue(capacity, workers int) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	q := &queue{jobs: make(chan func(), capacity)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				q.active.Add(1)
+				job()
+				q.active.Add(-1)
+			}
+		}()
+	}
+	return q
+}
+
+// TrySubmit enqueues job if there is buffer space, and reports whether
+// it was admitted. A full buffer or a closed queue refuses instantly.
+func (q *queue) TrySubmit(job func()) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit enqueues job, blocking until buffer space frees or ctx is
+// done. It returns ctx.Err() on cancellation and ErrQueueClosed after
+// Close.
+func (q *queue) Submit(ctx context.Context, job func()) error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Depth is the number of admitted jobs not yet finished (buffered plus
+// executing).
+func (q *queue) Depth() int { return len(q.jobs) + int(q.active.Load()) }
+
+// Capacity is the admission bound.
+func (q *queue) Capacity() int { return cap(q.jobs) }
+
+// Close stops admission, lets the workers drain every queued job, and
+// returns once the pool has exited.
+func (q *queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,538 @@
+// Package server turns the allocation pipeline into a long-running
+// service: an HTTP/JSON daemon exposing the preference-directed
+// allocator (and every baseline) behind a bounded work queue with
+// admission control, a content-addressed single-flight LRU result
+// cache, and per-request deadlines that thread down to the driver's
+// phase boundaries via regalloc.Options.Context.
+//
+// Endpoints:
+//
+//	POST /v1/allocate  one function (textual IR) -> rewritten code + stats
+//	POST /v1/batch     many functions, backpressure instead of load-shedding
+//	GET  /healthz      liveness + queue/cache gauges
+//	GET  /metrics      Prometheus text exposition
+//	     /debug/pprof  the standard profiling handlers
+//
+// Overload policy: /v1/allocate refuses instantly with 429 and a
+// Retry-After hint when the queue is saturated (interactive callers
+// shed load); /v1/batch blocks for queue space up to the request's
+// deadline (bulk callers get backpressure).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/opt"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/ssa"
+	"prefcolor/internal/target"
+)
+
+// ErrQueueClosed reports a submission to a draining queue.
+var ErrQueueClosed = errors.New("server: queue closed")
+
+// errQueueFull reports a refused admission.
+var errQueueFull = errors.New("server: queue full")
+
+// Config sizes the daemon. The zero value of any field selects its
+// default.
+type Config struct {
+	// Workers is the allocation worker-pool size; 0 means 4.
+	Workers int
+
+	// QueueSize bounds the admission queue; 0 means 64.
+	QueueSize int
+
+	// CacheEntries bounds the LRU result cache; 0 means 1024, and a
+	// negative value disables caching.
+	CacheEntries int
+
+	// MaxBodyBytes bounds a request body; 0 means 4 MiB.
+	MaxBodyBytes int64
+
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// 0 means 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps any requested timeout; 0 means 120s.
+	MaxTimeout time.Duration
+
+	// MaxBatch bounds the functions of one /v1/batch request; 0 means
+	// 256.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 120 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// Server is the allocation service. Construct with New, serve
+// Handler(), and Close to drain.
+type Server struct {
+	cfg      Config
+	queue    *queue
+	cache    *lruCache
+	flights  *flightGroup
+	metrics  *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// hookJobStart, when set, runs at the start of every allocation
+	// job — the test seam that makes queue saturation deterministic.
+	hookJobStart func()
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   newQueue(cfg.QueueSize, cfg.Workers),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		metrics: newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/allocate", s.counted("allocate", s.handleAllocate))
+	s.mux.HandleFunc("POST /v1/batch", s.counted("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the server: admission stops (new work gets 503), every
+// already-queued job runs to completion, and the worker pool exits.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.queue.Close()
+}
+
+// requestSpec is the allocation configuration shared by both
+// endpoints, normalized for cache keying.
+type requestSpec struct {
+	Machine          string `json:"machine,omitempty"`   // ia64 (default), x86, s390
+	K                int    `json:"k,omitempty"`         // register count, default 16
+	Allocator        string `json:"allocator,omitempty"` // default pref-full
+	Optimize         bool   `json:"optimize,omitempty"`  // SSA scalar opts before allocation
+	Rematerialize    bool   `json:"rematerialize,omitempty"`
+	BlockLocalSpills bool   `json:"block_local_spills,omitempty"`
+	MaxRounds        int    `json:"max_rounds,omitempty"`
+}
+
+// normalize fills defaults and validates; it returns the machine the
+// spec names.
+func (spec *requestSpec) normalize() (*target.Machine, error) {
+	if spec.Machine == "" {
+		spec.Machine = "ia64"
+	}
+	if spec.K == 0 {
+		spec.K = 16
+	}
+	if spec.K < 2 || spec.K > 256 {
+		return nil, fmt.Errorf("k must be in [2, 256], got %d", spec.K)
+	}
+	if spec.Allocator == "" {
+		spec.Allocator = "pref-full"
+	}
+	if _, err := bench.NewAllocator(spec.Allocator); err != nil {
+		return nil, err
+	}
+	if spec.MaxRounds < 0 {
+		return nil, fmt.Errorf("max_rounds must be non-negative, got %d", spec.MaxRounds)
+	}
+	switch spec.Machine {
+	case "ia64":
+		return target.UsageModel(spec.K), nil
+	case "x86":
+		return target.X86Like(spec.K), nil
+	case "s390":
+		return target.S390Like(spec.K), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (want ia64, x86, or s390)", spec.Machine)
+}
+
+// allocateRequest is the /v1/allocate body.
+type allocateRequest struct {
+	requestSpec
+	Source    string `json:"source"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// batchRequest is the /v1/batch body; the spec and timeout apply to
+// every function.
+type batchRequest struct {
+	requestSpec
+	Functions []string `json:"functions"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+}
+
+// statsJSON is the wire form of regalloc.Stats.
+type statsJSON struct {
+	Allocator        string `json:"allocator"`
+	Rounds           int    `json:"rounds"`
+	MovesBefore      int    `json:"moves_before"`
+	MovesRemaining   int    `json:"moves_remaining"`
+	MovesEliminated  int    `json:"moves_eliminated"`
+	SpillLoads       int    `json:"spill_loads"`
+	SpillStores      int    `json:"spill_stores"`
+	SpilledWebs      int    `json:"spilled_webs"`
+	Remats           int    `json:"remats"`
+	CallerSaveStores int    `json:"caller_save_stores"`
+	CallerSaveLoads  int    `json:"caller_save_loads"`
+	UsedRegs         int    `json:"used_regs"`
+	UsedNonVolatile  int    `json:"used_non_volatile"`
+}
+
+func statsFrom(st *regalloc.Stats) statsJSON {
+	return statsJSON{
+		Allocator: st.Allocator, Rounds: st.Rounds,
+		MovesBefore: st.MovesBefore, MovesRemaining: st.MovesRemaining,
+		MovesEliminated: st.MovesEliminated,
+		SpillLoads:      st.SpillLoads, SpillStores: st.SpillStores,
+		SpilledWebs: st.SpilledWebs, Remats: st.Remats,
+		CallerSaveStores: st.CallerSaveStores, CallerSaveLoads: st.CallerSaveLoads,
+		UsedRegs: st.UsedRegs, UsedNonVolatile: st.UsedNonVolatile,
+	}
+}
+
+// allocateResponse is the /v1/allocate reply (and one /v1/batch item).
+type allocateResponse struct {
+	Function string    `json:"function"`
+	Digest   string    `json:"digest"`
+	Stats    statsJSON `json:"stats"`
+	Cached   bool      `json:"cached"`
+	Error    string    `json:"error,omitempty"` // batch items only
+	Code     int       `json:"code,omitempty"`  // batch items only
+}
+
+type batchResponse struct {
+	Results []allocateResponse `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// counted wraps a handler so every response lands in the request
+// counters.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.CountRequest(endpoint, rec.code)
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// timeout clamps a request's timeout_ms to the configured bounds.
+func (s *Server) timeout(ms int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		code := http.StatusBadRequest // e.g. client went away mid-body
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("reading body: %w", err))
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	var req allocateRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	machine, err := req.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, errors.New("empty source"))
+		return
+	}
+	resp, code, err := s.doOne(r.Context(), req.Source, req.requestSpec, machine,
+		s.timeout(req.TimeoutMS), false)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	machine, err := req.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Functions) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Functions) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Functions), s.cfg.MaxBatch))
+		return
+	}
+	d := s.timeout(req.TimeoutMS)
+
+	// Items run through the same cache/flight/queue path as single
+	// allocations, but submission blocks (backpressure) and fan-out is
+	// capped so one batch cannot occupy every queue slot at once.
+	results := make([]allocateResponse, len(req.Functions))
+	sem := make(chan struct{}, min(s.cfg.Workers, 8))
+	var wg sync.WaitGroup
+	for i, src := range req.Functions {
+		wg.Add(1)
+		go func(i int, src string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if src == "" {
+				results[i] = allocateResponse{Error: "empty source", Code: http.StatusBadRequest}
+				return
+			}
+			resp, code, err := s.doOne(r.Context(), src, req.requestSpec, machine, d, true)
+			if err != nil {
+				results[i] = allocateResponse{Error: err.Error(), Code: code}
+				return
+			}
+			results[i] = *resp
+		}(i, src)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"queue_depth":    s.queue.Depth(),
+		"queue_capacity": s.queue.Capacity(),
+		"cache_entries":  s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, evictions := s.cache.Counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, s.metrics.Render(
+		s.queue.Depth(), s.queue.Capacity(), s.cache.Len(),
+		hits, misses, evictions, s.flights.Shared()))
+}
+
+// doOne resolves one allocation request: result cache, then
+// single-flight join, then the work queue. reqCtx bounds only this
+// caller's wait — the computation itself runs under its own deadline
+// so one impatient caller cannot poison the shared flight. block
+// selects the batch endpoint's blocking submission.
+func (s *Server) doOne(reqCtx context.Context, source string, spec requestSpec,
+	machine *target.Machine, d time.Duration, block bool) (*allocateResponse, int, error) {
+
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, errors.New("server draining")
+	}
+	key := keyFor(source, spec)
+	if e, ok := s.cache.Get(key); ok {
+		return &allocateResponse{Function: e.Function, Digest: e.Digest, Stats: e.Stats, Cached: true}, 0, nil
+	}
+
+	call, leader := s.flights.join(key)
+	if leader {
+		// The job's deadline starts at admission, so time spent queued
+		// counts against it; a job whose deadline lapses in the queue
+		// is dropped by the worker without running the allocator.
+		jobCtx, cancel := context.WithTimeout(context.Background(), d)
+		job := func() {
+			defer cancel()
+			if s.hookJobStart != nil {
+				s.hookJobStart()
+			}
+			if jobCtx.Err() != nil {
+				s.metrics.CountDropped()
+				s.flights.complete(key, call, nil,
+					fmt.Errorf("dropped after %v in queue: %w", d, jobCtx.Err()),
+					http.StatusGatewayTimeout)
+				return
+			}
+			e, code, err := s.compute(jobCtx, source, spec, machine)
+			if err == nil {
+				s.cache.Add(key, e)
+			}
+			s.flights.complete(key, call, e, err, code)
+		}
+		var admitted bool
+		if block {
+			err := s.queue.Submit(reqCtx, job)
+			admitted = err == nil
+			if errors.Is(err, ErrQueueClosed) {
+				cancel()
+				s.flights.complete(key, call, nil, err, http.StatusServiceUnavailable)
+				return nil, http.StatusServiceUnavailable, err
+			}
+			if err != nil {
+				cancel()
+				s.flights.complete(key, call, nil, err, http.StatusGatewayTimeout)
+				return nil, http.StatusGatewayTimeout, err
+			}
+		} else {
+			admitted = s.queue.TrySubmit(job)
+			if !admitted {
+				cancel()
+				s.flights.complete(key, call, nil, errQueueFull, http.StatusTooManyRequests)
+				return nil, http.StatusTooManyRequests, errQueueFull
+			}
+		}
+	}
+
+	select {
+	case <-call.done:
+	case <-reqCtx.Done():
+		// This caller gave up; the flight (if any) keeps computing so
+		// other waiters — and the cache — still benefit.
+		return nil, statusClientGone, reqCtx.Err()
+	}
+	if call.err != nil {
+		return nil, call.code, call.err
+	}
+	e := call.val
+	return &allocateResponse{Function: e.Function, Digest: e.Digest, Stats: e.Stats, Cached: false}, 0, nil
+}
+
+// statusClientGone is nginx's 499 "client closed request", reported
+// when the caller's own context dies while waiting on a shared flight.
+const statusClientGone = 499
+
+// compute parses, optionally optimizes, and allocates one function
+// under ctx, which regalloc.Run polls at its phase boundaries.
+func (s *Server) compute(ctx context.Context, source string, spec requestSpec,
+	machine *target.Machine) (*entry, int, error) {
+
+	f, err := ir.Parse(source)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if spec.Optimize {
+		ssa.Build(f)
+		opt.Optimize(f)
+		ssa.Destruct(f)
+		f.CompactNops()
+	}
+	alloc, err := bench.NewAllocator(spec.Allocator)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	out, stats, err := regalloc.Run(f, machine, alloc, regalloc.Options{
+		Context:          ctx,
+		MaxRounds:        spec.MaxRounds,
+		Rematerialize:    spec.Rematerialize,
+		BlockLocalSpills: spec.BlockLocalSpills,
+		CollectTelemetry: true,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, http.StatusGatewayTimeout, err
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	s.metrics.CountExecuted(stats.Telemetry)
+	return &entry{
+		Function: out.String(),
+		Digest:   bench.FuncDigest(f.Name, stats, out),
+		Stats:    statsFrom(stats),
+	}, 0, nil
+}

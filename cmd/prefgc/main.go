@@ -16,7 +16,9 @@
 // writes one JSON line per selection or spill decision to the given
 // file ("-" for standard error). -timeout aborts the whole batch at
 // the next phase boundary once the deadline passes. -pprof serves
-// net/http/pprof on the given address for profiling long batches.
+// net/http/pprof on the given address for profiling long batches;
+// -memprofile writes a post-allocation heap profile (after a forced
+// GC, so it shows live retention) readable by go tool pprof.
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"prefcolor"
@@ -51,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "write a JSON event trace to this file (\"-\" for standard error)")
 	timeout := fs.Duration("timeout", 0, "abort allocation after this long (0 = no deadline)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file after allocation")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -154,6 +159,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if *memProfile != "" {
+		// A forced GC first, so the profile shows live retention rather
+		// than garbage awaiting collection.
+		runtime.GC()
+		pf, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			pf.Close()
+			return fail(err)
+		}
+		if err := pf.Close(); err != nil {
+			return fail(err)
+		}
 	}
 	for i, out := range outs {
 		if len(outs) > 1 {

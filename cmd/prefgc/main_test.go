@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -170,5 +171,32 @@ func TestBadFlagFails(t *testing.T) {
 	_, _, code := runCLI(t, "", "-no-such-flag")
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestMemProfileFlagWritesParseableProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	_, stderr, code := runCLI(t, "", "-memprofile", path, "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("profile file is empty")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	cmd := exec.Command(goTool, "tool", "pprof", "-top", path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "flat") {
+		t.Errorf("pprof -top output looks wrong:\n%s", out)
 	}
 }

@@ -86,12 +86,14 @@ func BenchmarkAllocateAllLarge(b *testing.B) {
 
 // BenchmarkAllocateLarge times sequential allocation of the whole
 // large workload, per allocator — the headline number for the dense
-// data-structure work.
+// data-structure work. Run with -benchmem: the allocs/op column is
+// what the workspace pooling is accountable to.
 func BenchmarkAllocateLarge(b *testing.B) {
 	m := target.UsageModel(16)
 	funcs := workload.Generate(workload.Large(), m)
 	for _, name := range digestAllocators {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, f := range funcs {
 					alloc, err := NewAllocator(name)
@@ -99,6 +101,32 @@ func BenchmarkAllocateLarge(b *testing.B) {
 						b.Fatal(err)
 					}
 					if _, _, err := regalloc.Run(f, m, alloc, regalloc.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateLargePooled is BenchmarkAllocateLarge with one
+// workspace reused across every Run — the daemon's steady state, where
+// cross-function buffer reuse comes on top of the per-round reuse the
+// plain benchmark already gets.
+func BenchmarkAllocateLargePooled(b *testing.B) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Large(), m)
+	for _, name := range digestAllocators {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			ws := regalloc.NewWorkspace()
+			for i := 0; i < b.N; i++ {
+				for _, f := range funcs {
+					alloc, err := NewAllocator(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := regalloc.Run(f, m, alloc, regalloc.Options{Workspace: ws}); err != nil {
 						b.Fatal(err)
 					}
 				}

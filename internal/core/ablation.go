@@ -60,13 +60,13 @@ func NewAblated(ab Ablation) *Allocator {
 	return &Allocator{mode: FullPreferences, ablation: ab}
 }
 
-// chainCPG builds the degenerate precedence graph of the NoCPG
-// ablation: a single chain in Chaitin select order (reverse of the
-// removal stack), every node also pointing at Bottom.
-func chainCPG(stack []ig.NodeID) *CPG {
-	c := &CPG{}
+// chainCPG builds, into c, the degenerate precedence graph of the
+// NoCPG ablation: a single chain in Chaitin select order (reverse of
+// the removal stack), every node also pointing at Bottom.
+func chainCPG(c *CPG, stack []ig.NodeID) {
+	c.reset()
 	if len(stack) == 0 {
-		return c
+		return
 	}
 	// Reverse stack order: last removed is colored first.
 	first := stack[len(stack)-1]
@@ -75,5 +75,4 @@ func chainCPG(stack []ig.NodeID) *CPG {
 		c.addEdge(stack[i], stack[i-1])
 	}
 	c.addEdge(stack[0], Bottom)
-	return c
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"prefcolor/internal/ig"
 	"prefcolor/internal/regalloc"
+	"prefcolor/internal/scratch"
 	"prefcolor/internal/telemetry"
 )
 
@@ -36,27 +37,29 @@ func (a *Allocator) Name() string {
 func (a *Allocator) Mode() Mode { return a.mode }
 
 // Allocate implements regalloc.Allocator.
+//
+// All phase-local structures (RPG, simplification stack, CPG,
+// selector state) live on the context workspace's allocator scratch,
+// so repeated rounds — and repeated Runs on a pooled workspace —
+// rebuild into the same backing arrays instead of reallocating them.
 func (a *Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
 	g, k, tel := ctx.Graph, ctx.K(), ctx.Telemetry
+	cs := coreScratchFor(ctx)
 	sp := tel.Begin()
-	rpg := BuildRPG(ctx, a.mode)
+	rpg := BuildRPGInto(&cs.rpg, ctx, a.mode)
 	tel.End(telemetry.PhaseRPG, sp)
 	sp = tel.Begin()
-	stack, potential := simplifyOptimistic(g, k)
+	stack, potential := simplifyOptimisticInto(cs, g, k)
 	tel.End(telemetry.PhaseSimplify, sp)
 	sp = tel.Begin()
-	var cpg *CPG
+	cpg := &cs.cpg
 	if a.ablation.NoCPG {
-		cpg = chainCPG(stack)
-	} else {
-		var err error
-		cpg, err = BuildCPG(g, stack, potential, k)
-		if err != nil {
-			return nil, err
-		}
+		chainCPG(cpg, stack)
+	} else if err := buildCPGInto(cpg, g, stack, potential, k); err != nil {
+		return nil, err
 	}
 	tel.End(telemetry.PhaseCPG, sp)
-	s := newSelector(ctx, rpg, cpg, a.mode)
+	s := newSelectorIn(&cs.sel, ctx, rpg, cpg, a.mode)
 	s.ab = a.ablation
 	return s.run()
 }
@@ -74,26 +77,47 @@ func SimplifyForBench(g *ig.Graph, k int) ([]ig.NodeID, []bool) {
 // selection works off the original adjacency, as §5.3 prescribes
 // ("add the chosen node to the interference graph").
 func simplifyOptimistic(g *ig.Graph, k int) ([]ig.NodeID, []bool) {
+	return simplifyOptimisticInto(nil, g, k)
+}
+
+// simplifyOptimisticInto is simplifyOptimistic drawing its stack and
+// mark slice from the workspace scratch (nil cs allocates fresh). The
+// sweep iterates the live graph directly instead of snapshotting
+// ActiveNodes: removing the visited node never changes which later
+// nodes the sweep sees, and degrees are read at visit time in both
+// forms, so the removal order is unchanged.
+func simplifyOptimisticInto(cs *coreScratch, g *ig.Graph, k int) ([]ig.NodeID, []bool) {
 	var order []ig.NodeID
-	potential := make([]bool, g.NumNodes())
+	var potential []bool
+	if cs != nil {
+		order = cs.order[:0]
+		cs.potential = scratch.Slice(cs.potential, g.NumNodes())
+		potential = cs.potential
+	} else {
+		potential = make([]bool, g.NumNodes())
+	}
 	for {
 		progress := false
-		for _, n := range g.ActiveNodes() {
+		g.ForEachActive(func(n ig.NodeID) {
 			if g.Degree(n) < k {
 				g.Remove(n)
 				order = append(order, n)
 				progress = true
 			}
-		}
+		})
 		if progress {
 			continue
 		}
 		cand := regalloc.SpillCandidate(g)
 		if cand < 0 {
-			return order, potential
+			break
 		}
 		potential[cand] = true
 		g.Remove(cand)
 		order = append(order, cand)
 	}
+	if cs != nil {
+		cs.order = order
+	}
+	return order, potential
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"prefcolor/internal/ig"
+	"prefcolor/internal/scratch"
 )
 
 // Top and Bottom are the CPG's order-boundary pseudo-nodes. An edge
@@ -38,6 +39,28 @@ type CPG struct {
 	visitEpoch uint32
 	work       []ig.NodeID
 	scratch    []ig.NodeID
+
+	// Construction-only scratch, reused across rebuilds of this CPG
+	// (buildCPGInto): stack membership, WIG degrees, CPG membership,
+	// readiness, and the per-pop remaining-neighbor list.
+	present   []bool
+	wigDeg    []int
+	inCPG     []bool
+	ready     []bool
+	remaining []ig.NodeID
+}
+
+// reset empties the graph for a rebuild while keeping every backing
+// array. Edge rows are truncated in place, the visit marks return to a
+// fresh epoch-zero state, and the next build starts from the exact
+// observable state of a zero-valued CPG.
+func (c *CPG) reset() {
+	for i := range c.succs {
+		c.succs[i] = c.succs[i][:0]
+		c.preds[i] = c.preds[i][:0]
+	}
+	clear(c.visitMark)
+	c.visitEpoch = 0
 }
 
 // ensure grows the edge storage to cover slot i.
@@ -77,21 +100,34 @@ func (c *CPG) predsOf(n ig.NodeID) []ig.NodeID {
 // graph minus its physical nodes, per step 2.
 func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) (*CPG, error) {
 	c := &CPG{}
+	if err := buildCPGInto(c, g, stack, potentialSpill, k); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildCPGInto is BuildCPG targeting a caller-owned (possibly
+// previously used) CPG: the graph is reset and rebuilt in its existing
+// storage, and all construction scratch lives on the CPG itself.
+func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) error {
+	c.reset()
 	c.ensure(cpgIdx(ig.NodeID(g.NumNodes() - 1)))
 
-	present := make([]bool, g.NumNodes())
+	c.present = scratch.Slice(c.present, g.NumNodes())
+	present := c.present
 	for _, n := range stack {
 		if g.IsPhys(n) {
-			return nil, fmt.Errorf("core.BuildCPG: physical node %d on the stack", n)
+			return fmt.Errorf("core.BuildCPG: physical node %d on the stack", n)
 		}
 		if present[n] {
-			return nil, fmt.Errorf("core.BuildCPG: node %d on the stack twice", n)
+			return fmt.Errorf("core.BuildCPG: node %d on the stack twice", n)
 		}
 		present[n] = true
 	}
 
 	// WIG degrees: original adjacency restricted to stack (web) nodes.
-	wigDeg := make([]int, g.NumNodes())
+	c.wigDeg = scratch.Slice(c.wigDeg, g.NumNodes())
+	wigDeg := c.wigDeg
 	for _, n := range stack {
 		d := 0
 		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
@@ -102,8 +138,9 @@ func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) (*CP
 		wigDeg[n] = d
 	}
 
-	inCPG := make([]bool, g.NumNodes())
-	ready := make([]bool, g.NumNodes())
+	c.inCPG = scratch.Slice(c.inCPG, g.NumNodes())
+	c.ready = scratch.Slice(c.ready, g.NumNodes())
+	inCPG, ready := c.inCPG, c.ready
 
 	// Step 4: initial low-degree nodes (ready) and potential-spill
 	// nodes (not ready) hang off Bottom.
@@ -120,11 +157,12 @@ func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) (*CP
 	}
 
 	// Steps 5–9: replay the removal sequence.
-	var remaining []ig.NodeID
+	remaining := c.remaining
+	defer func() { c.remaining = remaining }()
 	for _, n := range stack {
 		present[n] = false
 		if !inCPG[n] {
-			return nil, fmt.Errorf("core.BuildCPG: node %d popped before appearing in the CPG (stack inconsistent with graph)", n)
+			return fmt.Errorf("core.BuildCPG: node %d popped before appearing in the CPG (stack inconsistent with graph)", n)
 		}
 		// ForEachOrigNeighbor visits in ascending node order, so
 		// remaining is already sorted.
@@ -158,7 +196,7 @@ func BuildCPG(g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) (*CP
 			}
 		}
 	}
-	return c, nil
+	return nil
 }
 
 func (c *CPG) addEdge(a, b ig.NodeID) {

@@ -9,6 +9,12 @@ import (
 // recolorPasses bounds the greedy fixup iterations.
 const recolorPasses = 3
 
+// recolorCand is one unhonored-copy repair candidate.
+type recolorCand struct {
+	x, y ig.NodeID
+	w    float64
+}
+
 // planOverlay is a proposed recoloring: a handful of (node, color)
 // overrides on top of the current assignment. Plans never exceed
 // maxCompPlan entries, so lookups are a linear scan over a pair of
@@ -69,12 +75,12 @@ func (p *planOverlay) clone() *planOverlay {
 // construction.
 func (s *selector) recolorFixup() {
 	g := s.ctx.Graph
-	type cand struct {
-		x, y ig.NodeID
-		w    float64
+	moves := s.rcMoves[:0]
+	if s.rcSeen == nil {
+		s.rcSeen = map[[2]ig.NodeID]bool{}
 	}
-	var moves []cand
-	seen := map[[2]ig.NodeID]bool{}
+	seen := s.rcSeen
+	clear(seen)
 	for _, m := range g.Moves() {
 		key := [2]ig.NodeID{m.X, m.Y}
 		if m.Y < m.X {
@@ -84,8 +90,9 @@ func (s *selector) recolorFixup() {
 			continue
 		}
 		seen[key] = true
-		moves = append(moves, cand{m.X, m.Y, m.Weight})
+		moves = append(moves, recolorCand{m.X, m.Y, m.Weight})
 	}
+	s.rcMoves = moves
 	sort.SliceStable(moves, func(i, j int) bool { return moves[i].w > moves[j].w })
 
 	for pass := 0; pass < recolorPasses; pass++ {
@@ -191,16 +198,17 @@ const maxCompPlan = 12
 // component.
 func (s *selector) compMembers(n ig.NodeID) []ig.NodeID {
 	comp := s.compOf(n)
-	var out []ig.NodeID
+	out := s.compBuf[:0]
 	for i := s.ctx.Graph.NumPhys(); i < s.ctx.Graph.NumNodes(); i++ {
 		m := ig.NodeID(i)
 		if s.compOf(m) == comp && s.color[m] >= 0 {
 			out = append(out, m)
 			if len(out) > maxCompPlan {
-				return out
+				break
 			}
 		}
 	}
+	s.compBuf = out
 	return out
 }
 

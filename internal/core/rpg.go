@@ -17,6 +17,7 @@ import (
 	"prefcolor/internal/costmodel"
 	"prefcolor/internal/ig"
 	"prefcolor/internal/regalloc"
+	"prefcolor/internal/scratch"
 )
 
 // PrefKind is the paper's preference vocabulary (Figure 7(c)).
@@ -194,8 +195,19 @@ const (
 // BuildRPG constructs the Register Preference Graph for the current
 // round, deriving every strength from the Appendix cost model.
 func BuildRPG(ctx *regalloc.Context, mode Mode) *RPG {
+	return BuildRPGInto(nil, ctx, mode)
+}
+
+// BuildRPGInto is BuildRPG reusing r's edge and index storage (nil r
+// allocates fresh). The rebuilt graph is identical to a fresh one; only
+// the backing arrays survive.
+func BuildRPGInto(r *RPG, ctx *regalloc.Context, mode Mode) *RPG {
 	g, costs := ctx.Graph, ctx.Costs
-	r := &RPG{byNode: make([][]int, g.NumNodes())}
+	if r == nil {
+		r = &RPG{}
+	}
+	r.prefs = r.prefs[:0]
+	r.byNode = scratch.Rows(r.byNode, g.NumNodes())
 
 	strengths := func(n ig.NodeID, savings float64) (sv, snv float64) {
 		w := int(n) - g.NumPhys()

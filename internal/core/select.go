@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"prefcolor/internal/ig"
 	"prefcolor/internal/regalloc"
+	"prefcolor/internal/scratch"
 	"prefcolor/internal/telemetry"
 )
 
@@ -47,26 +47,72 @@ type selector struct {
 	priVal      []float64
 	priOK       []bool
 	prefSources [][]ig.NodeID
+
+	// Reusable per-call buffers. Each availRegs-style query writes into
+	// a buffer dedicated to its call path, so results that must stay
+	// live across a nested query never share backing: availOut carries
+	// processNode's candidate set, priBuf the one priority() ranks
+	// with, and tAvail the partner set partnerStillPossible consults
+	// while availOut is still being screened. hrBuf holds honoringRegs
+	// results (always consumed before the next preference is
+	// classified), and candA/candB ping-pong as chooseReg's screening
+	// write targets — the invariant there is that the current candidate
+	// set never aliases the buffer being written.
+	availMask []bool
+	availOut  []int
+	priBuf    []int
+	tAvail    []int
+	hrBuf     []int
+	candA     []int
+	candB     []int
+	strengths []float64
+	honorable []rankedPref
+	deferred  []*Pref
+
+	// Recolor-fixup scratch (see recolor.go).
+	rcMoves []recolorCand
+	rcSeen  map[[2]ig.NodeID]bool
+	compBuf []ig.NodeID
+}
+
+// rankedPref pairs a preference with its current honoring strength for
+// chooseReg's strongest-first screening order.
+type rankedPref struct {
+	p  *Pref
+	st float64
 }
 
 func newSelector(ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector {
+	return newSelectorIn(nil, ctx, rpg, cpg, mode)
+}
+
+// newSelectorIn initializes s (or a fresh selector when s is nil) for
+// one round, reusing every per-node slice the previous round left
+// behind. A recycled selector starts from the same observable state as
+// a brand-new one.
+func newSelectorIn(s *selector, ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector {
+	if s == nil {
+		s = &selector{}
+	}
 	g := ctx.Graph
-	s := &selector{
-		ctx: ctx, rpg: rpg, cpg: cpg, mode: mode,
-		color:     make([]int, g.NumNodes()),
-		spilled:   make([]bool, g.NumNodes()),
-		processed: make([]bool, g.NumNodes()),
-		predCount: make([]int, g.NumNodes()),
-		queue:     make([]bool, g.NumNodes()),
-	}
-	for i := range s.color {
-		s.color[i] = -1
-	}
+	n := g.NumNodes()
+	s.ctx, s.rpg, s.cpg, s.mode = ctx, rpg, cpg, mode
+	s.ab = Ablation{}
+	s.nProcessed = 0
+
+	s.color = scratch.Fill(s.color, n, -1)
 	for i := 0; i < g.NumPhys(); i++ {
 		s.color[i] = i
 	}
+	s.spilled = scratch.Slice(s.spilled, n)
+	s.processed = scratch.Slice(s.processed, n)
+	s.predCount = scratch.Slice(s.predCount, n)
+	s.queue = scratch.Slice(s.queue, n)
 
-	s.comp = make([]int32, g.NumNodes())
+	if cap(s.comp) < n {
+		s.comp = make([]int32, n)
+	}
+	s.comp = s.comp[:n]
 	for i := range s.comp {
 		s.comp[i] = int32(i)
 	}
@@ -86,14 +132,16 @@ func newSelector(ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode Mode) *selector
 			}
 		}
 	}
-	s.compColors = make([][]int, g.NumNodes())
+	// Count rows must read as nil until a component's first grant, so
+	// recycled rows are dropped rather than cleared.
+	s.compColors = scratch.Slice(s.compColors, n)
 	for i := 0; i < g.NumPhys(); i++ {
 		s.noteCompColor(ig.NodeID(i), i)
 	}
 
-	s.priVal = make([]float64, g.NumNodes())
-	s.priOK = make([]bool, g.NumNodes())
-	s.prefSources = make([][]ig.NodeID, g.NumNodes())
+	s.priVal = scratch.Slice(s.priVal, n)
+	s.priOK = scratch.Slice(s.priOK, n)
+	s.prefSources = scratch.Rows(s.prefSources, n)
 	for i := 0; i < rpg.NumPrefs(); i++ {
 		p := rpg.Pref(i)
 		if p.To >= 0 {
@@ -136,10 +184,17 @@ func (s *selector) run() (*regalloc.Result, error) {
 	numWebs := g.NumWebs()
 
 	sp := tel.Begin()
-	// Step 1: Q starts as the successors of Top.
-	for _, n := range s.cpg.Nodes() {
+	// Step 1: Q starts as the successors of Top. The CPG's rows are
+	// walked in place (ascending, like Nodes(), and counting needs no
+	// sorted order); empty rows — including leftovers from a larger
+	// previous round — describe no node and are skipped.
+	for i := cpgIdx(0); i < len(s.cpg.succs); i++ {
+		if len(s.cpg.succs[i]) == 0 && len(s.cpg.preds[i]) == 0 {
+			continue
+		}
+		n := ig.NodeID(i - 2)
 		cnt := 0
-		for _, p := range s.cpg.Preds(n) {
+		for _, p := range s.cpg.preds[i] {
 			if p != Top {
 				cnt++
 			}
@@ -228,9 +283,13 @@ func (s *selector) invalidateAround(n ig.NodeID) {
 }
 
 // priority computes the step-2.3/3 strength differential for node n.
+// It works out of its own avail buffer (priBuf) because tracing may
+// ask for a priority while processNode's candidate sets are still
+// live in availOut.
 func (s *selector) priority(n ig.NodeID) float64 {
-	avail := s.availRegs(n)
-	var strengths []float64
+	s.priBuf = s.availRegsInto(s.priBuf[:0], n)
+	avail := s.priBuf
+	strengths := s.strengths[:0]
 	for _, pi := range s.rpg.Prefs(n) {
 		p := s.rpg.Pref(pi)
 		st, state := s.prefState(p, avail)
@@ -238,6 +297,7 @@ func (s *selector) priority(n ig.NodeID) float64 {
 			strengths = append(strengths, st)
 		}
 	}
+	s.strengths = strengths
 	switch len(strengths) {
 	case 0:
 		return math.Inf(-1)
@@ -287,10 +347,17 @@ func (s *selector) prefState(p *Pref, avail []int) (float64, prefStatus) {
 	return best, prefHonorable
 }
 
-// honoringRegs filters avail down to the registers that honor p.
+// honoringRegs filters avail down to the registers that honor p, in
+// the selector's hrBuf (valid until the next honoringRegs call).
 func (s *selector) honoringRegs(p *Pref, avail []int) []int {
+	s.hrBuf = s.honoringRegsInto(s.hrBuf[:0], p, avail)
+	return s.hrBuf
+}
+
+// honoringRegsInto appends to out the members of avail that honor p.
+// out must not alias avail.
+func (s *selector) honoringRegsInto(out []int, p *Pref, avail []int) []int {
 	m := s.ctx.Machine
-	var out []int
 	switch p.Kind {
 	case Coalesce:
 		tc := s.color[p.To]
@@ -334,23 +401,35 @@ func (s *selector) honoringRegs(p *Pref, avail []int) []int {
 	return out
 }
 
-// availRegs is step 4.1's candidate set: machine registers not used by
-// any colored node interfering with n in the original graph.
-func (s *selector) availRegs(n ig.NodeID) []int {
+// availRegsInto appends step 4.1's candidate set to out: machine
+// registers not used by any colored node interfering with n in the
+// original graph. The shared availMask is free again on return, so
+// nested queries through different out-buffers never collide.
+func (s *selector) availRegsInto(out []int, n ig.NodeID) []int {
 	g, k := s.ctx.Graph, s.ctx.K()
-	used := make([]bool, k)
+	if cap(s.availMask) < k {
+		s.availMask = make([]bool, k)
+	}
+	used := s.availMask[:k]
+	clear(used)
 	g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
 		if c := s.color[nb]; c >= 0 && c < k {
 			used[c] = true
 		}
 	})
-	var out []int
 	for r := 0; r < k; r++ {
 		if !used[r] {
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// availRegs returns n's candidate set in the selector's primary avail
+// buffer, valid until the next availRegs call.
+func (s *selector) availRegs(n ig.NodeID) []int {
+	s.availOut = s.availRegsInto(s.availOut[:0], n)
+	return s.availOut
 }
 
 // processNode is step 4 plus the §5.4 active spill, followed by
@@ -404,8 +483,9 @@ func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
 	}
 	s.invalidateAround(n)
 
-	// Step 5: release successors.
-	for _, succ := range s.cpg.Succs(n) {
+	// Step 5: release successors. The raw (unsorted) list is fine:
+	// each successor is touched once and the decrements commute.
+	for _, succ := range s.cpg.succsOf(n) {
 		if succ == Bottom {
 			continue
 		}
@@ -536,30 +616,41 @@ func (s *selector) shouldActivelySpill(n ig.NodeID) bool {
 // pick. It returns the chosen register and the candidate set that
 // survived screening (the trace's "cands").
 func (s *selector) chooseReg(n ig.NodeID, avail []int) (int, []int) {
-	type ranked struct {
-		p  *Pref
-		st float64
-	}
-	var honorable []ranked
-	var deferred []*Pref
+	honorable := s.honorable[:0]
+	deferred := s.deferred[:0]
 	for _, pi := range s.rpg.Prefs(n) {
 		p := s.rpg.Pref(pi)
 		st, state := s.prefState(p, avail)
 		switch state {
 		case prefHonorable:
-			honorable = append(honorable, ranked{p, st})
+			honorable = append(honorable, rankedPref{p, st})
 		case prefDeferred:
 			deferred = append(deferred, p)
 		}
 	}
-	sort.SliceStable(honorable, func(i, j int) bool { return honorable[i].st > honorable[j].st })
+	s.honorable, s.deferred = honorable, deferred
+	// Stable insertion sort, descending by strength: equal strengths
+	// keep RPG order, so this produces exactly the (unique) ordering a
+	// stable library sort would — without its reflection allocation.
+	for i := 1; i < len(honorable); i++ {
+		for j := i; j > 0 && honorable[j].st > honorable[j-1].st; j-- {
+			honorable[j], honorable[j-1] = honorable[j-1], honorable[j]
+		}
+	}
 
+	// The screening passes ping-pong between two write buffers so that
+	// cands — which starts as avail and becomes whichever buffer last
+	// accepted a filter — never aliases the buffer being written.
 	cands := avail
+	a, b := s.candA, s.candB
 	// Step 4.2: strongest-first screening; a preference that would
 	// empty the candidate set is skipped.
 	for _, h := range honorable {
-		if sub := s.honoringRegs(h.p, cands); len(sub) > 0 {
+		sub := s.honoringRegsInto(a[:0], h.p, cands)
+		a = sub
+		if len(sub) > 0 {
 			cands = sub
+			a, b = b, a
 		}
 	}
 	// Step 4.3: avoid registers that make deferred partner
@@ -568,16 +659,19 @@ func (s *selector) chooseReg(n ig.NodeID, avail []int) (int, []int) {
 		deferred = nil
 	}
 	for _, p := range deferred {
-		var sub []int
+		sub := a[:0]
 		for _, r := range cands {
 			if s.partnerStillPossible(p, r) {
 				sub = append(sub, r)
 			}
 		}
+		a = sub
 		if len(sub) > 0 {
 			cands = sub
+			a, b = b, a
 		}
 	}
+	s.candA, s.candB = a, b
 	// Step 4.4: pick. Prefer a register the node's copy component
 	// already holds (transitive deferred coalescing); then, in
 	// coalesce-only mode, the paper's "non-volatile first" heuristic.
@@ -607,7 +701,11 @@ func (s *selector) chooseReg(n ig.NodeID, avail []int) (int, []int) {
 func (s *selector) partnerStillPossible(p *Pref, r int) bool {
 	g, m := s.ctx.Graph, s.ctx.Machine
 	t := p.To
-	tAvail := s.availRegs(t)
+	// The partner's avail set gets its own buffer: the caller's
+	// candidate sets (availOut and the screening buffers) are still
+	// live while this query runs.
+	s.tAvail = s.availRegsInto(s.tAvail[:0], t)
+	tAvail := s.tAvail
 	interferes := g.OrigInterferes(p.From, t)
 	usable := func(reg int) bool {
 		if interferes && reg == r {

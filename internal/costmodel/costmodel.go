@@ -72,13 +72,25 @@ func Analyze(f *ir.Func, m *target.Machine, loops *cfg.LoopInfo, live *liveness.
 					info.OpCosts[d.VirtNum()] += c * freq
 				}
 			}
-			seen := map[ir.Reg]bool{}
-			for _, u := range in.Uses {
-				if u.IsVirt() && !seen[u] {
-					seen[u] = true
-					info.SpillCosts[u.VirtNum()] += LoadCost * freq
-					info.OpCosts[u.VirtNum()] += c * freq
+			// Uses lists are tiny (almost always ≤3), so dedup by
+			// scanning the prefix instead of allocating a set per
+			// instruction.
+			for ui, u := range in.Uses {
+				if !u.IsVirt() {
+					continue
 				}
+				dup := false
+				for _, prev := range in.Uses[:ui] {
+					if prev == u {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				info.SpillCosts[u.VirtNum()] += LoadCost * freq
+				info.OpCosts[u.VirtNum()] += c * freq
 			}
 		}
 	}

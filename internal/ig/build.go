@@ -19,6 +19,14 @@ import (
 // (call clobbering). Copy instructions are recorded as Moves weighted
 // by loop frequency, the input to every coalescing heuristic.
 func Build(f *ir.Func, m *target.Machine, loops *cfg.LoopInfo) (*Graph, error) {
+	return BuildInto(nil, f, m, loops, nil)
+}
+
+// BuildInto is Build reusing ws's graph storage (nil ws allocates
+// fresh) and an optional precomputed liveness for f (nil live computes
+// it here). Passing liveness in lets the driver share one analysis per
+// round between the cost model and the graph builder.
+func BuildInto(ws *GraphScratch, f *ir.Func, m *target.Machine, loops *cfg.LoopInfo, live *liveness.Info) (*Graph, error) {
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
@@ -44,8 +52,10 @@ func Build(f *ir.Func, m *target.Machine, loops *cfg.LoopInfo) (*Graph, error) {
 		}
 	}
 
-	g := NewGraph(m.NumRegs, f.NumVirt)
-	live := liveness.Compute(f)
+	g := NewGraphIn(ws, m.NumRegs, f.NumVirt)
+	if live == nil {
+		live = liveness.Compute(f)
+	}
 
 	// Function entry defines every value live into it (parameters and
 	// any web lacking a dominating definition) simultaneously: they

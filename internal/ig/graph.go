@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"prefcolor/internal/ir"
+	"prefcolor/internal/scratch"
 )
 
 // NodeID identifies an interference-graph node. Nodes
@@ -70,34 +71,70 @@ type Graph struct {
 // NewGraph returns an empty graph with nPhys precolored nodes and
 // nWebs live-range nodes. The physical nodes form a clique.
 func NewGraph(nPhys, nWebs int) *Graph {
+	g := &Graph{}
+	g.reinit(nil, nPhys, nWebs)
+	return g
+}
+
+// GraphScratch recycles one Graph's storage across builds: the shared
+// bitset backing, the per-node slices, and the per-node member and
+// move-index rows keep their capacity from round to round. The zero
+// value is ready. The *Graph returned by NewGraphIn is owned by the
+// scratch — it is valid only until the next NewGraphIn on the same
+// scratch, and a scratch must not be shared between goroutines.
+type GraphScratch struct {
+	g       Graph
+	backing []uint64
+}
+
+// NewGraphIn is NewGraph reusing ws's storage; a nil ws allocates
+// fresh. The returned graph is indistinguishable from a fresh one:
+// every field is re-zeroed or re-filled before use.
+func NewGraphIn(ws *GraphScratch, nPhys, nWebs int) *Graph {
+	if ws == nil {
+		return NewGraph(nPhys, nWebs)
+	}
+	ws.backing = ws.g.reinit(ws.backing, nPhys, nWebs)
+	return &ws.g
+}
+
+// reinit resets g to an empty graph of the given shape, reusing its
+// slices (and the provided bitset backing) when capacity allows. It
+// returns the backing so the caller can recycle it next build.
+func (g *Graph) reinit(backing []uint64, nPhys, nWebs int) []uint64 {
 	n := nPhys + nWebs
 	words := (n + 63) / 64
-	backing := make([]uint64, n*words)
-	g := &Graph{
-		nPhys:     nPhys,
-		n:         n,
-		words:     words,
-		adj:       make([][]uint64, n),
-		origAdj:   make([][]uint64, n),
-		shared:    make([]bool, n),
-		alias:     make([]NodeID, n),
-		members:   make([][]NodeID, n),
-		removed:   make([]bool, n),
-		degree:    make([]int, n),
-		spillCost: make([]float64, n),
-		nodeMoves: make([][]int, n),
+	g.nPhys, g.n, g.words = nPhys, n, words
+	backing = scratch.Slice(backing, n*words)
+	g.adj = scratch.Slice(g.adj, n)
+	g.origAdj = scratch.Slice(g.origAdj, n)
+	g.shared = scratch.Slice(g.shared, n)
+	g.removed = scratch.Slice(g.removed, n)
+	g.degree = scratch.Slice(g.degree, n)
+	g.spillCost = scratch.Slice(g.spillCost, n)
+	g.moves = g.moves[:0]
+	g.nodeMoves = scratch.Rows(g.nodeMoves, n)
+	if cap(g.alias) < n {
+		g.alias = make([]NodeID, n)
 	}
+	g.alias = g.alias[:n]
+	if cap(g.members) < n {
+		grown := make([][]NodeID, n)
+		copy(grown, g.members)
+		g.members = grown
+	}
+	g.members = g.members[:n]
 	for i := 0; i < n; i++ {
 		g.adj[i] = backing[i*words : (i+1)*words : (i+1)*words]
 		g.alias[i] = NodeID(i)
-		g.members[i] = []NodeID{NodeID(i)}
+		g.members[i] = append(g.members[i][:0], NodeID(i))
 	}
 	for a := 0; a < nPhys; a++ {
 		for b := a + 1; b < nPhys; b++ {
 			g.AddEdge(NodeID(a), NodeID(b))
 		}
 	}
-	return g
+	return backing
 }
 
 // hasBit reports whether bit b is set in row (nil rows have no bits).
@@ -347,10 +384,10 @@ func (g *Graph) Coalesce(a, b NodeID) NodeID {
 	g.degree[loser] = 0
 	g.alias[loser] = rep
 	g.members[rep] = append(g.members[rep], g.members[loser]...)
-	g.members[loser] = nil
+	g.members[loser] = g.members[loser][:0]
 	g.spillCost[rep] += g.spillCost[loser]
 	g.nodeMoves[rep] = append(g.nodeMoves[rep], g.nodeMoves[loser]...)
-	g.nodeMoves[loser] = nil
+	g.nodeMoves[loser] = g.nodeMoves[loser][:0]
 	return rep
 }
 
@@ -407,11 +444,20 @@ func (g *Graph) MoveRelated(n NodeID) bool {
 // (not removed, not aliased), in ascending order.
 func (g *Graph) ActiveNodes() []NodeID {
 	var out []NodeID
+	g.ForEachActive(func(n NodeID) { out = append(out, n) })
+	return out
+}
+
+// ForEachActive visits every web representative still in the graph
+// (not removed, not aliased) in ascending order without allocating.
+// Nodes removed by fn during the walk are not revisited; nodes cannot
+// become active mid-walk, so the visit set matches an ActiveNodes
+// snapshot taken at the start.
+func (g *Graph) ForEachActive(fn func(n NodeID)) {
 	for i := g.nPhys; i < g.n; i++ {
 		n := NodeID(i)
 		if !g.removed[n] && g.alias[n] == n {
-			out = append(out, n)
+			fn(n)
 		}
 	}
-	return out
 }

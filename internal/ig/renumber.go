@@ -7,7 +7,29 @@ import (
 	"fmt"
 
 	"prefcolor/internal/ir"
+	"prefcolor/internal/scratch"
 )
+
+// RenumberScratch recycles the dense per-site and per-register tables
+// Renumber builds, so the driver's round loop stops reallocating them.
+// The zero value is ready. The *RenumberInfo returned by RenumberInto
+// is owned by the scratch: it (and its Origins rows) are valid only
+// until the next RenumberInto on the same scratch. Not safe for
+// concurrent use.
+type RenumberScratch struct {
+	siteReg   []ir.Reg
+	siteAt    [][]int32
+	paramSite []int32
+	undefSite []int32
+	singleton []siteSet // singleton[s] == {s}: immutable, reused across runs
+	gens      [][]siteSet
+	in        [][]siteSet
+	out       [][]siteSet
+	cur       []siteSet
+	webOf     []int32
+	uf        unionFind
+	info      RenumberInfo
+}
 
 // RenumberInfo records how Renumber mapped original virtual registers
 // to webs.
@@ -31,7 +53,16 @@ type RenumberInfo struct {
 //
 // The function must be φ-free (run ssa.Destruct first); Renumber
 // returns an error otherwise. Physical registers are left untouched.
-func Renumber(f *ir.Func) (*RenumberInfo, error) {
+func Renumber(f *ir.Func) (*RenumberInfo, error) { return RenumberInto(f, nil) }
+
+// RenumberInto is Renumber reusing ws's tables; a nil ws behaves like
+// Renumber. The site enumeration, dataflow schedule, and web numbering
+// are identical either way, so the rewritten function and returned
+// info do not depend on reuse.
+func RenumberInto(f *ir.Func, ws *RenumberScratch) (*RenumberInfo, error) {
+	if ws == nil {
+		ws = &RenumberScratch{}
+	}
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
 			if b.Instrs[i].Op == ir.Phi {
@@ -47,14 +78,13 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 	// table below is a dense slice indexed by VirtNum — virtual
 	// registers are contiguous, so hashing them is pure overhead.
 	nv := f.NumVirt
-	var siteReg []ir.Reg                     // original register each site defines
-	siteAt := make([][]int32, len(f.Blocks)) // def site per instruction, -1 if none
-	paramSite := make([]int32, nv)
-	undefSite := make([]int32, nv)
-	for i := range paramSite {
-		paramSite[i] = -1
-		undefSite[i] = -1
-	}
+	nb := len(f.Blocks)
+	siteReg := ws.siteReg[:0] // original register each site defines
+	ws.siteAt = scratch.Rows(ws.siteAt, nb)
+	siteAt := ws.siteAt // def site per instruction, -1 if none
+	paramSite := scratch.Fill(ws.paramSite, nv, int32(-1))
+	undefSite := scratch.Fill(ws.undefSite, nv, int32(-1))
+	ws.paramSite, ws.undefSite = paramSite, undefSite
 	for _, p := range f.Params {
 		if p.IsVirt() && paramSite[p.VirtNum()] < 0 {
 			paramSite[p.VirtNum()] = int32(len(siteReg))
@@ -62,9 +92,8 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 		}
 	}
 	for _, b := range f.Blocks {
-		sa := make([]int32, len(b.Instrs))
+		sa := scratch.Fill(siteAt[b.ID], len(b.Instrs), int32(-1))
 		for i := range b.Instrs {
-			sa[i] = -1
 			if d := b.Instrs[i].Def(); d.IsVirt() {
 				sa[i] = int32(len(siteReg))
 				siteReg = append(siteReg, d)
@@ -73,12 +102,14 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 		siteAt[b.ID] = sa
 	}
 
-	uf := newUnionFind(len(siteReg))
+	uf := &ws.uf
+	uf.reinit(len(siteReg))
 
 	// Reaching definitions, as per-register sets of site ids. Site
 	// sets are sorted, deduplicated slices treated as immutable, so
-	// the dataflow vectors can share them.
-	singleton := make([]siteSet, len(siteReg))
+	// the dataflow vectors can share them — and singleton sets can
+	// even be shared across runs, since singleton[s] is always {s}.
+	singleton := ws.singleton
 	single := func(s int32) siteSet {
 		for len(singleton) <= int(s) {
 			singleton = append(singleton, nil)
@@ -88,12 +119,14 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 		}
 		return singleton[s]
 	}
-	type regSites []siteSet // indexed by VirtNum; nil = no reaching def
+	defer func() { ws.singleton = singleton; ws.siteReg = siteReg }()
+	type regSites = []siteSet // indexed by VirtNum; nil = no reaching def
 
 	// Per-block gen (last def site per register).
-	gens := make([]regSites, len(f.Blocks))
+	ws.gens = scratch.Rows(ws.gens, nb)
+	gens := ws.gens
 	for _, b := range f.Blocks {
-		g := make(regSites, nv)
+		g := scratch.Slice(gens[b.ID], nv)
 		for i := range b.Instrs {
 			if d := b.Instrs[i].Def(); d.IsVirt() {
 				g[d.VirtNum()] = single(siteAt[b.ID][i])
@@ -122,11 +155,12 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 		}
 	}
 
-	in := make([]regSites, len(f.Blocks))
-	out := make([]regSites, len(f.Blocks))
+	ws.in = scratch.Rows(ws.in, nb)
+	ws.out = scratch.Rows(ws.out, nb)
+	in, out := ws.in, ws.out
 	for i := range f.Blocks {
-		in[i] = make(regSites, nv)
-		out[i] = make(regSites, nv)
+		in[i] = scratch.Slice(in[i], nv)
+		out[i] = scratch.Slice(out[i], nv)
 	}
 	changed := true
 	for changed {
@@ -171,7 +205,8 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 		}
 		return first
 	}
-	cur := make(regSites, nv)
+	ws.cur = scratch.Slice(ws.cur, nv)
+	cur := ws.cur
 	for _, b := range f.Blocks {
 		copy(cur, in[b.ID])
 		for i := range b.Instrs {
@@ -191,19 +226,24 @@ func Renumber(f *ir.Func) (*RenumberInfo, error) {
 	// (site-order) sequence, and rewrite operands in a second walk.
 	// siteReg is final now: the second walk resolves the same uses, so
 	// every undef site already exists.
-	webOf := make([]int32, len(siteReg))
-	for i := range webOf {
-		webOf[i] = -1
-	}
-	info := &RenumberInfo{}
+	ws.webOf = scratch.Fill(ws.webOf, len(siteReg), int32(-1))
+	webOf := ws.webOf
+	info := &ws.info
+	recycled := info.Origins // previous run's rows, recycled by index
+	info.NumWebs = 0
+	info.Origins = recycled[:0]
 	webFor := func(site int32) ir.Reg {
 		root := uf.find(int(site))
 		w := webOf[root]
 		if w < 0 {
 			w = int32(info.NumWebs)
 			webOf[root] = w
+			var row []ir.Reg
+			if info.NumWebs < len(recycled) {
+				row = recycled[info.NumWebs][:0]
+			}
 			info.NumWebs++
-			info.Origins = append(info.Origins, nil)
+			info.Origins = append(info.Origins, row)
 		}
 		orig := siteReg[site]
 		found := false
@@ -328,12 +368,22 @@ type unionFind struct {
 }
 
 func newUnionFind(n int) *unionFind {
-	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	u := &unionFind{}
+	u.reinit(n)
+	return u
+}
+
+// reinit resets u to n singleton sets, reusing its slices.
+func (u *unionFind) reinit(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.size = make([]int, n)
+	}
+	u.parent, u.size = u.parent[:n], u.size[:n]
 	for i := range u.parent {
 		u.parent[i] = i
 		u.size[i] = 1
 	}
-	return u
 }
 
 func (u *unionFind) grow(n int) {

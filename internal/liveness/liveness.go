@@ -10,36 +10,58 @@ import (
 	"prefcolor/internal/ir"
 )
 
-// Info holds per-block live-in/live-out sets.
+// Info holds per-block live-in/live-out sets. An Info is not safe for
+// concurrent use: ForEachInstrReverse reuses an internal set between
+// calls.
 type Info struct {
 	f       *ir.Func
 	liveIn  []ir.RegSet
 	liveOut []ir.RegSet
+	iter    ir.RegSet // reused by ForEachInstrReverse
+}
+
+// Scratch holds the buffers Compute needs, so repeated analyses (one
+// per spill round, per function) reuse the register sets instead of
+// reallocating them. The zero value is ready to use. A Scratch owns
+// the *Info it returns: the Info is valid only until the next
+// ComputeInto on the same Scratch, and a Scratch must not be shared
+// between goroutines.
+type Scratch struct {
+	info    Info
+	gen     []ir.RegSet
+	kill    []ir.RegSet
+	phiDefs []ir.RegSet
+	out     ir.RegSet
+	in      ir.RegSet
 }
 
 // Compute runs the backward dataflow to a fixed point and returns the
 // per-block liveness information. Both virtual and physical registers
 // are tracked; implicit call clobbers are not (they are interference
 // facts, handled by the interference-graph builder).
-func Compute(f *ir.Func) *Info {
+func Compute(f *ir.Func) *Info { return ComputeInto(f, nil) }
+
+// ComputeInto is Compute reusing ws's buffers. A nil ws behaves like
+// Compute. The liveness equations have a unique least fixed point, so
+// the result is identical no matter how the scratch sets are reused.
+func ComputeInto(f *ir.Func, ws *Scratch) *Info {
+	if ws == nil {
+		ws = &Scratch{}
+	}
 	n := len(f.Blocks)
-	info := &Info{
-		f:       f,
-		liveIn:  make([]ir.RegSet, n),
-		liveOut: make([]ir.RegSet, n),
-	}
-	for i := 0; i < n; i++ {
-		info.liveIn[i] = ir.NewRegSet()
-		info.liveOut[i] = ir.NewRegSet()
-	}
+	info := &ws.info
+	info.f = f
+	info.liveIn = growSets(info.liveIn, n)
+	info.liveOut = growSets(info.liveOut, n)
 
 	// Precompute per-block gen (upward-exposed uses, φ excluded),
-	// kill (all defs including φ), and φ contributions per incoming
-	// edge.
-	gen := make([]ir.RegSet, n)
-	kill := make([]ir.RegSet, n)
+	// kill (all defs including φ), and the φ definitions at the block
+	// head (consulted once per edge per iteration below).
+	ws.gen = growSets(ws.gen, n)
+	ws.kill = growSets(ws.kill, n)
+	ws.phiDefs = growSets(ws.phiDefs, n)
 	for _, b := range f.Blocks {
-		g, k := ir.NewRegSet(), ir.NewRegSet()
+		g, k := ws.gen[b.ID], ws.kill[b.ID]
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.Op == ir.Phi {
@@ -57,28 +79,32 @@ func Compute(f *ir.Func) *Info {
 				k.Add(d)
 			}
 		}
-		gen[b.ID] = g
-		kill[b.ID] = k
+		pd := ws.phiDefs[b.ID]
+		for i := range b.Instrs {
+			if b.Instrs[i].Op != ir.Phi {
+				break
+			}
+			pd.Add(b.Instrs[i].Def())
+		}
 	}
 
+	if ws.out == nil {
+		ws.out = ir.NewRegSet()
+		ws.in = ir.NewRegSet()
+	}
+	out, in := ws.out, ws.in
 	changed := true
 	for changed {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			b := f.Blocks[i]
-			out := ir.NewRegSet()
+			clear(out)
 			for _, sid := range b.Succs {
 				s := f.Blocks[sid]
 				// live-in of successor minus its φ defs...
-				phiDefs := ir.NewRegSet()
-				for j := range s.Instrs {
-					if s.Instrs[j].Op != ir.Phi {
-						break
-					}
-					phiDefs.Add(s.Instrs[j].Def())
-				}
+				pd := ws.phiDefs[sid]
 				for r := range info.liveIn[sid] {
-					if !phiDefs.Has(r) {
+					if !pd.Has(r) {
 						out.Add(r)
 					}
 				}
@@ -98,23 +124,53 @@ func Compute(f *ir.Func) *Info {
 					}
 				}
 			}
-			in := gen[b.ID].Clone()
+			clear(in)
+			for r := range ws.gen[b.ID] {
+				in[r] = struct{}{}
+			}
+			kill := ws.kill[b.ID]
 			for r := range out {
-				if !kill[b.ID].Has(r) {
+				if !kill.Has(r) {
 					in.Add(r)
 				}
 			}
 			if !out.Equal(info.liveOut[b.ID]) {
-				info.liveOut[b.ID] = out
+				copySet(info.liveOut[b.ID], out)
 				changed = true
 			}
 			if !in.Equal(info.liveIn[b.ID]) {
-				info.liveIn[b.ID] = in
+				copySet(info.liveIn[b.ID], in)
 				changed = true
 			}
 		}
 	}
 	return info
+}
+
+// growSets resizes sets to n entries, reusing (and clearing) existing
+// maps and allocating only the missing ones.
+func growSets(sets []ir.RegSet, n int) []ir.RegSet {
+	if cap(sets) < n {
+		grown := make([]ir.RegSet, n)
+		copy(grown, sets)
+		sets = grown
+	}
+	sets = sets[:n]
+	for i := range sets {
+		if sets[i] == nil {
+			sets[i] = ir.NewRegSet()
+		} else {
+			clear(sets[i])
+		}
+	}
+	return sets
+}
+
+func copySet(dst, src ir.RegSet) {
+	clear(dst)
+	for r := range src {
+		dst[r] = struct{}{}
+	}
 }
 
 // LiveIn returns registers live at entry to b. φ definitions are not
@@ -129,9 +185,16 @@ func (i *Info) LiveOut(b ir.BlockID) ir.RegSet { return i.liveOut[b] }
 // set *after* each instruction and calling fn(i, instr, liveAfter)
 // from the last instruction to the first. φ-functions are visited too
 // (their live-after is the set after all φs executed in parallel).
-// The callback must not retain live, which is reused between calls.
+// The callback must not retain live, which is reused between calls —
+// including across calls to ForEachInstrReverse itself — and must not
+// re-enter ForEachInstrReverse on the same Info.
 func (i *Info) ForEachInstrReverse(b *ir.Block, fn func(idx int, in *ir.Instr, liveAfter ir.RegSet)) {
-	live := i.liveOut[b.ID].Clone()
+	live := i.iter
+	if live == nil {
+		live = ir.NewRegSet()
+		i.iter = live
+	}
+	copySet(live, i.liveOut[b.ID])
 	for idx := len(b.Instrs) - 1; idx >= 0; idx-- {
 		in := &b.Instrs[idx]
 		fn(idx, in, live)

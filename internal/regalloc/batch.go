@@ -78,6 +78,11 @@ func AllocateAll(funcs []*ir.Func, m *target.Machine, opts BatchOptions) (*Batch
 		wg.Add(1)
 		go func(snap *telemetry.Snapshot) {
 			defer wg.Done()
+			// Workspaces are single-owner: each worker gets its own,
+			// reused across all the functions it pulls. Any workspace
+			// the caller set on Options is deliberately not shared.
+			wopts := runOpts
+			wopts.Workspace = NewWorkspace()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(funcs) {
@@ -86,11 +91,11 @@ func AllocateAll(funcs []*ir.Func, m *target.Machine, opts BatchOptions) (*Batch
 				// A done context fails the remaining functions without
 				// starting them; Run re-checks between phases, so
 				// in-flight allocations stop at their next boundary.
-				if err := runOpts.interrupted("batch"); err != nil {
+				if err := wopts.interrupted("batch"); err != nil {
 					errs[i] = err
 					continue
 				}
-				out, stats, err := Run(funcs[i], m, opts.NewAllocator(), runOpts)
+				out, stats, err := Run(funcs[i], m, opts.NewAllocator(), wopts)
 				if err != nil {
 					errs[i] = err
 					continue

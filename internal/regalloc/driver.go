@@ -7,6 +7,7 @@ import (
 
 	"prefcolor/internal/ig"
 	"prefcolor/internal/ir"
+	"prefcolor/internal/scratch"
 	"prefcolor/internal/target"
 	"prefcolor/internal/telemetry"
 )
@@ -56,6 +57,14 @@ type Options struct {
 	// AllocateAll do it — so concurrent workers do not interleave
 	// lines.
 	TraceWriter io.Writer
+
+	// Workspace, when non-nil, supplies the reusable scratch arena for
+	// every analysis and allocator buffer; passing the same workspace
+	// to successive Run calls reuses the storage instead of
+	// reallocating it. The result is bit-identical with or without
+	// one. A workspace must not be used by two Runs concurrently;
+	// AllocateAll ignores this field and gives each worker its own.
+	Workspace *Workspace
 }
 
 // telemetryOn reports whether the options ask for any instrumentation.
@@ -132,26 +141,42 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 		MovesBefore: f.CountOp(ir.Move),
 	}
 	var tel *telemetry.Collector
+	var memBase, gcBase uint64
 	if opts.telemetryOn() {
 		tel = telemetry.New(opts.TraceWriter)
 		tel.BeginFunc(f.Name)
+		memBase, gcBase = telemetry.ReadMemCounters()
 	}
 
-	tempRegs := map[ir.Reg]bool{}
-	blockLocalRegs := map[ir.Reg]bool{}
+	// The workspace supplies (and clears on borrow) every per-round
+	// buffer below; a fresh one makes Run self-contained.
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	if ws.tempRegs == nil {
+		ws.tempRegs = map[ir.Reg]bool{}
+		ws.blockLocalRegs = map[ir.Reg]bool{}
+	}
+	tempRegs := ws.tempRegs
+	blockLocalRegs := ws.blockLocalRegs
+	clear(tempRegs)
+	clear(blockLocalRegs)
 	for round := 1; round <= maxRounds; round++ {
 		if err := opts.interrupted(alloc.Name()); err != nil {
 			return nil, nil, err
 		}
 		tel.BeginRound(round)
 		sp := tel.Begin()
-		info, err := ig.Renumber(f)
+		info, err := ig.RenumberInto(f, &ws.renumber)
 		tel.End(telemetry.PhaseRenumber, sp)
 		if err != nil {
 			return nil, nil, err
 		}
-		spillTemp := make([]bool, info.NumWebs)
-		blockLocal := make([]bool, info.NumWebs)
+		ws.spillTemp = scratch.Slice(ws.spillTemp, info.NumWebs)
+		ws.blockLocal = scratch.Slice(ws.blockLocal, info.NumWebs)
+		spillTemp := ws.spillTemp
+		blockLocal := ws.blockLocal
 		for w, origins := range info.Origins {
 			for _, o := range origins {
 				if tempRegs[o] {
@@ -163,7 +188,7 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 			}
 		}
 		sp = tel.Begin()
-		ctx, err := NewContext(f, machine, spillTemp)
+		ctx, err := NewContextIn(ws, f, machine, spillTemp)
 		tel.End(telemetry.PhaseBuildIG, sp)
 		if err != nil {
 			return nil, nil, err
@@ -190,6 +215,10 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 			if err != nil {
 				return nil, nil, err
 			}
+			if tel != nil {
+				mem, gc := telemetry.ReadMemCounters()
+				tel.AddMem(mem-memBase, gc-gcBase)
+			}
 			stats.Telemetry = tel.Snapshot()
 			return out, stats, nil
 		}
@@ -198,13 +227,15 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 		stats.SpilledWebs += len(webs)
 		// Re-key the carried-over marker sets to this round's naming:
 		// virtual-register numbers are reassigned by every renumber.
-		tempRegs = map[ir.Reg]bool{}
+		// The old keys were fully consumed by the Origins loop above,
+		// so clearing and refilling the maps in place is safe.
+		clear(tempRegs)
 		for w, isTemp := range spillTemp {
 			if isTemp {
 				tempRegs[ir.Virt(w)] = true
 			}
 		}
-		blockLocalRegs = map[ir.Reg]bool{}
+		clear(blockLocalRegs)
 		for w, isLocal := range blockLocal {
 			if isLocal {
 				blockLocalRegs[ir.Virt(w)] = true
@@ -503,7 +534,13 @@ func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
 // copies made redundant by the assignment are deleted.
 func rewrite(ctx *Context, res *Result, stats *Stats) (*ir.Func, error) {
 	f, g, m := ctx.F, ctx.Graph, ctx.Machine
-	colors := make([]int, f.NumVirt)
+	var colors []int
+	if ws := ctx.Workspace; ws != nil {
+		ws.colors = scratch.Slice(ws.colors, f.NumVirt)
+		colors = ws.colors
+	} else {
+		colors = make([]int, f.NumVirt)
+	}
 	for w := 0; w < f.NumVirt; w++ {
 		c, ok := res.ColorOf(g, g.NodeOf(ir.Virt(w)))
 		if !ok {

@@ -101,7 +101,10 @@ func GeorgeConservative(g *ig.Graph, a, b ig.NodeID, k int) bool {
 func SpillCandidate(g *ig.Graph) ig.NodeID {
 	best := ig.NodeID(-1)
 	bestKey := 0.0
-	for _, n := range g.ActiveNodes() {
+	// Direct in-place scan, same ascending order ActiveNodes would
+	// snapshot — this runs once per simplify stall, so the snapshot
+	// allocation used to be a top-line profile entry.
+	g.ForEachActive(func(n ig.NodeID) {
 		deg := g.Degree(n)
 		if deg == 0 {
 			deg = 1
@@ -110,7 +113,7 @@ func SpillCandidate(g *ig.Graph) ig.NodeID {
 		if best < 0 || key < bestKey {
 			best, bestKey = n, key
 		}
-	}
+	})
 	return best
 }
 

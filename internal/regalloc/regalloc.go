@@ -39,16 +39,36 @@ type Context struct {
 	// nil-safe, so allocators thread it unconditionally. Telemetry
 	// observes only — it must never steer an allocation decision.
 	Telemetry *telemetry.Collector
+
+	// Workspace is the scratch arena this context was built in, or nil
+	// for a one-shot context. Allocators may park reusable buffers on
+	// it via SetAllocatorScratch; they must tolerate it being nil.
+	Workspace *Workspace
 }
 
 // NewContext runs the standard analyses over a renumbered function.
 // spillTemp may be nil.
 func NewContext(f *ir.Func, m *target.Machine, spillTemp []bool) (*Context, error) {
+	return NewContextIn(nil, f, m, spillTemp)
+}
+
+// NewContextIn is NewContext with the analyses computed into ws's
+// reusable buffers (nil ws allocates fresh). Either way the liveness
+// solution is computed once and shared by the cost model and the
+// graph builder.
+func NewContextIn(ws *Workspace, f *ir.Func, m *target.Machine, spillTemp []bool) (*Context, error) {
 	dom := cfg.NewDomTree(f)
 	loops := cfg.FindLoops(f, dom)
-	live := liveness.Compute(f)
+	var live *liveness.Info
+	var gws *ig.GraphScratch
+	if ws != nil {
+		live = liveness.ComputeInto(f, &ws.live)
+		gws = &ws.graph
+	} else {
+		live = liveness.Compute(f)
+	}
 	costs := costmodel.Analyze(f, m, loops, live)
-	g, err := ig.Build(f, m, loops)
+	g, err := ig.BuildInto(gws, f, m, loops, live)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +77,7 @@ func NewContext(f *ir.Func, m *target.Machine, spillTemp []bool) (*Context, erro
 	}
 	ctx := &Context{
 		F: f, Machine: m, Graph: g, Loops: loops, Live: live,
-		Costs: costs, SpillTemp: spillTemp,
+		Costs: costs, SpillTemp: spillTemp, Workspace: ws,
 	}
 	for w := 0; w < f.NumVirt; w++ {
 		c := costs.MemCost(w)

@@ -1,0 +1,47 @@
+// Package scratch holds the grow-and-clear slice helpers shared by the
+// allocation workspace (regalloc.Workspace) and the per-phase scratch
+// structs it aggregates. The contract everywhere is the same: resize a
+// buffer to the requested length reusing its backing array when the
+// capacity allows, and hand it back in a deterministic state (zeroed,
+// filled, or emptied) so pooled reuse cannot observe stale values.
+package scratch
+
+// Slice returns s resized to length n with every element set to the
+// zero value. The backing array is reused when cap(s) >= n.
+func Slice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Fill returns s resized to length n with every element set to v,
+// reusing the backing array when possible.
+func Fill[T any](s []T, n int, v T) []T {
+	if cap(s) < n {
+		s = make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// Rows returns rows resized to n entries, each an empty slice that
+// keeps whatever capacity it had from a previous use. Entries beyond
+// the previous length start nil (capacity zero) and grow on demand.
+func Rows[T any](rows [][]T, n int) [][]T {
+	if cap(rows) < n {
+		grown := make([][]T, n)
+		copy(grown, rows)
+		rows = grown
+	}
+	rows = rows[:n]
+	for i := range rows {
+		rows[i] = rows[i][:0]
+	}
+	return rows
+}

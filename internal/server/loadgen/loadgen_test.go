@@ -2,7 +2,10 @@ package loadgen
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,7 +25,12 @@ import (
 //   - 429s observed (the queue bound was exceeded and load was shed),
 //   - every retained response re-validated: regalloc.RunChecked on the
 //     same input reproduces the served code and digest bit for bit, so
-//     the daemon returned zero invalid allocations.
+//     the daemon returned zero invalid allocations. The daemon runs
+//     every job on a sync.Pool-recycled workspace while the reference
+//     here uses fresh state, so this doubles as the borrow/return
+//     invariance check under concurrent load,
+//   - the workspace pool reports borrows on /metrics (pooling actually
+//     engaged during the run).
 func TestLoadgenSmoke(t *testing.T) {
 	srv := server.New(server.Config{Workers: 1, QueueSize: 1})
 	ts := httptest.NewServer(srv.Handler())
@@ -93,6 +101,25 @@ func TestLoadgenSmoke(t *testing.T) {
 		if want := bench.FuncDigest(f.Name, stats, out); r.Digest != want {
 			t.Errorf("%s: served digest %s != reference %s", r.Name, r.Digest, want)
 		}
+	}
+
+	// The workspace pool must have been exercised: every executed job
+	// borrows, and with one worker the second borrow onward is a hit.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	if !strings.Contains(metrics, "prefgcd_workspace_pool_gets_total") {
+		t.Error("/metrics is missing the workspace pool counters")
+	}
+	if strings.Contains(metrics, "prefgcd_workspace_pool_gets_total 0\n") {
+		t.Error("workspace pool reports zero borrows after a loaded run")
 	}
 }
 

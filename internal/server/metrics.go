@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -54,9 +55,10 @@ func (m *metrics) CountExecuted(snap *telemetry.Snapshot) {
 }
 
 // Render writes the Prometheus text exposition. The server passes in
-// the live queue and cache gauges so the scrape reflects the moment.
+// the live queue, cache, and workspace-pool gauges so the scrape
+// reflects the moment.
 func (m *metrics) Render(queueDepth, queueCapacity, cacheEntries int,
-	cacheHits, cacheMisses, cacheEvictions, flightShared int64) string {
+	cacheHits, cacheMisses, cacheEvictions, flightShared, wsGets, wsNews int64) string {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -97,12 +99,36 @@ func (m *metrics) Render(queueDepth, queueCapacity, cacheEntries int,
 	counter("prefgcd_jobs_executed_total", "Allocation jobs run by the worker pool.", m.executed)
 	counter("prefgcd_jobs_deadline_dropped_total", "Queued jobs abandoned because their deadline expired before a worker picked them up.", m.dropped)
 
+	// Workspace pool economics: a "hit" is a get that found a pooled
+	// arena instead of constructing one.
+	counter("prefgcd_workspace_pool_gets_total", "Workspace borrows by allocation jobs.", wsGets)
+	counter("prefgcd_workspace_pool_news_total", "Workspace borrows that had to construct a fresh arena.", wsNews)
+	hitRate := 0.0
+	if wsGets > 0 {
+		hitRate = float64(wsGets-wsNews) / float64(wsGets)
+	}
+	fmt.Fprintf(&b, "# HELP prefgcd_workspace_pool_hit_ratio Fraction of workspace borrows served from the pool.\n"+
+		"# TYPE prefgcd_workspace_pool_hit_ratio gauge\nprefgcd_workspace_pool_hit_ratio %g\n", hitRate)
+
+	// Process-wide memory gauges, read at scrape time (go_memstats
+	// style): live heap and completed GC cycles, putting the per-job
+	// allocation counters below in context.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(&b, "# HELP prefgcd_heap_inuse_bytes Bytes in in-use heap spans at scrape time.\n"+
+		"# TYPE prefgcd_heap_inuse_bytes gauge\nprefgcd_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintf(&b, "# HELP prefgcd_heap_alloc_bytes_total Cumulative bytes allocated on the heap by the process.\n"+
+		"# TYPE prefgcd_heap_alloc_bytes_total counter\nprefgcd_heap_alloc_bytes_total %d\n", ms.TotalAlloc)
+	counter("prefgcd_gc_cycles_total", "Completed GC cycles over the process lifetime.", int64(ms.NumGC))
+
 	counter("prefgcd_alloc_functions_total", "Functions allocated.", int64(m.tel.Funcs))
 	counter("prefgcd_alloc_rounds_total", "Spill rounds run.", int64(m.tel.Rounds))
 	counter("prefgcd_alloc_selections_total", "CPG selection steps processed.", m.tel.Selections)
 	counter("prefgcd_alloc_select_spills_total", "Selections spilled for want of a candidate register.", m.tel.SelectSpills)
 	counter("prefgcd_alloc_active_spills_total", "Would-rather-be-in-memory active spills.", m.tel.ActiveSpills)
 	counter("prefgcd_alloc_recolors_total", "Recoloring plans applied.", m.tel.Recolors)
+	counter("prefgcd_alloc_heap_bytes_total", "Heap bytes charged to allocation runs (telemetry deltas; over-approximates under concurrency).", int64(m.tel.BytesAllocated))
+	counter("prefgcd_alloc_gc_cycles_total", "GC cycles completed during allocation runs (telemetry deltas).", int64(m.tel.GCCycles))
 
 	b.WriteString("# HELP prefgcd_alloc_phase_wall_seconds Cumulative wall time per allocation phase.\n")
 	b.WriteString("# TYPE prefgcd_alloc_phase_wall_seconds counter\n")

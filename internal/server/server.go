@@ -104,13 +104,14 @@ func (c Config) withDefaults() Config {
 // Server is the allocation service. Construct with New, serve
 // Handler(), and Close to drain.
 type Server struct {
-	cfg      Config
-	queue    *queue
-	cache    *lruCache
-	flights  *flightGroup
-	metrics  *metrics
-	mux      *http.ServeMux
-	draining atomic.Bool
+	cfg        Config
+	queue      *queue
+	cache      *lruCache
+	flights    *flightGroup
+	metrics    *metrics
+	workspaces *wsPool
+	mux        *http.ServeMux
+	draining   atomic.Bool
 
 	// hookJobStart, when set, runs at the start of every allocation
 	// job — the test seam that makes queue saturation deterministic.
@@ -121,11 +122,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		queue:   newQueue(cfg.QueueSize, cfg.Workers),
-		cache:   newLRUCache(cfg.CacheEntries),
-		flights: newFlightGroup(),
-		metrics: newMetrics(),
+		cfg:        cfg,
+		queue:      newQueue(cfg.QueueSize, cfg.Workers),
+		cache:      newLRUCache(cfg.CacheEntries),
+		flights:    newFlightGroup(),
+		metrics:    newMetrics(),
+		workspaces: newWSPool(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/allocate", s.counted("allocate", s.handleAllocate))
@@ -409,10 +411,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	hits, misses, evictions := s.cache.Counters()
+	wsGets, wsNews := s.workspaces.counters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, s.metrics.Render(
 		s.queue.Depth(), s.queue.Capacity(), s.cache.Len(),
-		hits, misses, evictions, s.flights.Shared()))
+		hits, misses, evictions, s.flights.Shared(), wsGets, wsNews))
 }
 
 // doOne resolves one allocation request: result cache, then
@@ -516,12 +519,18 @@ func (s *Server) compute(ctx context.Context, source string, spec requestSpec,
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	// Borrow a pooled workspace for the Run; it returns to the pool
+	// dirty (the driver clears on borrow), so steady-state requests
+	// allocate almost nothing beyond what the function itself needs.
+	ws := s.workspaces.get()
+	defer s.workspaces.put(ws)
 	out, stats, err := regalloc.Run(f, machine, alloc, regalloc.Options{
 		Context:          ctx,
 		MaxRounds:        spec.MaxRounds,
 		Rematerialize:    spec.Rematerialize,
 		BlockLocalSpills: spec.BlockLocalSpills,
 		CollectTelemetry: true,
+		Workspace:        ws,
 	})
 	if err != nil {
 		if ctx.Err() != nil {

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prefcolor/internal/regalloc"
+)
+
+// wsPool hands out regalloc workspaces to allocation jobs. Workspaces
+// are cleared on borrow by the driver, so they go back dirty; the pool
+// only bounds how many live at once (roughly the worker count, since a
+// job holds one for exactly the duration of its Run). The counters
+// feed the /metrics hit-rate: a get that found a pooled workspace cost
+// nothing, a get that had to construct one (news) will pay the arena's
+// grow-to-steady-state allocations during its Run.
+type wsPool struct {
+	pool sync.Pool
+	gets atomic.Int64
+	news atomic.Int64
+}
+
+func newWSPool() *wsPool {
+	p := &wsPool{}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return regalloc.NewWorkspace()
+	}
+	return p
+}
+
+func (p *wsPool) get() *regalloc.Workspace {
+	p.gets.Add(1)
+	return p.pool.Get().(*regalloc.Workspace)
+}
+
+func (p *wsPool) put(ws *regalloc.Workspace) { p.pool.Put(ws) }
+
+// counters returns (gets, news) so far.
+func (p *wsPool) counters() (int64, int64) {
+	return p.gets.Load(), p.news.Load()
+}

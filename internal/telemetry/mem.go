@@ -1,0 +1,31 @@
+package telemetry
+
+import "runtime/metrics"
+
+// memSampleNames are the runtime/metrics keys behind ReadMemCounters.
+// Both are cheap monotonic counters — reading them does not force a GC
+// or stop the world, so the driver can sample per allocation.
+var memSampleNames = [2]string{
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// ReadMemCounters returns the process-wide cumulative heap bytes
+// allocated and completed GC cycles. Callers subtract two samples to
+// charge an interval; the counters are process-global, so under
+// concurrent workers the deltas over-approximate a single run's own
+// allocation (they measure the daemon's steady state, not one
+// goroutine's).
+func ReadMemCounters() (heapBytes, gcCycles uint64) {
+	var samples [2]metrics.Sample
+	samples[0].Name = memSampleNames[0]
+	samples[1].Name = memSampleNames[1]
+	metrics.Read(samples[:])
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		heapBytes = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		gcCycles = samples[1].Value.Uint64()
+	}
+	return heapBytes, gcCycles
+}

@@ -190,6 +190,14 @@ type Snapshot struct {
 	// ReadyHist is the CPG ready-set size histogram, one sample per
 	// selection step, indexed by readyBucket.
 	ReadyHist [NumReadyBuckets]int64
+
+	// BytesAllocated and GCCycles are the heap bytes allocated and
+	// garbage-collection cycles observed over the run (runtime/metrics
+	// deltas sampled by the driver at Run entry and exit). Like the
+	// timers they vary run to run, so they appear in JSON and /metrics
+	// but not in the deterministic counter lines of Report.
+	BytesAllocated uint64
+	GCCycles       uint64
 }
 
 // Merge adds o into s.
@@ -216,6 +224,8 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	for b := range s.ReadyHist {
 		s.ReadyHist[b] += o.ReadyHist[b]
 	}
+	s.BytesAllocated += o.BytesAllocated
+	s.GCCycles += o.GCCycles
 }
 
 // Clone returns a copy of s.
@@ -261,22 +271,25 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		}
 	}
 	return json.Marshal(struct {
-		Funcs        int                         `json:"funcs"`
-		Rounds       int                         `json:"rounds"`
-		Selections   int64                       `json:"selections"`
-		SelectSpills int64                       `json:"select_spills"`
-		ActiveSpills int64                       `json:"active_spills"`
-		Recolors     int64                       `json:"recolors"`
-		TraceEvents  int64                       `json:"trace_events,omitempty"`
-		Phases       map[string]PhaseTimes       `json:"phases"`
-		Prefs        map[string]map[string]int64 `json:"prefs"`
-		ReadyHist    map[string]int64            `json:"ready_hist"`
+		Funcs          int                         `json:"funcs"`
+		Rounds         int                         `json:"rounds"`
+		Selections     int64                       `json:"selections"`
+		SelectSpills   int64                       `json:"select_spills"`
+		ActiveSpills   int64                       `json:"active_spills"`
+		Recolors       int64                       `json:"recolors"`
+		TraceEvents    int64                       `json:"trace_events,omitempty"`
+		BytesAllocated uint64                      `json:"bytes_allocated,omitempty"`
+		GCCycles       uint64                      `json:"gc_cycles,omitempty"`
+		Phases         map[string]PhaseTimes       `json:"phases"`
+		Prefs          map[string]map[string]int64 `json:"prefs"`
+		ReadyHist      map[string]int64            `json:"ready_hist"`
 	}{
 		Funcs: s.Funcs, Rounds: s.Rounds,
 		Selections: s.Selections, SelectSpills: s.SelectSpills,
 		ActiveSpills: s.ActiveSpills, Recolors: s.Recolors,
-		TraceEvents: s.TraceEvents,
-		Phases:      phases, Prefs: prefs, ReadyHist: hist,
+		TraceEvents:    s.TraceEvents,
+		BytesAllocated: s.BytesAllocated, GCCycles: s.GCCycles,
+		Phases: phases, Prefs: prefs, ReadyHist: hist,
 	})
 }
 
@@ -431,6 +444,17 @@ func (c *Collector) NoteSelection(spilled, active bool) {
 	} else if spilled {
 		c.snap.SelectSpills++
 	}
+}
+
+// AddMem charges bytes of heap allocation and gcs garbage-collection
+// cycles to the run (deltas of ReadMemCounters at the driver's entry
+// and exit).
+func (c *Collector) AddMem(bytes, gcs uint64) {
+	if c == nil {
+		return
+	}
+	c.snap.BytesAllocated += bytes
+	c.snap.GCCycles += gcs
 }
 
 // NoteRecolor records one applied recoloring plan.

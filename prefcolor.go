@@ -59,6 +59,17 @@ type Stats = regalloc.Stats
 // validation, telemetry collection and tracing).
 type Options = regalloc.Options
 
+// Workspace is a reusable scratch arena for the allocation pipeline.
+// Attach one via Options.Workspace to reuse buffers across Run calls;
+// a workspace serves one run at a time (pool it, don't share it), and
+// reuse is observationally pure — output is bit-identical to running
+// with fresh state. AllocateAll pools automatically, one workspace
+// per worker.
+type Workspace = regalloc.Workspace
+
+// NewWorkspace returns an empty allocation workspace.
+func NewWorkspace() *Workspace { return regalloc.NewWorkspace() }
+
 // TelemetrySnapshot is one allocation's (or a merged batch's)
 // instrumentation report: per-phase wall/CPU timers, preference
 // counters by kind and outcome, and the CPG ready-set histogram.

@@ -11,21 +11,9 @@ import (
 )
 
 // AblationVariants are the design-choice knock-outs studied by the
-// ablation harness, in report order.
-var AblationVariants = []struct {
-	Label    string
-	Ablation core.Ablation
-}{
-	{"full", core.Ablation{}},
-	{"no-cpg", core.Ablation{NoCPG: true}},
-	{"fifo-priority", core.Ablation{FIFOPriority: true}},
-	{"no-recolor", core.Ablation{NoRecolor: true}},
-	{"no-active-spill", core.Ablation{NoActiveSpill: true}},
-	{"no-deferred-screen", core.Ablation{NoDeferredScreen: true}},
-	// stack-order isolates the CPG against the recoloring fixup: it
-	// removes both, versus no-recolor which removes only the fixup.
-	{"stack-order", core.Ablation{NoCPG: true, NoRecolor: true}},
-}
+// ablation harness, in report order (the shared registry lives in
+// internal/core so the metamorphic matrix replays the same variants).
+var AblationVariants = core.Variants()
 
 // AblationRow is one variant's aggregate over a benchmark set.
 type AblationRow struct {

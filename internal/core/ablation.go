@@ -60,6 +60,30 @@ func NewAblated(ab Ablation) *Allocator {
 	return &Allocator{mode: FullPreferences, ablation: ab}
 }
 
+// AblationVariant is one labeled design-choice knock-out.
+type AblationVariant struct {
+	Label    string
+	Ablation Ablation
+}
+
+// Variants returns the design-choice knock-outs studied by the
+// ablation harness (and replayed by the metamorphic correctness
+// matrix), in report order. The first entry is the unablated full
+// algorithm.
+func Variants() []AblationVariant {
+	return []AblationVariant{
+		{"full", Ablation{}},
+		{"no-cpg", Ablation{NoCPG: true}},
+		{"fifo-priority", Ablation{FIFOPriority: true}},
+		{"no-recolor", Ablation{NoRecolor: true}},
+		{"no-active-spill", Ablation{NoActiveSpill: true}},
+		{"no-deferred-screen", Ablation{NoDeferredScreen: true}},
+		// stack-order isolates the CPG against the recoloring fixup: it
+		// removes both, versus no-recolor which removes only the fixup.
+		{"stack-order", Ablation{NoCPG: true, NoRecolor: true}},
+	}
+}
+
 // chainCPG builds, into c, the degenerate precedence graph of the
 // NoCPG ablation: a single chain in Chaitin select order (reverse of
 // the removal stack), every node also pointing at Bottom.

@@ -449,6 +449,15 @@ func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
 		res.Spilled = append(res.Spilled, n)
 	default:
 		avail = s.availRegs(n)
+		if len(avail) == 0 && s.isSpillTemp(n) {
+			// A spill temporary must not re-enter the spill set: its
+			// spill code is what created it, so the driver would spin
+			// (CheckResult rejects the cycle). Free a register at a
+			// neighbor's expense instead.
+			for len(avail) == 0 && s.evictForTemp(n, res) {
+				avail = s.availRegs(n)
+			}
+		}
 		if len(avail) == 0 {
 			s.spilled[n] = true
 			res.Spilled = append(res.Spilled, n)
@@ -586,6 +595,45 @@ func (s *selector) tallyPrefs(n ig.NodeID, chosen int, tel *telemetry.Collector)
 		}
 	}
 	return honored
+}
+
+// isSpillTemp reports whether n is a web the spiller itself created
+// in an earlier round.
+func (s *selector) isSpillTemp(n ig.NodeID) bool {
+	w := int(n) - s.ctx.Graph.NumPhys()
+	return w >= 0 && s.ctx.SpillTemp[w]
+}
+
+// evictForTemp frees a register for spill temporary n by spilling the
+// cheapest already-colored ordinary neighbor instead. Optimistic
+// simplification can leave a temporary stranded behind K colored
+// neighbors even though the temporary's range is only a couple of
+// instructions; the pressure excess is real, but it is the neighbor —
+// whose spill cost is finite — that must pay for it. Removing a color
+// never violates an interference constraint, so already-made decisions
+// stay valid. Returns false when every interfering color is pinned by
+// a physical node or another temporary (no progress possible; the
+// caller falls through to the ordinary spill path and CheckResult
+// reports the impasse).
+func (s *selector) evictForTemp(n ig.NodeID, res *regalloc.Result) bool {
+	g := s.ctx.Graph
+	best, bestCost := ig.NodeID(-1), math.Inf(1)
+	g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
+		if g.IsPhys(nb) || s.color[nb] < 0 || s.spilled[nb] || s.isSpillTemp(nb) {
+			return
+		}
+		if c := g.SpillCost(nb); c < bestCost {
+			best, bestCost = nb, c
+		}
+	})
+	if best < 0 {
+		return false
+	}
+	s.color[best] = -1
+	s.spilled[best] = true
+	res.Spilled = append(res.Spilled, best)
+	s.invalidateAround(best)
+	return true
 }
 
 // shouldActivelySpill implements §5.4: a node whose strongest

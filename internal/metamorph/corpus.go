@@ -1,0 +1,187 @@
+package metamorph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+// CorpusCase is one versioned reproducer: a shrunken program plus the
+// exact matrix cell that once failed on it. Replaying the cell (and,
+// for breadth, the whole matrix) must stay clean forever.
+type CorpusCase struct {
+	File      string // basename within the corpus directory
+	Machine   string
+	Cell      string
+	Transform string
+	Seed      int64
+	Reason    string // reason recorded when the bug was found
+	F         *ir.Func
+}
+
+// EncodeCase renders a reproducer in the textual IR syntax with a
+// comment header carrying the cell coordinates, so ir.Parse reads the
+// file back unmodified.
+func EncodeCase(c CorpusCase) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; machine: %s\n", c.Machine)
+	fmt.Fprintf(&sb, "; cell: %s\n", c.Cell)
+	fmt.Fprintf(&sb, "; transform: %s\n", c.Transform)
+	fmt.Fprintf(&sb, "; seed: %d\n", c.Seed)
+	fmt.Fprintf(&sb, "; reason: %s\n", c.Reason)
+	sb.WriteString(c.F.String())
+	return sb.String()
+}
+
+// DecodeCase parses a corpus file produced by EncodeCase.
+func DecodeCase(src string) (CorpusCase, error) {
+	c := CorpusCase{}
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";") {
+			continue
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+		key, val, ok := strings.Cut(body, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "machine":
+			c.Machine = val
+		case "cell":
+			c.Cell = val
+		case "transform":
+			c.Transform = val
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("metamorph: bad seed header %q: %w", val, err)
+			}
+			c.Seed = n
+		case "reason":
+			c.Reason = val
+		}
+	}
+	f, err := ir.Parse(src)
+	if err != nil {
+		return c, err
+	}
+	c.F = f
+	if c.Machine == "" || c.Cell == "" || c.Transform == "" {
+		return c, fmt.Errorf("metamorph: corpus file missing machine/cell/transform header")
+	}
+	return c, nil
+}
+
+// LoadCorpus reads every .ir reproducer under dir, in name order. A
+// missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]CorpusCase, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ir") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var cases []CorpusCase
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c, err := DecodeCase(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("metamorph: corpus %s: %w", name, err)
+		}
+		c.File = name
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// WriteCase saves a shrunken failure as the next numbered reproducer
+// under dir (creating it if needed) and returns the file path.
+func WriteCase(dir string, fl Failure, shrunk *ir.Func) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	existing, err := LoadCorpus(dir)
+	if err != nil {
+		return "", err
+	}
+	// Filenames carry only the coarse leading token of the reason
+	// (run-error categories are whole digit-stripped messages, far too
+	// long for a path); the full reason lives in the file's header.
+	head, _, _ := strings.Cut(fl.Reason, ":")
+	slug := fmt.Sprintf("%03d-%s-%s-%s", len(existing)+1,
+		sanitize(fl.Cell), sanitize(fl.Transform), sanitize(head))
+	path := filepath.Join(dir, slug+".ir")
+	c := CorpusCase{
+		Machine: fl.Machine, Cell: fl.Cell, Transform: fl.Transform,
+		Seed: fl.Seed, Reason: fl.Reason, F: shrunk,
+	}
+	return path, os.WriteFile(path, []byte(EncodeCase(c)), 0o644)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// ReplayCase re-runs a corpus case's recorded matrix cell and returns
+// the violation reasons (nil when the invariant holds). Unknown
+// machine or cell names are themselves errors: a renamed configuration
+// must not silently retire a reproducer.
+func ReplayCase(c CorpusCase) ([]string, error) {
+	var m *target.Machine
+	for _, mm := range Machines() {
+		if mm.Name == c.Machine {
+			m = mm
+		}
+	}
+	if m == nil {
+		return nil, fmt.Errorf("metamorph: corpus machine %q not in Machines()", c.Machine)
+	}
+	var cell Cell
+	for _, cc := range Cells() {
+		if cc.Name == c.Cell {
+			cell = cc
+		}
+	}
+	if cell.Alloc == nil {
+		return nil, fmt.Errorf("metamorph: corpus cell %q not in Cells()", c.Cell)
+	}
+	known := c.Transform == "identity"
+	for _, tr := range Transforms() {
+		if tr.Name == c.Transform {
+			known = true
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("metamorph: corpus transform %q not in Transforms()", c.Transform)
+	}
+	return replayCell(c.F, m, cell, c.Transform, c.Seed), nil
+}

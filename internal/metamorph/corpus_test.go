@@ -1,0 +1,96 @@
+package metamorph
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prefcolor/internal/ir"
+)
+
+// TestCorpusRoundTrip pins that encode → decode is lossless for the
+// header fields and the program text.
+func TestCorpusRoundTrip(t *testing.T) {
+	f := ir.MustParse(`
+func f(r0) {
+b0:
+  v0 = move r0
+  v1 = addimm v0, 40000
+  r0 = move v1
+  ret r0
+}
+`)
+	in := CorpusCase{
+		Machine: "x86-8", Cell: "pref-full", Transform: "rename-virt",
+		Seed: 42, Reason: "digest: aaa vs bbb", F: f,
+	}
+	src := EncodeCase(in)
+	out, err := DecodeCase(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Machine != in.Machine || out.Cell != in.Cell ||
+		out.Transform != in.Transform || out.Seed != in.Seed || out.Reason != in.Reason {
+		t.Fatalf("header mangled: %+v", out)
+	}
+	if out.F.String() != f.String() {
+		t.Fatalf("program mangled:\n%s", out.F)
+	}
+}
+
+// TestCorpusRejectsHeaderlessFile guards against committing a bare
+// .ir file without its cell coordinates.
+func TestCorpusRejectsHeaderlessFile(t *testing.T) {
+	_, err := DecodeCase("func f() {\nb0:\n  ret\n}\n")
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("want header error, got %v", err)
+	}
+}
+
+// TestWriteCaseNumbersSequentially checks corpus file naming and that
+// a written case loads back.
+func TestWriteCaseNumbersSequentially(t *testing.T) {
+	dir := t.TempDir()
+	f := ir.MustParse("func f() {\nb0:\n  ret\n}\n")
+	fl := Failure{
+		Machine: "usage8", Cell: "chaitin", Transform: "identity",
+		Seed: 1, Reason: "run-error: boom",
+	}
+	p1, err := WriteCase(dir, fl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "001-chaitin-identity-run-error.ir" {
+		t.Fatalf("unexpected name %s", filepath.Base(p1))
+	}
+	fl.Cell = "priority"
+	p2, err := WriteCase(dir, fl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "002-priority-identity-run-error.ir" {
+		t.Fatalf("unexpected name %s", filepath.Base(p2))
+	}
+	cases, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 || cases[0].File != filepath.Base(p1) {
+		t.Fatalf("load-back mismatch: %+v", cases)
+	}
+}
+
+// TestReplayCaseRejectsUnknownCoordinates pins that renaming an
+// allocator or machine cannot silently retire a reproducer.
+func TestReplayCaseRejectsUnknownCoordinates(t *testing.T) {
+	f := ir.MustParse("func f() {\nb0:\n  ret\n}\n")
+	for _, c := range []CorpusCase{
+		{Machine: "no-such-machine", Cell: "chaitin", Transform: "identity", F: f},
+		{Machine: "usage8", Cell: "no-such-cell", Transform: "identity", F: f},
+		{Machine: "usage8", Cell: "chaitin", Transform: "no-such-transform", F: f},
+	} {
+		if _, err := ReplayCase(c); err == nil {
+			t.Fatalf("want error for %+v", c)
+		}
+	}
+}

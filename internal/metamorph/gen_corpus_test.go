@@ -1,0 +1,60 @@
+package metamorph
+
+import (
+	"os"
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// TestGenerateSeedCorpus is a one-off generator (run manually with
+// METAMORPH_GEN_CORPUS=1) that produced the committed corpus seeds.
+func TestGenerateSeedCorpus(t *testing.T) {
+	if os.Getenv("METAMORPH_GEN_CORPUS") == "" {
+		t.Skip("set METAMORPH_GEN_CORPUS=1 to regenerate")
+	}
+	dir := "testdata/corpus"
+
+	// Case A: the seed-59 sweep finding — a register-file remap flips
+	// chaitin's accidental pair fusion (equal-cost tie-break). Shrink
+	// to the minimal program where the outcome-level comparison still
+	// diverges; the corpus replays it at the honest LevelValid.
+	m := target.UsageModel(8)
+	f := workload.GenerateRawFunc(workload.Fuzz(), m, 59)
+	var cell Cell
+	for _, c := range Cells() {
+		if c.Name == "chaitin" {
+			cell = c
+		}
+	}
+	var remap Transform
+	remapIdx := 0
+	for i, tr := range Transforms() {
+		if tr.Name == "remap-regfile" {
+			remap, remapIdx = tr, i
+		}
+	}
+	keep := func(cand *ir.Func) bool {
+		base := runCell(cand, m, cell)
+		if base.Err != nil {
+			return false
+		}
+		f2, m2 := remap.Apply(cand, m, newRng(transformSeed(59, remapIdx)))
+		return compare(LevelOutcome, base, runCell(f2, m2, cell)) != ""
+	}
+	if !keep(f) {
+		t.Fatal("seed-59 outcome divergence no longer reproduces")
+	}
+	small := ShrinkBudget(f, keep, 2000)
+	t.Logf("case A shrunk %d -> %d instrs", f.NumInstrs(), small.NumInstrs())
+	path, err := WriteCase(dir, Failure{
+		Machine: m.Name, Cell: cell.Name, Transform: remap.Name, Seed: 59,
+		Reason: "fused-pairs: 2 vs 1 (historical outcome-level finding; tie-break, asserted valid)",
+	}, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, small)
+}

@@ -1,0 +1,87 @@
+package metamorph
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/workload"
+)
+
+// TestGenerateSeed77Corpus is a one-off generator run against the
+// PRE-FIX allocator (the driver/selector fixes stashed) to shrink the
+// two seed-77 bugs into committed corpus reproducers. Run manually
+// with METAMORPH_GEN_CORPUS2=1.
+func cellByName(t *testing.T, name string) Cell {
+	t.Helper()
+	for _, c := range Cells() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no cell %s", name)
+	return Cell{}
+}
+
+func TestGenerateSeed77Corpus(t *testing.T) {
+	if os.Getenv("METAMORPH_GEN_CORPUS2") == "" {
+		t.Skip("set METAMORPH_GEN_CORPUS2=1 to regenerate")
+	}
+	dir := "testdata/corpus"
+	m := Machines()[0]
+	cell := cellByName(t, "pref-full+blocklocal")
+	f := workload.GenerateRawFunc(workload.Fuzz(), m, 77)
+
+	reasons := replayCell(f, m, cell, "identity", 77)
+	if len(reasons) == 0 {
+		t.Fatal("seed 77 no longer fails — run this against the pre-fix tree")
+	}
+	t.Logf("unshrunk reason: %s", reasons[0])
+
+	// Bug (a): spill temporary re-spilled. Shrink pinned to its exact
+	// (digit-stripped) error message.
+	flA := Failure{Machine: m.Name, Cell: cell.Name, Transform: "identity", Seed: 77,
+		Reason: reasons[0], F: f}
+	smallA := ShrinkBudget(f, ReproducePredicate(flA), 3000)
+	rA := replayCell(smallA, m, cell, "identity", 77)
+	t.Logf("bug A shrunk %d -> %d instrs, reason %v", f.NumInstrs(), smallA.NumInstrs(), rA)
+	flA.Reason = rA[0]
+	pathA, err := WriteCase(dir, flA, smallA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", pathA, smallA)
+
+	// Bug (b): reload of a never-stored slot. Surfaced while shrinking
+	// with a category-blind predicate (any run error); redo that drift
+	// deliberately, then pin to whatever distinct error it lands on.
+	loose := func(cand *ir.Func) bool {
+		for _, r := range replayCell(cand, m, cell, "identity", 77) {
+			if strings.HasPrefix(r, "run-error") {
+				return true
+			}
+		}
+		return false
+	}
+	smallB := ShrinkBudget(f, loose, 3000)
+	rB := replayCell(smallB, m, cell, "identity", 77)
+	if len(rB) == 0 {
+		t.Fatal("loose shrink lost the failure")
+	}
+	t.Logf("bug B candidate %d instrs, reason %v", smallB.NumInstrs(), rB)
+	if reasonCategory(rB[0]) == reasonCategory(reasons[0]) {
+		t.Fatalf("loose shrink stayed on bug A; no bug-B reproducer derived")
+	}
+	flB := Failure{Machine: m.Name, Cell: cell.Name, Transform: "identity", Seed: 77,
+		Reason: rB[0], F: smallB}
+	smallB2 := ShrinkBudget(smallB, ReproducePredicate(flB), 1500)
+	rB2 := replayCell(smallB2, m, cell, "identity", 77)
+	t.Logf("bug B shrunk to %d instrs, reason %v", smallB2.NumInstrs(), rB2)
+	flB.Reason = rB2[0]
+	pathB, err := WriteCase(dir, flB, smallB2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", pathB, smallB2)
+}

@@ -1,0 +1,347 @@
+package metamorph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/regalloc/briggs"
+	"prefcolor/internal/regalloc/callcost"
+	"prefcolor/internal/regalloc/chaitin"
+	"prefcolor/internal/regalloc/iterated"
+	"prefcolor/internal/regalloc/optimistic"
+	"prefcolor/internal/regalloc/priority"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// Machines returns the machine models the matrix runs against: one
+// parity-paired usage model, one sequential-paired model, and one
+// limit-heavy model (low-quarter mul operands plus an IA-64-style
+// addimm immediate-width limit).
+func Machines() []*target.Machine {
+	return []*target.Machine{
+		target.UsageModel(8),
+		target.S390Like(8),
+		target.X86Like(8).WithIA64AddImmLimit(),
+	}
+}
+
+// Cell is one allocator configuration of the differential matrix.
+type Cell struct {
+	Name  string
+	Alloc regalloc.Allocator
+	Opts  regalloc.Options
+}
+
+// Cells returns the allocator axis: every baseline, the
+// preference-directed allocator with each design-choice knock-out
+// (shared registry with the ablation harness), the coalesce-only
+// mode, and the full allocator under its optional spill strategies.
+func Cells() []Cell {
+	cells := []Cell{
+		{Name: "chaitin", Alloc: chaitin.New()},
+		{Name: "briggs-aggressive", Alloc: briggs.New()},
+		{Name: "briggs-conservative", Alloc: briggs.NewConservative()},
+		{Name: "iterated", Alloc: iterated.New()},
+		{Name: "optimistic", Alloc: optimistic.New()},
+		{Name: "priority", Alloc: priority.New()},
+		{Name: "callcost", Alloc: callcost.New()},
+		{Name: "pref-coalesce", Alloc: core.NewCoalesceOnly()},
+	}
+	for _, v := range core.Variants() {
+		cells = append(cells, Cell{Name: "pref-" + v.Label, Alloc: core.NewAblated(v.Ablation)})
+	}
+	full := func() regalloc.Allocator { return core.New() }
+	cells = append(cells,
+		Cell{Name: "pref-full+remat", Alloc: full(), Opts: regalloc.Options{Rematerialize: true}},
+		Cell{Name: "pref-full+blocklocal", Alloc: full(), Opts: regalloc.Options{BlockLocalSpills: true}},
+	)
+	return cells
+}
+
+// Outcome is everything the harness compares about one allocation
+// run: success, the outcome statistics, the perf-model estimate, and
+// a digest of the rewritten code.
+type Outcome struct {
+	Err error
+
+	MovesBefore    int
+	MovesRemaining int
+	SpillLoads     int
+	SpillStores    int
+	SpilledWebs    int
+	Remats         int
+	Rounds         int
+
+	CallerSaveStores int
+	CallerSaveLoads  int
+
+	Cycles          float64
+	FusedPairs      int
+	MissedPairs     int
+	LimitsHonored   int
+	LimitViolations int
+
+	Digest string
+}
+
+// runCell allocates f on m under one cell, with the full RunChecked
+// oracle, converting panics into errors so one bad cell cannot take
+// down a randomized round (a panicking allocator is a finding, not a
+// crash).
+func runCell(f *ir.Func, m *target.Machine, c Cell) (o Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = Outcome{Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	out, stats, err := regalloc.RunChecked(f, m, c.Alloc, c.Opts)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	est := perfmodel.Estimate(out, m)
+	return Outcome{
+		MovesBefore:      stats.MovesBefore,
+		MovesRemaining:   stats.MovesRemaining,
+		SpillLoads:       stats.SpillLoads,
+		SpillStores:      stats.SpillStores,
+		SpilledWebs:      stats.SpilledWebs,
+		Remats:           stats.Remats,
+		Rounds:           stats.Rounds,
+		CallerSaveStores: stats.CallerSaveStores,
+		CallerSaveLoads:  stats.CallerSaveLoads,
+		Cycles:           est.Cycles,
+		FusedPairs:       est.FusedPairs,
+		MissedPairs:      est.MissedPairs,
+		LimitsHonored:    est.LimitsHonored,
+		LimitViolations:  est.LimitViolations,
+		Digest:           bench.FuncDigest("f", stats, out),
+	}
+}
+
+// cyclesClose compares cycle estimates with a small relative
+// tolerance: block relabeling reorders the float summation.
+func cyclesClose(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// compare grades a transformed run against the base run at the given
+// level and returns "" when the invariant holds, else a reason whose
+// first token is a stable category (the shrinker matches on it).
+func compare(level Level, base, tr Outcome) string {
+	if tr.Err != nil {
+		return fmt.Sprintf("run-error: transformed program failed: %v", tr.Err)
+	}
+	if base.MovesBefore != tr.MovesBefore {
+		return fmt.Sprintf("moves-before: %d vs %d (transform changed input shape)",
+			base.MovesBefore, tr.MovesBefore)
+	}
+	if level >= LevelOutcome {
+		type stat struct {
+			name string
+			a, b int
+		}
+		for _, s := range []stat{
+			{"spilled-webs", base.SpilledWebs, tr.SpilledWebs},
+			{"spill-loads", base.SpillLoads, tr.SpillLoads},
+			{"spill-stores", base.SpillStores, tr.SpillStores},
+			{"remats", base.Remats, tr.Remats},
+			{"rounds", base.Rounds, tr.Rounds},
+			{"moves-remaining", base.MovesRemaining, tr.MovesRemaining},
+			{"caller-save-stores", base.CallerSaveStores, tr.CallerSaveStores},
+			{"caller-save-loads", base.CallerSaveLoads, tr.CallerSaveLoads},
+			{"fused-pairs", base.FusedPairs, tr.FusedPairs},
+			{"missed-pairs", base.MissedPairs, tr.MissedPairs},
+			{"limits-honored", base.LimitsHonored, tr.LimitsHonored},
+			{"limit-violations", base.LimitViolations, tr.LimitViolations},
+		} {
+			if s.a != s.b {
+				return fmt.Sprintf("%s: %d vs %d", s.name, s.a, s.b)
+			}
+		}
+		if !cyclesClose(base.Cycles, tr.Cycles) {
+			return fmt.Sprintf("cycles: %g vs %g", base.Cycles, tr.Cycles)
+		}
+	}
+	if level >= LevelExact && base.Digest != tr.Digest {
+		return fmt.Sprintf("digest: %s vs %s", base.Digest[:12], tr.Digest[:12])
+	}
+	return ""
+}
+
+// Failure is one violated invariant: the named transform broke the
+// named cell on the named machine for input F (the untransformed
+// program — replaying the cell on F reproduces the failure, since the
+// transform is re-derived from Seed).
+type Failure struct {
+	Machine   string
+	Cell      string
+	Transform string // "identity" when the base run itself failed
+	Seed      int64
+	Reason    string
+	F         *ir.Func
+}
+
+func (fl Failure) String() string {
+	return fmt.Sprintf("%s/%s/%s seed=%d: %s", fl.Machine, fl.Cell, fl.Transform, fl.Seed, fl.Reason)
+}
+
+// transformSeed derives the per-transform RNG seed so a (seed,
+// transform) pair is reproducible independent of matrix order.
+func transformSeed(seed int64, idx int) int64 {
+	return seed*1000003 + int64(idx)
+}
+
+// newRng builds the deterministic RNG for one derived seed.
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// CheckFunc runs the whole transform × cell matrix for one input
+// function on one machine and returns every violated invariant.
+// Transformed programs are derived once and shared across cells.
+func CheckFunc(f *ir.Func, m *target.Machine, seed int64) []Failure {
+	type variant struct {
+		Transform
+		f *ir.Func
+		m *target.Machine
+	}
+	variants := make([]variant, 0, len(Transforms()))
+	for i, tr := range Transforms() {
+		rng := rand.New(rand.NewSource(transformSeed(seed, i)))
+		f2, m2 := tr.Apply(f, m, rng)
+		variants = append(variants, variant{Transform: tr, f: f2, m: m2})
+	}
+
+	var fails []Failure
+	for _, c := range Cells() {
+		base := runCell(f, m, c)
+		if base.Err != nil {
+			fails = append(fails, Failure{
+				Machine: m.Name, Cell: c.Name, Transform: "identity", Seed: seed,
+				Reason: fmt.Sprintf("run-error: %v", base.Err), F: f,
+			})
+			continue
+		}
+		for _, v := range variants {
+			tr := runCell(v.f, v.m, c)
+			if reason := compare(v.Level, base, tr); reason != "" {
+				fails = append(fails, Failure{
+					Machine: m.Name, Cell: c.Name, Transform: v.Name, Seed: seed,
+					Reason: reason, F: f,
+				})
+			}
+		}
+	}
+	return fails
+}
+
+// Round generates one random program per machine from the shared fuzz
+// profile and runs the full matrix on each.
+func Round(seed int64) []Failure {
+	var fails []Failure
+	for _, m := range Machines() {
+		f := workload.GenerateRawFunc(workload.Fuzz(), m, seed)
+		fails = append(fails, CheckFunc(f, m, seed)...)
+	}
+	return fails
+}
+
+// ReproducePredicate builds the shrinker predicate for one failure: a
+// candidate input keeps the failure alive when replaying its exact
+// matrix cell (same machine, cell, transform, seed) still violates
+// the invariant with the same reason category. Candidates that no
+// longer pass input validation are rejected.
+func ReproducePredicate(fl Failure) Predicate {
+	var m *target.Machine
+	for _, mm := range Machines() {
+		if mm.Name == fl.Machine {
+			m = mm
+		}
+	}
+	var cell Cell
+	for _, c := range Cells() {
+		if c.Name == fl.Cell {
+			cell = c
+		}
+	}
+	if m == nil || cell.Alloc == nil {
+		return func(*ir.Func) bool { return false }
+	}
+	category := reasonCategory(fl.Reason)
+	return func(cand *ir.Func) bool {
+		if regalloc.ValidateInput(cand, m) != nil {
+			return false
+		}
+		for _, got := range replayCell(cand, m, cell, fl.Transform, fl.Seed) {
+			if reasonCategory(got) == category {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// replayCell re-runs a single matrix cell and returns the violation
+// reasons (empty when the invariant holds).
+func replayCell(f *ir.Func, m *target.Machine, cell Cell, transform string, seed int64) []string {
+	base := runCell(f, m, cell)
+	if transform == "identity" {
+		if base.Err != nil {
+			return []string{fmt.Sprintf("run-error: %v", base.Err)}
+		}
+		return nil
+	}
+	if base.Err != nil {
+		return nil
+	}
+	for i, tr := range Transforms() {
+		if tr.Name != transform {
+			continue
+		}
+		rng := rand.New(rand.NewSource(transformSeed(seed, i)))
+		f2, m2 := tr.Apply(f, m, rng)
+		if reason := compare(tr.Level, base, runCell(f2, m2, cell)); reason != "" {
+			return []string{reason}
+		}
+	}
+	return nil
+}
+
+// reasonCategory extracts the stable comparison key of a failure
+// reason. Stat divergences key on the leading token ("spill-loads: 3
+// vs 4" → "spill-loads"): a shrink step may change the magnitude but
+// not the kind of divergence. Run errors instead key on the whole
+// message with digits removed — "spill temporary v57 was spilled
+// again" and "oracle: b7[0] reloads spill slot 0 before any store"
+// are different bugs, and a shrinker allowed to drift between them
+// would minimize toward whichever is easiest to trigger rather than
+// the one being chased. Stripping digits keeps the key stable as
+// shrinking renames registers, blocks, slots, and round counts.
+func reasonCategory(reason string) string {
+	head := reason
+	for i := 0; i < len(head); i++ {
+		if head[i] == ':' {
+			head = head[:i]
+			break
+		}
+	}
+	if head != "run-error" {
+		return head
+	}
+	key := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason); i++ {
+		if reason[i] < '0' || reason[i] > '9' {
+			key = append(key, reason[i])
+		}
+	}
+	return string(key)
+}

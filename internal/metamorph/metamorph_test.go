@@ -1,0 +1,215 @@
+package metamorph
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"prefcolor/internal/cfg"
+	"prefcolor/internal/ig"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/workload"
+)
+
+// extraRounds adds randomized rounds beyond the mode default, for the
+// budgeted CI metamorph job:
+//
+//	go test ./internal/metamorph -run TestMatrix -metamorph.rounds=64
+var extraRounds = flag.Int("metamorph.rounds", 0,
+	"extra randomized metamorphic rounds beyond the mode default")
+
+// TestMatrix is the metamorphic + differential matrix: random
+// programs, every transform × allocator × machine cell, invariance
+// asserted at each transform's level. Failures are shrunk to minimal
+// reproducers; when METAMORPH_ARTIFACT_DIR is set (the CI job sets
+// it) each reproducer is also written there for artifact upload.
+func TestMatrix(t *testing.T) {
+	rounds := 4
+	if testing.Short() {
+		rounds = 1
+	}
+	rounds += *extraRounds
+	for seed := int64(1); seed <= int64(rounds); seed++ {
+		for _, fl := range Round(seed) {
+			reportFailure(t, fl)
+		}
+	}
+}
+
+// reportFailure shrinks a failure and logs (plus optionally archives)
+// the reproducer alongside the violation.
+func reportFailure(t *testing.T, fl Failure) {
+	t.Helper()
+	shrunk := Shrink(fl.F, ReproducePredicate(fl))
+	src := EncodeCase(CorpusCase{
+		Machine: fl.Machine, Cell: fl.Cell, Transform: fl.Transform,
+		Seed: fl.Seed, Reason: fl.Reason, F: shrunk,
+	})
+	if dir := os.Getenv("METAMORPH_ARTIFACT_DIR"); dir != "" {
+		if path, err := WriteCase(dir, fl, shrunk); err == nil {
+			t.Logf("reproducer written to %s", path)
+		} else {
+			t.Logf("writing reproducer failed: %v", err)
+		}
+	}
+	t.Errorf("%s\nreproducer:\n%s", fl, src)
+}
+
+// TestCorpusReplay replays every versioned reproducer's exact failure
+// cell — these are fixed bugs and must stay fixed — and then runs the
+// full matrix over the reproducer program for breadth.
+func TestCorpusReplay(t *testing.T) {
+	cases, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.File, func(t *testing.T) {
+			reasons, err := ReplayCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range reasons {
+				t.Errorf("regressed: %s/%s/%s seed=%d: %s", c.Machine, c.Cell, c.Transform, c.Seed, r)
+			}
+			for _, m := range Machines() {
+				if m.Name != c.Machine {
+					continue
+				}
+				for _, fl := range CheckFunc(c.F, m, c.Seed) {
+					t.Errorf("matrix over corpus program: %s", fl)
+				}
+			}
+		})
+	}
+}
+
+// TestTransformsPreserveValidity checks the transforms' own contract:
+// applied to generated programs they must produce structurally valid
+// functions with the same instruction and copy counts (scale/commute/
+// rename/remap) or the same multiset of blocks (relabel).
+func TestTransformsPreserveValidity(t *testing.T) {
+	for _, m := range Machines() {
+		for seed := int64(1); seed <= 5; seed++ {
+			f := workload.GenerateRawFunc(workload.Fuzz(), m, seed)
+			for i, tr := range Transforms() {
+				rng := newRng(transformSeed(seed, i))
+				f2, m2 := tr.Apply(f, m, rng)
+				if err := ir.Validate(f2); err != nil {
+					t.Fatalf("%s on %s seed %d: invalid output: %v", tr.Name, m.Name, seed, err)
+				}
+				if err := m2.Validate(); err != nil {
+					t.Fatalf("%s on %s seed %d: invalid machine: %v", tr.Name, m.Name, seed, err)
+				}
+				if f.NumInstrs() != f2.NumInstrs() {
+					t.Fatalf("%s on %s seed %d: instruction count changed %d -> %d",
+						tr.Name, m.Name, seed, f.NumInstrs(), f2.NumInstrs())
+				}
+				if got, want := f2.CountOp(ir.Move), f.CountOp(ir.Move); got != want {
+					t.Fatalf("%s on %s seed %d: copy count changed %d -> %d",
+						tr.Name, m.Name, seed, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRelabelPreservesAnalyses asserts the analysis-level invariants
+// behind relabel-blocks directly: permuting block labels must not
+// change the natural-loop structure (dominator-based, so label-order
+// independent), the frequency-weighted program size, or the number of
+// webs renumbering finds. Allocation *outcomes* may legitimately
+// shift under relabeling (web-order tie-breaks), which is why the
+// matrix asserts relabel at LevelValid — this test keeps the
+// underlying analyses honest instead.
+func TestRelabelPreservesAnalyses(t *testing.T) {
+	type summary struct {
+		loops    int
+		depths   string
+		weighted float64
+		webs     int
+	}
+	summarize := func(f *ir.Func) summary {
+		d := cfg.NewDomTree(f)
+		li := cfg.FindLoops(f, d)
+		var depths []int
+		for _, l := range li.Loops {
+			depths = append(depths, l.Depth)
+		}
+		sort.Ints(depths)
+		var weighted float64
+		for _, b := range f.Blocks {
+			weighted += li.Freq(b.ID) * float64(len(b.Instrs))
+		}
+		clone := f.Clone()
+		ri, err := ig.Renumber(clone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return summary{
+			loops:    len(li.Loops),
+			depths:   fmt.Sprint(depths),
+			weighted: weighted,
+			webs:     ri.NumWebs,
+		}
+	}
+	for _, m := range Machines() {
+		for seed := int64(1); seed <= 8; seed++ {
+			f := workload.GenerateRawFunc(workload.Fuzz(), m, seed)
+			f2, _ := relabelBlocks(f, m, newRng(seed))
+			a, b := summarize(f), summarize(f2)
+			if a != b {
+				t.Fatalf("%s seed %d: analyses differ under relabeling:\n%+v\n%+v\nfunc:\n%s",
+					m.Name, seed, a, b, f)
+			}
+		}
+	}
+}
+
+// TestTransformsAreDeterministic pins that a (transform, seed) pair
+// always derives the same variant — the property that lets Failure
+// record only the untransformed program.
+func TestTransformsAreDeterministic(t *testing.T) {
+	for _, m := range Machines() {
+		f := workload.GenerateRawFunc(workload.Fuzz(), m, 7)
+		for i, tr := range Transforms() {
+			a, ma := tr.Apply(f, m, newRng(transformSeed(7, i)))
+			b, mb := tr.Apply(f, m, newRng(transformSeed(7, i)))
+			if a.String() != b.String() {
+				t.Fatalf("%s on %s: nondeterministic program", tr.Name, m.Name)
+			}
+			if fmt.Sprintf("%+v", ma) != fmt.Sprintf("%+v", mb) {
+				t.Fatalf("%s on %s: nondeterministic machine", tr.Name, m.Name)
+			}
+		}
+	}
+}
+
+// TestCellsAndMachinesWellFormed guards the matrix axes themselves:
+// unique names, valid machines.
+func TestCellsAndMachinesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cells() {
+		if c.Name == "" || c.Alloc == nil {
+			t.Fatalf("malformed cell %+v", c)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate cell name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	mseen := map[string]bool{}
+	for _, m := range Machines() {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if mseen[m.Name] {
+			t.Fatalf("duplicate machine name %q", m.Name)
+		}
+		mseen[m.Name] = true
+	}
+}

@@ -1,0 +1,226 @@
+package metamorph
+
+import (
+	"prefcolor/internal/ir"
+)
+
+// Predicate reports whether a candidate program still exhibits the
+// failure being minimized. Candidates handed to it always pass
+// ir.Validate; the predicate adds whatever failure-specific replay it
+// needs.
+type Predicate func(*ir.Func) bool
+
+// defaultShrinkBudget bounds predicate evaluations per Shrink call.
+// Each evaluation replays a full allocation cell, so an unbounded
+// ddmin over a stubborn failure could otherwise dominate a test run;
+// the budget trades minimality for a hard time bound.
+const defaultShrinkBudget = 500
+
+// Shrink minimizes f while keep stays true, by delta debugging:
+// repeated passes of branch-to-jump simplification (with unreachable-
+// block pruning), ddmin instruction-chunk deletion, and parameter
+// dropping, to a fixed point, followed by virtual-register
+// compaction. The result is the smallest program the passes can reach
+// within the evaluation budget that still satisfies keep; f itself
+// must satisfy keep (otherwise f is returned unchanged).
+func Shrink(f *ir.Func, keep Predicate) *ir.Func {
+	return ShrinkBudget(f, keep, defaultShrinkBudget)
+}
+
+// ShrinkBudget is Shrink with an explicit cap on predicate
+// evaluations.
+func ShrinkBudget(f *ir.Func, keep Predicate, budget int) *ir.Func {
+	evals := 0
+	bounded := func(cand *ir.Func) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		return keep(cand)
+	}
+	cur := f.Clone()
+	if !keep(cur) {
+		return cur
+	}
+	for changed := true; changed && evals < budget; {
+		changed = false
+		if next, ok := shrinkBranches(cur, bounded); ok {
+			cur, changed = next, true
+		}
+		if next, ok := shrinkInstrs(cur, bounded); ok {
+			cur, changed = next, true
+		}
+		if next, ok := shrinkParams(cur, bounded); ok {
+			cur, changed = next, true
+		}
+	}
+	// Compaction is cheap and purely cosmetic, so it gets a free
+	// evaluation outside the budget.
+	if compact := compactVirt(cur); keep(compact) {
+		cur = compact
+	}
+	return cur
+}
+
+// tryCandidate accepts cand when it is structurally valid and still
+// fails.
+func tryCandidate(cand *ir.Func, keep Predicate) bool {
+	return ir.Validate(cand) == nil && keep(cand)
+}
+
+// shrinkBranches rewrites two-way branches into unconditional jumps
+// (keeping either successor) and prunes the blocks that become
+// unreachable. Functions with φs are left to the instruction pass:
+// pruning predecessors would desynchronize φ-argument lists.
+func shrinkBranches(f *ir.Func, keep Predicate) (*ir.Func, bool) {
+	if f.CountOp(ir.Phi) > 0 {
+		return f, false
+	}
+	cur, any := f, false
+	for {
+		improved := false
+		for bi := 0; bi < len(cur.Blocks) && !improved; bi++ {
+			term := cur.Blocks[bi].Terminator()
+			if term == nil || term.Op != ir.Branch {
+				continue
+			}
+			for _, side := range []int{0, 1} {
+				cand := cur.Clone()
+				b := cand.Blocks[bi]
+				t := b.Terminator()
+				t.Op = ir.Jump
+				t.Uses = nil
+				b.Succs = []ir.BlockID{b.Succs[side]}
+				cand.RecomputePreds()
+				cand = pruneUnreachable(cand)
+				if tryCandidate(cand, keep) {
+					cur, any, improved = cand, true, true
+					break
+				}
+			}
+		}
+		if !improved {
+			return cur, any
+		}
+	}
+}
+
+// pruneUnreachable removes blocks not reachable from the entry and
+// renumbers the survivors (ID == slice index). Call only on φ-free
+// functions.
+func pruneUnreachable(f *ir.Func) *ir.Func {
+	reach := make([]bool, len(f.Blocks))
+	stack := []ir.BlockID{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[id].Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	newID := make([]ir.BlockID, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach[i] {
+			newID[i] = ir.BlockID(len(kept))
+			b.ID = newID[i]
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	for _, b := range f.Blocks {
+		for i, s := range b.Succs {
+			b.Succs[i] = newID[s]
+		}
+	}
+	f.RecomputePreds()
+	return f
+}
+
+// shrinkInstrs runs ddmin over each block's non-terminator
+// instructions: try deleting chunks, halving the chunk size until
+// single instructions, keeping every deletion under which the failure
+// survives.
+func shrinkInstrs(f *ir.Func, keep Predicate) (*ir.Func, bool) {
+	cur, any := f, false
+	for bi := 0; bi < len(cur.Blocks); bi++ {
+		body := len(cur.Blocks[bi].Instrs)
+		if t := cur.Blocks[bi].Terminator(); t != nil {
+			body--
+		}
+		for size := body; size >= 1; size /= 2 {
+			for start := 0; start+size <= bodyLen(cur.Blocks[bi]); {
+				cand := cur.Clone()
+				b := cand.Blocks[bi]
+				b.Instrs = append(b.Instrs[:start:start], b.Instrs[start+size:]...)
+				if tryCandidate(cand, keep) {
+					cur, any = cand, true
+					// Same start now addresses the next chunk.
+				} else {
+					start += size
+				}
+			}
+		}
+	}
+	return cur, any
+}
+
+func bodyLen(b *ir.Block) int {
+	n := len(b.Instrs)
+	if t := b.Terminator(); t != nil {
+		n--
+	}
+	return n
+}
+
+// shrinkParams drops trailing parameters while the failure survives.
+func shrinkParams(f *ir.Func, keep Predicate) (*ir.Func, bool) {
+	cur, any := f, false
+	for len(cur.Params) > 0 {
+		cand := cur.Clone()
+		cand.Params = cand.Params[:len(cand.Params)-1]
+		if !tryCandidate(cand, keep) {
+			break
+		}
+		cur, any = cand, true
+	}
+	return cur, any
+}
+
+// compactVirt renumbers the surviving virtual registers densely in
+// first-occurrence order and shrinks NumVirt accordingly, so the
+// reproducer reads v0, v1, … with no gaps.
+func compactVirt(f *ir.Func) *ir.Func {
+	out := f.Clone()
+	remap := map[ir.Reg]ir.Reg{}
+	next := 0
+	mapReg := func(r ir.Reg) ir.Reg {
+		if !r.IsVirt() {
+			return r
+		}
+		nr, ok := remap[r]
+		if !ok {
+			nr = ir.Virt(next)
+			next++
+			remap[r] = nr
+		}
+		return nr
+	}
+	for i, p := range out.Params {
+		out.Params[i] = mapReg(p)
+	}
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		for di, d := range in.Defs {
+			in.Defs[di] = mapReg(d)
+		}
+		for ui, u := range in.Uses {
+			in.Uses[ui] = mapReg(u)
+		}
+	})
+	out.NumVirt = next
+	return out
+}

@@ -1,0 +1,120 @@
+package metamorph
+
+import (
+	"strings"
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// TestShrinkMinimizesToPredicateCore shrinks a large generated
+// program against a synthetic predicate ("still contains a call and a
+// mul") and expects a drastically smaller, still-valid, still-failing
+// program.
+func TestShrinkMinimizesToPredicateCore(t *testing.T) {
+	m := target.UsageModel(8)
+	p := workload.Fuzz()
+	p.Stmts = 40
+	f := workload.GenerateRawFunc(p, m, 3)
+	keep := func(cand *ir.Func) bool {
+		return cand.CountOp(ir.Call) >= 1 && cand.CountOp(ir.Mul) >= 1
+	}
+	if !keep(f) {
+		t.Skip("seed produced no call+mul; adjust seed")
+	}
+	small := Shrink(f, keep)
+	if err := ir.Validate(small); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+	if !keep(small) {
+		t.Fatal("shrunk program no longer satisfies predicate")
+	}
+	if small.NumInstrs() >= f.NumInstrs()/2 {
+		t.Fatalf("shrink barely reduced: %d -> %d instrs", f.NumInstrs(), small.NumInstrs())
+	}
+	// 1-minimality over the passes' own moves: deleting any single
+	// remaining non-terminator instruction must break the predicate or
+	// validity.
+	for bi, b := range small.Blocks {
+		for i := 0; i < bodyLen(b); i++ {
+			cand := small.Clone()
+			cb := cand.Blocks[bi]
+			cb.Instrs = append(cb.Instrs[:i:i], cb.Instrs[i+1:]...)
+			if ir.Validate(cand) == nil && keep(cand) {
+				t.Fatalf("not 1-minimal: block %d instr %d removable", bi, i)
+			}
+		}
+	}
+}
+
+// TestShrinkBranchCollapse checks that branch shrinking rewrites a
+// diamond into a straight line (plus pruning) when the predicate only
+// cares about one arm.
+func TestShrinkBranchCollapse(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0) {
+b0:
+  v1 = loadimm 1
+  branch v0, b1, b2
+b1:
+  v2 = mul v1, v1
+  jump b3
+b2:
+  v3 = add v1, v1
+  jump b3
+b3:
+  ret v2
+}
+`)
+	keep := func(cand *ir.Func) bool { return cand.CountOp(ir.Mul) >= 1 }
+	small := Shrink(f, keep)
+	if small.CountOp(ir.Branch) != 0 {
+		t.Fatalf("branch survived shrinking:\n%s", small)
+	}
+	if n := len(small.Blocks); n > 3 {
+		t.Fatalf("unreachable arm not pruned (%d blocks):\n%s", n, small)
+	}
+	if small.CountOp(ir.Mul) != 1 {
+		t.Fatalf("predicate core lost:\n%s", small)
+	}
+}
+
+// TestShrinkKeepsOriginalWhenPredicateFailsUpfront pins the contract
+// that a non-failing input is returned unchanged.
+func TestShrinkKeepsOriginalWhenPredicateFailsUpfront(t *testing.T) {
+	f := ir.MustParse("func f() {\nb0:\n  ret\n}\n")
+	got := Shrink(f, func(*ir.Func) bool { return false })
+	if got.String() != f.String() {
+		t.Fatalf("non-failing input modified:\n%s", got)
+	}
+}
+
+// TestCompactVirt checks dense renumbering in first-occurrence order.
+func TestCompactVirt(t *testing.T) {
+	f := ir.MustParse(`
+func f(v7) {
+b0:
+  v9 = add v7, v7
+  ret v9
+}
+`)
+	got := compactVirt(f)
+	if got.NumVirt != 2 {
+		t.Fatalf("NumVirt = %d, want 2", got.NumVirt)
+	}
+	want := strings.TrimSpace(`
+func f(v0) {
+b0:
+  v1 = add v0, v0
+  ret v1
+}
+`)
+	if strings.TrimSpace(got.String()) != want {
+		t.Fatalf("compacted:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ir.Validate(got); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package metamorph is the metamorphic + differential correctness
+// harness for the allocation pipeline. It applies semantics-preserving
+// transforms to input programs (and, where relevant, to the machine
+// description) and asserts that allocation outcomes are invariant
+// across every transform × allocator × machine cell; any violation is
+// minimized by a delta-debugging shrinker into a small reproducer that
+// the versioned testdata/corpus directory replays forever.
+//
+// The invariants come in three strengths, because the transforms
+// guarantee different amounts of identity:
+//
+//   - LevelExact: the pipeline canonicalizes the varied dimension away
+//     (renumber rebuilds webs from program structure, not register
+//     names), so the rewritten output must be byte-identical.
+//   - LevelOutcome: the cost-model view of the program is unchanged,
+//     so spill counts, surviving moves, pair/limit accounting, and
+//     estimated cycles must match, though concrete register choices
+//     may differ.
+//   - LevelValid: the transform preserves the machine's cost classes
+//     only up to greedy tie-breaking, so the assertion is the full
+//     RunChecked oracle on the transformed program plus agreement on
+//     the input-shape statistics.
+package metamorph
+
+import (
+	"math/rand"
+	"sort"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+// Level grades how much of the allocation outcome a transform must
+// preserve. Higher levels include every lower level's checks.
+type Level int
+
+const (
+	// LevelValid requires the transformed program to allocate
+	// successfully under the full RunChecked oracle, with the input
+	// shape (copy count) unchanged.
+	LevelValid Level = iota
+
+	// LevelOutcome additionally requires identical outcome statistics:
+	// spill loads/stores/webs, rounds, surviving and eliminated moves,
+	// caller-save traffic, pair fusion, limit accounting, and
+	// estimated cycles (compared with a small relative tolerance,
+	// since block reordering reorders float accumulation).
+	LevelOutcome
+
+	// LevelExact additionally requires the final rewritten function to
+	// be byte-identical (same digest).
+	LevelExact
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelExact:
+		return "exact"
+	case LevelOutcome:
+		return "outcome"
+	default:
+		return "valid"
+	}
+}
+
+// Transform is one semantics-preserving program/machine rewrite.
+// Apply must not modify its inputs; it returns the transformed
+// function and machine (the machine is shared, unmodified, unless the
+// transform varies it). Transforms must keep ValidateInput satisfied:
+// garbage in would test the validator, not the allocators.
+type Transform struct {
+	Name  string
+	Level Level
+	Apply func(f *ir.Func, m *target.Machine, rng *rand.Rand) (*ir.Func, *target.Machine)
+}
+
+// Transforms returns the transform catalogue in report order.
+func Transforms() []Transform {
+	return []Transform{
+		{Name: "rename-virt", Level: LevelExact, Apply: renameVirt},
+		{Name: "relabel-blocks", Level: LevelValid, Apply: relabelBlocks},
+		{Name: "commute-ops", Level: LevelOutcome, Apply: commuteOps},
+		{Name: "scale-offsets", Level: LevelOutcome, Apply: scaleOffsets},
+		{Name: "remap-regfile", Level: LevelValid, Apply: remapRegFile},
+	}
+}
+
+// renameVirt applies a random permutation to the virtual register
+// numbers. Renumber rebuilds webs from definition sites in program
+// order, never from register names, so the whole pipeline must be
+// bit-for-bit blind to this (LevelExact).
+func renameVirt(f *ir.Func, m *target.Machine, rng *rand.Rand) (*ir.Func, *target.Machine) {
+	out := f.Clone()
+	if out.NumVirt < 2 {
+		return out, m
+	}
+	perm := rng.Perm(out.NumVirt)
+	mapReg := func(r ir.Reg) ir.Reg {
+		if r.IsVirt() {
+			return ir.Virt(perm[r.VirtNum()])
+		}
+		return r
+	}
+	for i, p := range out.Params {
+		out.Params[i] = mapReg(p)
+	}
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		for di, d := range in.Defs {
+			in.Defs[di] = mapReg(d)
+		}
+		for ui, u := range in.Uses {
+			in.Uses[ui] = mapReg(u)
+		}
+	})
+	return out, m
+}
+
+// relabelBlocks permutes the non-entry basic blocks (IDs and slice
+// positions move together — ir.Validate requires ID == index) and
+// remaps all successor edges. Control flow, dominators, natural
+// loops, and hence every frequency are unchanged (asserted directly
+// by TestRelabelPreservesAnalyses), but renumbering assigns web
+// numbers in block order, and the allocators break cost ties on web
+// order — so concrete spill choices may legitimately differ
+// (measured: up to ~12% spill-load swing on the fuzz profile). The
+// assertion level is therefore LevelValid: the full oracle plus
+// input-shape agreement. Functions containing φs are returned
+// unchanged: φ-argument order is pred-order-dependent and allocation
+// input is φ-free anyway.
+func relabelBlocks(f *ir.Func, m *target.Machine, rng *rand.Rand) (*ir.Func, *target.Machine) {
+	out := f.Clone()
+	if len(out.Blocks) < 3 || out.CountOp(ir.Phi) > 0 {
+		return out, m
+	}
+	n := len(out.Blocks)
+	newID := make([]ir.BlockID, n)
+	for i, p := range rng.Perm(n - 1) {
+		newID[i+1] = ir.BlockID(p + 1)
+	}
+	blocks := make([]*ir.Block, n)
+	for old, b := range out.Blocks {
+		id := newID[old]
+		b.ID = id
+		blocks[id] = b
+	}
+	out.Blocks = blocks
+	for _, b := range out.Blocks {
+		for i, s := range b.Succs {
+			b.Succs[i] = newID[s]
+		}
+	}
+	out.RecomputePreds()
+	return out, m
+}
+
+// commuteOps swaps the operands of commutative two-operand arithmetic
+// (add, mul, and, or, xor) with probability ½ each. Interference,
+// liveness, and every cost are operand-order-blind, so outcome
+// statistics must be invariant (LevelOutcome).
+func commuteOps(f *ir.Func, m *target.Machine, rng *rand.Rand) (*ir.Func, *target.Machine) {
+	out := f.Clone()
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		switch in.Op {
+		case ir.Add, ir.Mul, ir.And, ir.Or, ir.Xor:
+			if len(in.Uses) == 2 && rng.Intn(2) == 0 {
+				in.Uses[0], in.Uses[1] = in.Uses[1], in.Uses[0]
+			}
+		}
+	})
+	return out, m
+}
+
+// scaleOffsets multiplies every load/store offset and the machine's
+// WordSize by one uniform factor. Paired-load adjacency is measured
+// in words, so the pair structure — and with it every preference and
+// cost — is unchanged (LevelOutcome). Arithmetic immediates (loadimm,
+// addimm) are left alone: they are values, not addresses, and scaling
+// them would change behavior and MinImmBits limit activation.
+func scaleOffsets(f *ir.Func, m *target.Machine, rng *rand.Rand) (*ir.Func, *target.Machine) {
+	out := f.Clone()
+	scale := int64([]int{2, 3, 5}[rng.Intn(3)])
+	const maxOff = int64(1) << 32
+	ok := true
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if (in.Op == ir.Load || in.Op == ir.Store) && (in.Imm > maxOff || in.Imm < -maxOff) {
+			ok = false
+		}
+	})
+	if !ok || m.WordSize > maxOff {
+		return out, m
+	}
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.Op == ir.Load || in.Op == ir.Store {
+			in.Imm *= scale
+		}
+	})
+	m2 := *m
+	m2.WordSize *= scale
+	return out, &m2
+}
+
+// remapRegFile permutes the physical register file by a permutation
+// that preserves every cost-relevant register class — volatility
+// always, parity when the machine pairs by parity — and rewrites the
+// machine description (volatile flags, parameter/return registers,
+// limit subsets) and the function's physical operands through it. The
+// transformed configuration is the image of the original under a cost
+// isomorphism — every *cost* is preserved — but the allocators break
+// ties among equal-cost registers by number, and the permutation
+// reorders numbers within a class, so equal-cost decisions (which
+// copies coalesce, whether a pair-blind baseline happens to fuse a
+// load pair) legitimately shift: a 100-seed sweep held at outcome
+// level for 58 seeds and then diverged on moves-remaining and
+// fused-pairs across baselines and ablations alike. The assertion
+// level is therefore LevelValid. Sequential-paired machines are
+// returned unchanged: only the identity preserves r2 == r1+1.
+func remapRegFile(f *ir.Func, m *target.Machine, rng *rand.Rand) (*ir.Func, *target.Machine) {
+	out := f.Clone()
+	if m.PairRule == target.PairSequential || m.NumRegs < 2 {
+		return out, m
+	}
+	// Group registers into interchangeable classes and shuffle within
+	// each class. The class key must capture every register property
+	// the cost model can see: volatility, pair parity, and membership
+	// in each limited-usage set (two registers inside and outside a
+	// limit's Regs are not cost-equivalent even though the limit sets
+	// themselves are remapped — allocators break ties on register
+	// number, and a tie-break that lands inside a limit set is cheaper
+	// than one outside it).
+	classOf := func(r int) int {
+		c := 0
+		if m.IsVolatile(r) {
+			c = 1
+		}
+		if m.PairRule == target.PairParity {
+			c = c*2 + r%2
+		}
+		for _, l := range m.Limits {
+			in := 0
+			for _, lr := range l.Regs {
+				if lr == r {
+					in = 1
+				}
+			}
+			c = c*2 + in
+		}
+		return c
+	}
+	classes := map[int][]int{}
+	for r := 0; r < m.NumRegs; r++ {
+		c := classOf(r)
+		classes[c] = append(classes[c], r)
+	}
+	pi := make([]int, m.NumRegs)
+	keys := make([]int, 0, len(classes))
+	for c := range classes {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	for _, c := range keys {
+		members := classes[c]
+		shuffled := append([]int(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i, r := range members {
+			pi[r] = shuffled[i]
+		}
+	}
+
+	m2 := *m
+	m2.Name = m.Name + "~remap"
+	m2.Volatile = make([]bool, m.NumRegs)
+	for r := 0; r < m.NumRegs; r++ {
+		m2.Volatile[pi[r]] = m.IsVolatile(r)
+	}
+	m2.ParamRegs = make([]int, len(m.ParamRegs))
+	for i, p := range m.ParamRegs {
+		m2.ParamRegs[i] = pi[p]
+	}
+	m2.RetReg = pi[m.RetReg]
+	m2.Limits = make([]target.Limit, len(m.Limits))
+	for i, l := range m.Limits {
+		nl := l
+		nl.Regs = make([]int, len(l.Regs))
+		for j, r := range l.Regs {
+			nl.Regs[j] = pi[r]
+		}
+		sort.Ints(nl.Regs)
+		m2.Limits[i] = nl
+	}
+
+	mapReg := func(r ir.Reg) ir.Reg {
+		if r.IsPhys() && r.PhysNum() < m.NumRegs {
+			return ir.Phys(pi[r.PhysNum()])
+		}
+		return r
+	}
+	for i, p := range out.Params {
+		out.Params[i] = mapReg(p)
+	}
+	out.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
+		for di, d := range in.Defs {
+			in.Defs[di] = mapReg(d)
+		}
+		for ui, u := range in.Uses {
+			in.Uses[ui] = mapReg(u)
+		}
+	})
+	return out, &m2
+}

@@ -131,6 +131,9 @@ const callerSaveTag = "csave"
 // copies deleted, spill and caller-save code inserted) plus statistics.
 // The input function is not modified.
 func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options) (*ir.Func, *Stats, error) {
+	if err := ValidateInput(input, machine); err != nil {
+		return nil, nil, err
+	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 16
@@ -276,10 +279,61 @@ func Run(input *ir.Func, machine *target.Machine, alloc Allocator, opts Options)
 	return nil, nil, fmt.Errorf("regalloc: %s did not converge in %d rounds", alloc.Name(), maxRounds)
 }
 
+// readBeforeWritten reports whether some path from entry reaches a
+// use of r before any definition of it. Such webs are legal input —
+// the renumberer models undefined uses explicitly — but their spill
+// slot has no dominating store, so the spill inserters must also
+// capture the (undefined) entry value the way they do for parameters;
+// otherwise the reload before the upward-exposed use reads a slot no
+// path has written, which the RunChecked oracle rightly rejects for
+// every defined web. Parameters are defined at entry by the caller
+// and are never reported.
+func readBeforeWritten(f *ir.Func, r ir.Reg) bool {
+	for _, p := range f.Params {
+		if p == r {
+			return false
+		}
+	}
+	// DFS over paths on which r is still undefined: a block defining r
+	// kills the path; a use of r before a def inside a live block is a
+	// read of the undefined entry value.
+	seen := make([]bool, len(f.Blocks))
+	stack := []ir.BlockID{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := f.Blocks[stack[len(stack)-1]]
+		stack = stack[:len(stack)-1]
+		defined := false
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, u := range in.Uses {
+				if u == r {
+					return true
+				}
+			}
+			if in.Def() == r {
+				defined = true
+				break
+			}
+		}
+		if defined {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
 // insertBlockLocalSpill splits spilled web w at block granularity:
 // each block that touches w loads it at most once into a fresh
 // block-local temporary and stores it back once before the block's
-// terminator if it wrote it. Parameters are stored at entry first.
+// terminator if it wrote it. Parameters — and webs whose entry value
+// is read before any definition — are stored at entry first.
 // It returns the block-local temporaries.
 func insertBlockLocalSpill(f *ir.Func, w int) []ir.Reg {
 	r := ir.Virt(w)
@@ -292,6 +346,7 @@ func insertBlockLocalSpill(f *ir.Func, w int) []ir.Reg {
 			isParam = true
 		}
 	}
+	captureEntry := isParam || readBeforeWritten(f, r)
 
 	for _, b := range f.Blocks {
 		touches := false
@@ -306,8 +361,8 @@ func insertBlockLocalSpill(f *ir.Func, w int) []ir.Reg {
 				}
 			}
 		}
-		entryParam := b.ID == 0 && isParam
-		if !touches && !entryParam {
+		entryCapture := b.ID == 0 && captureEntry
+		if !touches && !entryCapture {
 			continue
 		}
 
@@ -315,7 +370,7 @@ func insertBlockLocalSpill(f *ir.Func, w int) []ir.Reg {
 		temps = append(temps, t)
 		loaded, dirty := false, false
 		out := make([]ir.Instr, 0, len(b.Instrs)+3)
-		if entryParam {
+		if entryCapture {
 			// The incoming value arrives in the web's register;
 			// capture it and mark memory stale until block exit.
 			out = append(out, ir.MakeMove(t, r))
@@ -476,14 +531,20 @@ func expandSpills(g *ig.Graph, spilled []ig.NodeID) []int {
 }
 
 // insertSpillCode splits each spilled web: a store follows every
-// definition (and function entry, for parameters), and every use reads
-// a fresh temporary loaded just before it. It returns the fresh
-// temporaries plus the spilled webs themselves (whose remaining live
-// ranges are now tiny), all of which must never be spilled again.
+// definition (and function entry, for parameters and webs whose entry
+// value is read before any definition), and every use reads a fresh
+// temporary loaded just before it. It returns the fresh temporaries
+// plus the spilled webs themselves (whose remaining live ranges are
+// now tiny), all of which must never be spilled again.
 func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
 	slot := map[ir.Reg]int64{}
+	var entryStores []ir.Reg
 	for _, w := range webs {
-		slot[ir.Virt(w)] = f.NewSpillSlot()
+		r := ir.Virt(w)
+		slot[r] = f.NewSpillSlot()
+		if readBeforeWritten(f, r) {
+			entryStores = append(entryStores, r)
+		}
 	}
 	var temps []ir.Reg
 	for r := range slot {
@@ -497,6 +558,9 @@ func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
 				if s, ok := slot[p]; ok {
 					out = append(out, ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{p}, Imm: s})
 				}
+			}
+			for _, r := range entryStores {
+				out = append(out, ir.Instr{Op: ir.SpillStore, Uses: []ir.Reg{r}, Imm: slot[r]})
 			}
 		}
 		for i := range b.Instrs {

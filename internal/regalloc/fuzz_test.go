@@ -19,12 +19,9 @@ var (
 )
 
 // fuzzProfile is a compact but adversarial program shape: branchy,
-// loopy, call-bearing, with paired loads and stores.
-var fuzzProfile = workload.Profile{
-	Name: "fuzz", Funcs: 1, Stmts: 12, MaxDepth: 2,
-	LoopProb: 0.12, IfProb: 0.16, CallProb: 0.10, PairProb: 0.08,
-	StoreProb: 0.12, Vars: 8, Params: 2,
-}
+// loopy, call-bearing, with paired loads and stores (shared with the
+// metamorphic harness via workload.Fuzz).
+var fuzzProfile = workload.Fuzz()
 
 // TestPropAllAllocatorsPreserveSemantics is the randomized version of
 // the correctness matrix: for random programs on a small machine,

@@ -1,0 +1,48 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+)
+
+// ValidateInput checks that (input, machine) is a well-formed
+// allocation request: the machine description is internally
+// consistent (target.Machine.Validate), the function satisfies the
+// structural IR invariants (ir.Validate), and every physical register
+// the function names — operands, parameters, call pins — exists in
+// the machine's register file. Run performs this check on entry, so
+// malformed requests fail fast with a diagnostic instead of panicking
+// or silently mis-allocating deep in selection.
+func ValidateInput(input *ir.Func, machine *target.Machine) error {
+	if input == nil {
+		return fmt.Errorf("regalloc: nil input function")
+	}
+	if err := machine.Validate(); err != nil {
+		return fmt.Errorf("regalloc: %w", err)
+	}
+	if err := ir.Validate(input); err != nil {
+		return fmt.Errorf("regalloc: %s: invalid input: %w", input.Name, err)
+	}
+	var bad error
+	check := func(where string, r ir.Reg) {
+		if bad == nil && r.IsPhys() && r.PhysNum() >= machine.NumRegs {
+			bad = fmt.Errorf("regalloc: %s: %s names %v but machine %q has %d registers",
+				input.Name, where, r, machine.Name, machine.NumRegs)
+		}
+	}
+	for _, p := range input.Params {
+		check("parameter", p)
+	}
+	input.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		where := fmt.Sprintf("b%d[%d]", b.ID, i)
+		for _, d := range in.Defs {
+			check(where, d)
+		}
+		for _, u := range in.Uses {
+			check(where, u)
+		}
+	})
+	return bad
+}

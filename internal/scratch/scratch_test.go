@@ -1,0 +1,125 @@
+package scratch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSliceGrowsAndZeroes(t *testing.T) {
+	s := Slice[int](nil, 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+	for i := range s {
+		s[i] = i + 1
+	}
+	// Shrinking within capacity must reuse the backing array and zero
+	// the requested prefix.
+	s2 := Slice(s, 2)
+	if len(s2) != 2 || cap(s2) != cap(s) {
+		t.Fatalf("len=%d cap=%d, want len=2 cap=%d", len(s2), cap(s2), cap(s))
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("s2[%d] = %d, want 0 (stale value observed)", i, v)
+		}
+	}
+	// Growing past capacity allocates fresh (zeroed) storage.
+	s3 := Slice(s2, 100)
+	if len(s3) != 100 {
+		t.Fatalf("len = %d, want 100", len(s3))
+	}
+	for i, v := range s3 {
+		if v != 0 {
+			t.Fatalf("s3[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestSliceZeroLength(t *testing.T) {
+	s := Slice[string](nil, 0)
+	if len(s) != 0 {
+		t.Fatalf("len = %d, want 0", len(s))
+	}
+}
+
+func TestFillSetsEveryElement(t *testing.T) {
+	s := Fill[int](nil, 3, -1)
+	for i, v := range s {
+		if v != -1 {
+			t.Fatalf("s[%d] = %d, want -1", i, v)
+		}
+	}
+	// Reuse within capacity: every element reset, stale values gone.
+	s[0] = 99
+	s2 := Fill(s[:1], 3, 7)
+	if &s2[0] != &s[0] {
+		t.Fatal("Fill within capacity did not reuse the backing array")
+	}
+	for i, v := range s2 {
+		if v != 7 {
+			t.Fatalf("s2[%d] = %d, want 7", i, v)
+		}
+	}
+}
+
+func TestRowsResetKeepsRowCapacity(t *testing.T) {
+	rows := Rows[int](nil, 3)
+	if len(rows) != 3 {
+		t.Fatalf("len = %d, want 3", len(rows))
+	}
+	rows[1] = append(rows[1], 1, 2, 3)
+	kept := cap(rows[1])
+	rows = Rows(rows, 2)
+	if len(rows) != 2 {
+		t.Fatalf("len = %d, want 2", len(rows))
+	}
+	if len(rows[1]) != 0 || cap(rows[1]) != kept {
+		t.Fatalf("row 1: len=%d cap=%d, want len=0 cap=%d (capacity must survive reset)",
+			len(rows[1]), cap(rows[1]), kept)
+	}
+	// Growing appends empty rows and preserves the existing ones'
+	// backing arrays.
+	rows[1] = append(rows[1], 9)
+	grown := Rows(rows, 5)
+	if len(grown) != 5 {
+		t.Fatalf("len = %d, want 5", len(grown))
+	}
+	for i, r := range grown {
+		if len(r) != 0 {
+			t.Fatalf("row %d not emptied", i)
+		}
+	}
+	if cap(grown[1]) != kept {
+		t.Fatalf("row 1 capacity lost on grow: %d, want %d", cap(grown[1]), kept)
+	}
+}
+
+// TestConcurrentIndependentUse runs the helpers from many goroutines
+// on independent buffers, the way parallel batch workers use pooled
+// workspaces — under -race this pins that the package shares no
+// hidden state between callers.
+func TestConcurrentIndependentUse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var ints []int
+			var rows [][]int
+			for i := 0; i < 200; i++ {
+				n := (g+i)%17 + 1
+				ints = Fill(Slice(ints, n), n, g)
+				for j, v := range ints {
+					if v != g {
+						t.Errorf("goroutine %d: ints[%d] = %d", g, j, v)
+						return
+					}
+				}
+				rows = Rows(rows, n)
+				rows[n-1] = append(rows[n-1], g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -33,7 +33,9 @@ type Limit struct {
 }
 
 // Applies reports whether the limit constrains instruction in, and if
-// so returns the constrained register operand.
+// so returns the constrained register operand. A limit with an
+// out-of-range Operand (including a negative one, which
+// Machine.Validate rejects) never applies.
 func (l *Limit) Applies(in *ir.Instr) (ir.Reg, bool) {
 	if in.Op != l.Op {
 		return ir.NoReg, false
@@ -45,7 +47,7 @@ func (l *Limit) Applies(in *ir.Instr) (ir.Reg, bool) {
 	if l.OperandIsDef {
 		ops = in.Defs
 	}
-	if l.Operand >= len(ops) {
+	if l.Operand < 0 || l.Operand >= len(ops) {
 		return ir.NoReg, false
 	}
 	return ops[l.Operand], true
@@ -62,7 +64,13 @@ func (l *Limit) Allows(r int) bool {
 }
 
 // fitsSigned reports whether v fits a signed bits-wide immediate.
+// Every int64 fits a field of 64 or more bits; without the guard the
+// shift below would overflow to zero at bits=64 (and is undefined
+// beyond), making no immediate ever "fit" so the limit always fired.
 func fitsSigned(v int64, bits int) bool {
+	if bits >= 64 {
+		return true
+	}
 	lim := int64(1) << (bits - 1)
 	return v >= -lim && v < lim
 }

@@ -1,6 +1,7 @@
 package target
 
 import (
+	"strings"
 	"testing"
 
 	"prefcolor/internal/ir"
@@ -195,6 +196,139 @@ func TestS390LikeAndFigure7(t *testing.T) {
 	}
 	if f7.PairRule != PairParity {
 		t.Error("Figure7Machine pairs by parity")
+	}
+}
+
+// TestLimitAppliesNegativeOperand: a negative operand index used to
+// panic indexing ops[l.Operand]; Applies must defensively decline
+// (Machine.Validate separately rejects the description).
+func TestLimitAppliesNegativeOperand(t *testing.T) {
+	l := Limit{Name: "bogus", Op: ir.Shl, Operand: -1, Regs: []int{2}}
+	in := ir.Instr{Op: ir.Shl, Defs: []ir.Reg{ir.Phys(4)}, Uses: []ir.Reg{ir.Phys(5), ir.Phys(6)}}
+	if r, ok := l.Applies(&in); ok {
+		t.Errorf("Applies = (%v, true) for a negative operand index, want no match", r)
+	}
+	ld := Limit{Name: "bogus-def", Op: ir.Div, OperandIsDef: true, Operand: -3, Regs: []int{0}}
+	if r, ok := ld.Applies(&ir.Instr{Op: ir.Div, Defs: []ir.Reg{ir.Phys(1)}, Uses: []ir.Reg{ir.Phys(2), ir.Phys(3)}}); ok {
+		t.Errorf("def-side Applies = (%v, true) for a negative operand index, want no match", r)
+	}
+}
+
+// TestFitsSignedBoundaries pins fitsSigned at the shift-overflow
+// boundary: at bits=63 the limit still discriminates, and at bits>=64
+// every int64 fits — 1<<63 used to overflow to zero, so no immediate
+// ever "fit" and the limit silently always fired.
+func TestFitsSignedBoundaries(t *testing.T) {
+	const min63, max63 = -(int64(1) << 62), int64(1)<<62 - 1
+	cases := []struct {
+		bits int
+		v    int64
+		want bool
+	}{
+		{63, max63, true},
+		{63, min63, true},
+		{63, max63 + 1, false},
+		{63, min63 - 1, false},
+		{64, int64(^uint64(0) >> 1), true},    // MaxInt64
+		{64, -int64(^uint64(0)>>1) - 1, true}, // MinInt64
+		{64, 0, true},
+		{65, 42, true},
+		{14, 8191, true},
+		{14, 8192, false},
+	}
+	for _, c := range cases {
+		if got := fitsSigned(c.v, c.bits); got != c.want {
+			t.Errorf("fitsSigned(%d, %d) = %v, want %v", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+// TestLimitMinImmBits64 is the end-to-end view of the fitsSigned fix:
+// a 64-bit immediate field accommodates every immediate, so the limit
+// must never activate.
+func TestLimitMinImmBits64(t *testing.T) {
+	l := Limit{Op: ir.AddImm, Operand: 0, MinImmBits: 64, Regs: []int{0}}
+	for _, imm := range []int64{0, 1, -1, 1 << 40, int64(^uint64(0) >> 1)} {
+		in := ir.Instr{Op: ir.AddImm, Defs: []ir.Reg{ir.Phys(1)}, Uses: []ir.Reg{ir.Phys(5)}, Imm: imm}
+		if r, ok := l.Applies(&in); ok {
+			t.Errorf("64-bit-field limit activated for immediate %d (operand %v)", imm, r)
+		}
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	valid := func() *Machine { return UsageModel(8) }
+	cases := []struct {
+		name    string
+		mutate  func(*Machine)
+		wantSub string
+	}{
+		{"stock-usage", func(*Machine) {}, ""},
+		{"zero-regs", func(m *Machine) { m.NumRegs = 0; m.Volatile = nil; m.ParamRegs = nil }, "NumRegs"},
+		{"negative-regs", func(m *Machine) { m.NumRegs = -4 }, "NumRegs"},
+		{"unencodable-regs", func(m *Machine) { m.NumRegs = 300 }, "encodable"},
+		{"volatile-too-long", func(m *Machine) { m.Volatile = make([]bool, 9) }, "Volatile"},
+		{"retreg-high", func(m *Machine) { m.RetReg = 8 }, "RetReg"},
+		{"retreg-negative", func(m *Machine) { m.RetReg = -1 }, "RetReg"},
+		{"param-out-of-range", func(m *Machine) { m.ParamRegs = []int{0, 8} }, "ParamRegs"},
+		{"param-negative", func(m *Machine) { m.ParamRegs = []int{-2} }, "ParamRegs"},
+		{"param-duplicate", func(m *Machine) { m.ParamRegs = []int{0, 1, 0} }, "repeats"},
+		{"bad-pair-rule", func(m *Machine) { m.PairRule = PairSequential + 1 }, "PairRule"},
+		{"paired-zero-wordsize", func(m *Machine) { m.WordSize = 0 }, "WordSize"},
+		{"limit-negative-operand", func(m *Machine) {
+			m.Limits = []Limit{{Name: "neg", Op: ir.Shl, Operand: -1, Regs: []int{2}}}
+		}, "operand"},
+		{"limit-negative-immbits", func(m *Machine) {
+			m.Limits = []Limit{{Name: "bits", Op: ir.AddImm, MinImmBits: -14, Regs: []int{0}}}
+		}, "MinImmBits"},
+		{"limit-negative-cost", func(m *Machine) {
+			m.Limits = []Limit{{Name: "cost", Op: ir.Shl, Operand: 1, Regs: []int{2}, FixupCost: -1}}
+		}, "FixupCost"},
+		{"limit-empty-subset", func(m *Machine) {
+			m.Limits = []Limit{{Name: "empty", Op: ir.Shl, Operand: 1}}
+		}, "empty"},
+		{"limit-reg-out-of-range", func(m *Machine) {
+			m.Limits = []Limit{{Name: "range", Op: ir.Shl, Operand: 1, Regs: []int{2, 8}}}
+		}, "Regs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := valid()
+			c.mutate(m)
+			err := m.Validate()
+			if c.wantSub == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted a %s machine", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Validate() = %q, want mention of %q", err, c.wantSub)
+			}
+		})
+	}
+	var nilMachine *Machine
+	if err := nilMachine.Validate(); err == nil {
+		t.Error("Validate() accepted a nil machine")
+	}
+}
+
+// TestStockMachinesValidate: every machine constructor in the package
+// must produce a description that passes its own validator.
+func TestStockMachinesValidate(t *testing.T) {
+	machines := []*Machine{
+		UsageModel(6), UsageModel(16), UsageModel(24), UsageModel(32),
+		Figure7Machine(), S390Like(8), S390Like(24),
+		X86Like(8), X86Like(16), UsageModel(16).WithIA64AddImmLimit(),
+		X86Like(16).WithIA64AddImmLimit(),
+	}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
 	}
 }
 

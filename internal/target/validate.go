@@ -1,0 +1,99 @@
+package target
+
+import (
+	"errors"
+	"fmt"
+
+	"prefcolor/internal/ir"
+)
+
+// Validate checks that the machine description is internally
+// consistent, returning an error describing the first problem found.
+// The allocation driver calls it on entry so a malformed description
+// fails fast with a diagnostic instead of panicking or silently
+// skewing the cost model deep in selection:
+//
+//   - NumRegs is positive and encodable as an ir.Reg;
+//   - Volatile does not extend past the register file (extra entries
+//     would make IsVolatile and the cost model disagree about
+//     registers that do not exist);
+//   - RetReg and every ParamRegs entry name real registers, with no
+//     duplicate parameter registers;
+//   - PairRule is a known rule, with a positive WordSize when paired
+//     loads are enabled (offset adjacency is measured in words);
+//   - every Limit has a non-negative operand index, a non-negative
+//     fixup cost and immediate threshold, and a non-empty allowed
+//     subset of real registers.
+func (m *Machine) Validate() error {
+	if m == nil {
+		return errors.New("target: nil machine")
+	}
+	if m.NumRegs <= 0 {
+		return fmt.Errorf("target: %s: NumRegs = %d, want positive", m.label(), m.NumRegs)
+	}
+	if m.NumRegs >= int(ir.FirstVirtual) {
+		return fmt.Errorf("target: %s: NumRegs = %d exceeds the encodable register space (%d)",
+			m.label(), m.NumRegs, int(ir.FirstVirtual)-1)
+	}
+	if len(m.Volatile) > m.NumRegs {
+		return fmt.Errorf("target: %s: Volatile describes %d registers but the file has %d",
+			m.label(), len(m.Volatile), m.NumRegs)
+	}
+	if m.RetReg < 0 || m.RetReg >= m.NumRegs {
+		return fmt.Errorf("target: %s: RetReg r%d out of range [0, %d)", m.label(), m.RetReg, m.NumRegs)
+	}
+	seen := make([]bool, m.NumRegs)
+	for i, p := range m.ParamRegs {
+		if p < 0 || p >= m.NumRegs {
+			return fmt.Errorf("target: %s: ParamRegs[%d] = r%d out of range [0, %d)", m.label(), i, p, m.NumRegs)
+		}
+		if seen[p] {
+			return fmt.Errorf("target: %s: ParamRegs[%d] = r%d repeats an earlier parameter register", m.label(), i, p)
+		}
+		seen[p] = true
+	}
+	if m.PairRule > PairSequential {
+		return fmt.Errorf("target: %s: unknown PairRule %d", m.label(), m.PairRule)
+	}
+	if m.PairRule != PairNone && m.WordSize <= 0 {
+		return fmt.Errorf("target: %s: paired loads enabled with WordSize %d, want positive", m.label(), m.WordSize)
+	}
+	for i := range m.Limits {
+		l := &m.Limits[i]
+		if l.Operand < 0 {
+			return fmt.Errorf("target: %s: limit %s: negative operand index %d", m.label(), l.label(i), l.Operand)
+		}
+		if l.MinImmBits < 0 {
+			return fmt.Errorf("target: %s: limit %s: negative MinImmBits %d", m.label(), l.label(i), l.MinImmBits)
+		}
+		if l.FixupCost < 0 {
+			return fmt.Errorf("target: %s: limit %s: negative FixupCost %g", m.label(), l.label(i), l.FixupCost)
+		}
+		if len(l.Regs) == 0 {
+			return fmt.Errorf("target: %s: limit %s: empty allowed-register subset", m.label(), l.label(i))
+		}
+		for j, r := range l.Regs {
+			if r < 0 || r >= m.NumRegs {
+				return fmt.Errorf("target: %s: limit %s: Regs[%d] = r%d out of range [0, %d)",
+					m.label(), l.label(i), j, r, m.NumRegs)
+			}
+		}
+	}
+	return nil
+}
+
+// label names the machine in diagnostics, tolerating an unset Name.
+func (m *Machine) label() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return "machine"
+}
+
+// label names the limit in diagnostics, tolerating an unset Name.
+func (l *Limit) label(i int) string {
+	if l.Name != "" {
+		return l.Name
+	}
+	return fmt.Sprintf("#%d", i)
+}

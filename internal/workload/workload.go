@@ -85,6 +85,19 @@ func Benchmarks() []Profile {
 	}
 }
 
+// Fuzz returns the compact but adversarial profile the correctness
+// harnesses share: branchy, loopy, call-bearing, with paired loads
+// and stores, sized so randomized banks stay fast while still
+// engaging spilling on small machines. Callers choose seeds per
+// function via GenerateRawFunc.
+func Fuzz() Profile {
+	return Profile{
+		Name: "fuzz", Funcs: 1, Stmts: 12, MaxDepth: 2,
+		LoopProb: 0.12, IfProb: 0.16, CallProb: 0.10, PairProb: 0.08,
+		StoreProb: 0.12, Vars: 8, Params: 2,
+	}
+}
+
 // Large returns the oversized stress profile the performance
 // benchmarks allocate: many functions at the statement-budget
 // ceiling with a wide variable pool, so interference graphs are as

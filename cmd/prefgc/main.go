@@ -11,6 +11,11 @@
 // labels: chaitin, briggs-aggressive, briggs-conservative, iterated,
 // optimistic, callcost, pref-coalesce, pref-full.
 //
+// Inputs may be textual IR or the binary wire format (recognized by
+// its magic bytes); -emit-binary converts instead of allocating,
+// writing one raw encoding for a single input (a /v1/allocate body)
+// or a length-prefixed frame stream for several (a /v1/batch body).
+//
 // -telemetry prints the merged instrumentation report (phase timers,
 // preference counters, ready-set histogram) after the code; -trace
 // writes one JSON line per selection or spill decision to the given
@@ -56,6 +61,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "abort allocation after this long (0 = no deadline)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file after allocation")
+	emitBinary := fs.Bool("emit-binary", false, "emit the binary IR wire format instead of allocating (one raw encoding, or a frame stream for several inputs)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,7 +97,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	funcs := make([]*prefcolor.Function, len(sources))
 	for i, s := range sources {
-		f, err := prefcolor.ParseFunction(s.src)
+		// Inputs in the binary wire format are recognized by their
+		// magic; everything else is textual IR.
+		var f *prefcolor.Function
+		var err error
+		if prefcolor.IsBinaryIR([]byte(s.src)) {
+			f, err = prefcolor.DecodeFunctionBinary([]byte(s.src))
+		} else {
+			f, err = prefcolor.ParseFunction(s.src)
+		}
 		if err != nil {
 			return fail(fmt.Errorf("%s: %w", s.name, err))
 		}
@@ -101,6 +115,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			prefcolor.FromSSA(f)
 		}
 		funcs[i] = f
+	}
+
+	if *emitBinary {
+		// A single input emits the raw encoding (the /v1/allocate body);
+		// several emit a length-prefixed frame stream (the /v1/batch
+		// body).
+		if len(funcs) == 1 {
+			if _, err := stdout.Write(prefcolor.EncodeFunctionBinary(funcs[0])); err != nil {
+				return fail(err)
+			}
+			return 0
+		}
+		var wire []byte
+		for _, f := range funcs {
+			wire = prefcolor.AppendFunctionBinaryFrame(wire, f)
+		}
+		if _, err := stdout.Write(wire); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	m := prefcolor.NewMachine(*k)

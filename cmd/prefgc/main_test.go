@@ -200,3 +200,42 @@ func TestMemProfileFlagWritesParseableProfile(t *testing.T) {
 		t.Errorf("pprof -top output looks wrong:\n%s", out)
 	}
 }
+
+// TestEmitBinaryRoundTrip: -emit-binary output fed back as input must
+// allocate identically to the textual original.
+func TestEmitBinaryRoundTrip(t *testing.T) {
+	wire, stderr, code := runCLI(t, "", "-emit-binary", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("emit exit %d, stderr: %s", code, stderr)
+	}
+	if len(wire) == 0 || !strings.HasPrefix(wire, "PGIR") {
+		t.Fatalf("emitted %d bytes without the binary magic", len(wire))
+	}
+
+	fromBin, stderr, code := runCLI(t, wire, "-stats")
+	if code != 0 {
+		t.Fatalf("binary-input exit %d, stderr: %s", code, stderr)
+	}
+	fromText, stderr, code := runCLI(t, "", "-stats", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("text exit %d, stderr: %s", code, stderr)
+	}
+	if fromBin != fromText {
+		t.Errorf("binary input allocates differently:\n--- binary ---\n%s\n--- text ---\n%s", fromBin, fromText)
+	}
+}
+
+// Several inputs emit a frame stream, not a bare concatenation.
+func TestEmitBinaryFrames(t *testing.T) {
+	wire, stderr, code := runCLI(t, "", "-emit-binary", "testdata/pairs.ir", "testdata/pairs.ir")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// A frame stream starts with a uvarint length, not the magic.
+	if strings.HasPrefix(wire, "PGIR") {
+		t.Error("multi-input emit produced a bare encoding, want frames")
+	}
+	if !strings.Contains(wire, "PGIR") {
+		t.Error("frame stream carries no encoded function")
+	}
+}

@@ -72,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	machine := fs.String("machine", "ia64", "load: machine model (ia64, x86, s390)")
 	requests := fs.Int("requests", 0, "load: stop after this many requests (0 = duration only)")
 	seed := fs.Int64("seed", 1, "load: corpus-picking RNG seed")
+	cold := fs.Bool("cold", false, "load: send no_cache on every request (honest cold-path latency)")
+	binary := fs.Bool("binary", false, "load: post the binary IR wire format instead of JSON/text")
+	pr := fs.Int("pr", 3, "load: PR number stamped into the benchmark record")
+	title := fs.String("title", "", "load: benchmark record title (default per -pr)")
 	out := fs.String("out", "", "load: write the benchmark record (BENCH_PR3.json format) to this file")
 
 	if err := fs.Parse(args); err != nil {
@@ -81,7 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runLoad(stdout, stderr, loadConfig{
 			addr: *addr, duration: *duration, concurrency: *concurrency,
 			corpus: *corpus, allocator: *allocator, k: *k, machine: *machine,
-			requests: *requests, seed: *seed, out: *out,
+			requests: *requests, seed: *seed, cold: *cold, binary: *binary,
+			pr: *pr, title: *title, out: *out,
 		})
 	}
 	return serve(stdout, stderr, *addr, server.Config{
@@ -136,6 +141,10 @@ type loadConfig struct {
 	machine     string
 	requests    int
 	seed        int64
+	cold        bool
+	binary      bool
+	pr          int
+	title       string
 	out         string
 }
 
@@ -159,6 +168,8 @@ type benchRecord struct {
 		K           int     `json:"k"`
 		Machine     string  `json:"machine"`
 		Seed        int64   `json:"seed"`
+		Cold        bool    `json:"cold,omitempty"`
+		Binary      bool    `json:"binary,omitempty"`
 	} `json:"config"`
 	Report *loadgen.Report `json:"report"`
 }
@@ -200,12 +211,18 @@ func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
 		Machine:     cfg.machine,
 		K:           cfg.k,
 		Seed:        cfg.seed,
+		Cold:        cfg.cold,
+		Binary:      cfg.binary,
 	})
 	if err != nil {
 		return fail(err)
 	}
 
-	rec := &benchRecord{PR: 3, Title: "Allocation-as-a-service: prefgcd daemon under sustained load", Report: rep}
+	title := cfg.title
+	if title == "" {
+		title = "Allocation-as-a-service: prefgcd daemon under sustained load"
+	}
+	rec := &benchRecord{PR: cfg.pr, Title: title, Report: rep}
 	rec.Environment.GOOS = runtime.GOOS
 	rec.Environment.GOARCH = runtime.GOARCH
 	rec.Environment.CPUs = runtime.NumCPU()
@@ -218,6 +235,8 @@ func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
 	rec.Config.K = cfg.k
 	rec.Config.Machine = cfg.machine
 	rec.Config.Seed = cfg.seed
+	rec.Config.Cold = cfg.cold
+	rec.Config.Binary = cfg.binary
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

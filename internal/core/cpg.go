@@ -177,12 +177,36 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 		for _, nb := range remaining {
 			inCPG[nb] = true
 		}
-		// Step 7: non-ready remaining neighbors must precede n.
+		// Step 7: non-ready remaining neighbors must precede n. This
+		// is addEdgeReduced specialized to the replay's ordering: every
+		// edge inserted so far points at an earlier-popped node and n
+		// gains its first in-edges right here, so no path nb⇝n can
+		// exist yet and the transitive-skip test is vacuous. What n
+		// reaches is likewise fixed for the whole pop (n gains only
+		// in-edges, and the removals happen at unpopped nodes n cannot
+		// reach), so a single DFS from n serves every neighbor instead
+		// of the two DFS walks addEdgeReduced pays per edge.
 		sawNonReady := false
+		descMarked := false
 		for _, nb := range remaining {
-			if !ready[nb] {
-				sawNonReady = true
-				c.addEdgeReduced(nb, n)
+			if ready[nb] {
+				continue
+			}
+			sawNonReady = true
+			c.addEdge(nb, n)
+			succs := c.succsOf(nb)
+			if len(succs) == 1 {
+				continue
+			}
+			if !descMarked {
+				c.markFrom(n)
+				descMarked = true
+			}
+			c.scratch = append(c.scratch[:0], succs...)
+			for _, x := range c.scratch {
+				if x != n && c.marked(x) {
+					c.removeEdge(nb, x)
+				}
 			}
 		}
 		if !sawNonReady {

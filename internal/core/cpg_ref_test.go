@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"prefcolor/internal/ig"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// buildCPGReference is the nine-step construction with the general
+// addEdgeReduced call per step-7 edge — the form buildCPGInto
+// specializes by exploiting the replay's pop ordering. The optimized
+// builder must produce identical edge rows, in identical order.
+func buildCPGReference(g *ig.Graph, stack []ig.NodeID, potentialSpill []bool, k int) *CPG {
+	c := &CPG{}
+	present := make([]bool, g.NumNodes())
+	for _, n := range stack {
+		present[n] = true
+	}
+	wigDeg := make([]int, g.NumNodes())
+	for _, n := range stack {
+		d := 0
+		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
+			if present[nb] {
+				d++
+			}
+		})
+		wigDeg[n] = d
+	}
+	inCPG := make([]bool, g.NumNodes())
+	ready := make([]bool, g.NumNodes())
+	for _, n := range stack {
+		switch {
+		case wigDeg[n] < k:
+			inCPG[n] = true
+			c.addEdge(n, Bottom)
+			ready[n] = true
+		case int(n) < len(potentialSpill) && potentialSpill[n]:
+			inCPG[n] = true
+			c.addEdge(n, Bottom)
+		}
+	}
+	for _, n := range stack {
+		present[n] = false
+		var remaining []ig.NodeID
+		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
+			if present[nb] {
+				remaining = append(remaining, nb)
+			}
+		})
+		for _, nb := range remaining {
+			inCPG[nb] = true
+		}
+		sawNonReady := false
+		for _, nb := range remaining {
+			if !ready[nb] {
+				sawNonReady = true
+				c.addEdgeReduced(nb, n)
+			}
+		}
+		if !sawNonReady {
+			c.addEdge(Top, n)
+		}
+		for _, nb := range remaining {
+			wigDeg[nb]--
+			if wigDeg[nb] < k {
+				ready[nb] = true
+			}
+		}
+	}
+	return c
+}
+
+// TestCPGBuildMatchesReference checks the optimized builder against
+// the reference over random programs: same edge sets AND same row
+// order, so everything downstream (selection order, digests) is
+// bit-identical.
+func TestCPGBuildMatchesReference(t *testing.T) {
+	m := target.UsageModel(8)
+	k := m.NumRegs
+	for seed := int64(1); seed <= 60; seed++ {
+		f := workload.GenerateRawFunc(propProfile, m, seed)
+		if _, err := ig.Renumber(f); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ctx, err := regalloc.NewContext(f, m, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := ctx.Graph
+		stack, potential := simplifyOptimistic(g, k)
+		got, err := BuildCPG(g, stack, potential, k)
+		if err != nil {
+			t.Fatalf("seed %d: BuildCPG: %v", seed, err)
+		}
+		want := buildCPGReference(g, stack, potential, k)
+		for n := Bottom; int(n) < g.NumNodes(); n++ {
+			gs, ws := fmt.Sprint(got.succsOf(n)), fmt.Sprint(want.succsOf(n))
+			if gs != ws {
+				t.Fatalf("seed %d: succs(%d) = %s, reference %s", seed, n, gs, ws)
+			}
+			gp, wp := fmt.Sprint(got.predsOf(n)), fmt.Sprint(want.predsOf(n))
+			if gp != wp {
+				t.Fatalf("seed %d: preds(%d) = %s, reference %s", seed, n, gp, wp)
+			}
+		}
+	}
+}

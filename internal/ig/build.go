@@ -2,10 +2,12 @@ package ig
 
 import (
 	"fmt"
+	"math/bits"
 
 	"prefcolor/internal/cfg"
 	"prefcolor/internal/ir"
 	"prefcolor/internal/liveness"
+	"prefcolor/internal/scratch"
 	"prefcolor/internal/target"
 )
 
@@ -26,6 +28,14 @@ func Build(f *ir.Func, m *target.Machine, loops *cfg.LoopInfo) (*Graph, error) {
 // fresh) and an optional precomputed liveness for f (nil live computes
 // it here). Passing liveness in lets the driver share one analysis per
 // round between the cost model and the graph builder.
+//
+// The builder works a word at a time: the live set is a dense bit row
+// in node space, maintained directly during the backward walk, and
+// edges land as bulk ORs of that row into adjacency rows (64 candidate
+// neighbors per operation) with only the genuinely new bits mirrored
+// back. Degrees are recomputed by popcount at the end — during
+// construction nothing is ever removed, so a node's degree is exactly
+// its row's population count.
 func BuildInto(ws *GraphScratch, f *ir.Func, m *target.Machine, loops *cfg.LoopInfo, live *liveness.Info) (*Graph, error) {
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
@@ -57,62 +67,120 @@ func BuildInto(ws *GraphScratch, f *ir.Func, m *target.Machine, loops *cfg.LoopI
 		live = liveness.Compute(f)
 	}
 
-	// Function entry defines every value live into it (parameters and
-	// any web lacking a dominating definition) simultaneously: they
-	// all interfere pairwise.
-	entryLive := live.LiveIn(0).Sorted()
-	for i, a := range entryLive {
-		for _, b := range entryLive[i+1:] {
-			g.AddEdge(g.NodeOf(a), g.NodeOf(b))
+	var liveRow, volRow, clobberRow []uint64
+	if ws != nil {
+		ws.liveRow = scratch.Slice(ws.liveRow, g.words)
+		ws.volRow = scratch.Slice(ws.volRow, g.words)
+		ws.clobberRow = scratch.Slice(ws.clobberRow, g.words)
+		liveRow, volRow, clobberRow = ws.liveRow, ws.volRow, ws.clobberRow
+	} else {
+		liveRow = make([]uint64, g.words)
+		volRow = make([]uint64, g.words)
+		clobberRow = make([]uint64, g.words)
+	}
+	setBit := func(row []uint64, n NodeID) { row[int(n)>>6] |= 1 << (uint(n) & 63) }
+	clearBit := func(row []uint64, n NodeID) { row[int(n)>>6] &^= 1 << (uint(n) & 63) }
+
+	// edgesToLive interferes node dn with every bit of src except dn
+	// itself and (for copies) the copy source: per word, the new
+	// neighbors are src &^ row, OR'd in at once, and only those new
+	// bits pay a per-bit mirror into the neighbor's row.
+	edgesToLive := func(dn NodeID, src []uint64, excl NodeID) {
+		row := g.adj[dn]
+		dw, dm := int(dn)>>6, uint64(1)<<(uint(dn)&63)
+		for wi, w := range src {
+			add := w &^ row[wi]
+			if wi == dw {
+				add &^= dm
+			}
+			if excl >= 0 && wi == int(excl)>>6 {
+				add &^= 1 << (uint(excl) & 63)
+			}
+			if add == 0 {
+				continue
+			}
+			row[wi] |= add
+			base := NodeID(wi << 6)
+			for t := add; t != 0; t &= t - 1 {
+				nb := base + NodeID(bits.TrailingZeros64(t))
+				g.adj[nb][dw] |= dm
+			}
 		}
 	}
-	volatiles := make([]NodeID, 0, m.NumRegs)
+
+	// Function entry defines every value live into it (parameters and
+	// any web lacking a dominating definition) simultaneously: they
+	// all interfere pairwise. Writing row |= live &^ self for every
+	// member builds the full symmetric clique.
+	for r := range live.LiveIn(0) {
+		setBit(liveRow, g.NodeOf(r))
+	}
+	for wi, w := range liveRow {
+		base := NodeID(wi << 6)
+		for t := w; t != 0; t &= t - 1 {
+			edgesToLive(base+NodeID(bits.TrailingZeros64(t)), liveRow, -1)
+		}
+	}
+
 	for _, v := range m.VolatileRegs() {
-		volatiles = append(volatiles, NodeID(v))
+		setBit(volRow, NodeID(v))
 	}
 
 	for _, b := range f.Blocks {
 		freq := loops.Freq(b.ID)
-		live.ForEachInstrReverse(b, func(_ int, in *ir.Instr, liveAfter ir.RegSet) {
+		for i := range liveRow {
+			liveRow[i] = 0
+		}
+		for r := range live.LiveOut(b.ID) {
+			setBit(liveRow, g.NodeOf(r))
+		}
+		for idx := len(b.Instrs) - 1; idx >= 0; idx-- {
+			in := &b.Instrs[idx]
 			// Defs interfere with everything live after the
 			// instruction, minus the move-source exception.
+			isCopy := in.IsCopy()
 			for _, d := range in.Defs {
-				dn := g.NodeOf(d)
-				for l := range liveAfter {
-					ln := g.NodeOf(l)
-					if ln == dn {
-						continue
-					}
-					if in.IsCopy() && l == in.Uses[0] {
-						continue
-					}
-					g.AddEdge(dn, ln)
+				excl := NodeID(-1)
+				if isCopy {
+					excl = g.NodeOf(in.Uses[0])
 				}
+				edgesToLive(g.NodeOf(d), liveRow, excl)
 			}
 			// Call clobbers: values live across the call (live after
 			// it, not defined by it) interfere with every volatile
 			// register.
 			if in.Op == ir.Call {
-				def := in.Def()
-				for l := range liveAfter {
-					if l == def {
-						continue
-					}
-					ln := g.NodeOf(l)
-					for _, vn := range volatiles {
-						if ln != vn {
-							g.AddEdge(ln, vn)
-						}
+				copy(clobberRow, liveRow)
+				if def := in.Def(); def != ir.NoReg {
+					clearBit(clobberRow, g.NodeOf(def))
+				}
+				for wi, w := range volRow {
+					base := NodeID(wi << 6)
+					for t := w; t != 0; t &= t - 1 {
+						edgesToLive(base+NodeID(bits.TrailingZeros64(t)), clobberRow, -1)
 					}
 				}
 			}
-			if in.IsCopy() {
+			if isCopy {
 				x, y := g.NodeOf(in.Defs[0]), g.NodeOf(in.Uses[0])
 				if x != y {
 					g.AddMove(x, y, freq)
 				}
 			}
-		})
+			// Step the live set backwards across the instruction.
+			for _, d := range in.Defs {
+				clearBit(liveRow, g.NodeOf(d))
+			}
+			for _, u := range in.Uses {
+				setBit(liveRow, g.NodeOf(u))
+			}
+		}
+	}
+
+	// Nothing is removed during construction, so active degree is
+	// exactly row population.
+	for i := 0; i < g.n; i++ {
+		g.degree[i] = popRow(g.adj[i])
 	}
 
 	g.Freeze()

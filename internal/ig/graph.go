@@ -85,6 +85,12 @@ func NewGraph(nPhys, nWebs int) *Graph {
 type GraphScratch struct {
 	g       Graph
 	backing []uint64
+
+	// Word rows reused by BuildInto's kernels (live set, volatile
+	// mask, call-clobber set), all g.words long.
+	liveRow    []uint64
+	volRow     []uint64
+	clobberRow []uint64
 }
 
 // NewGraphIn is NewGraph reusing ws's storage; a nil ws allocates
@@ -129,10 +135,19 @@ func (g *Graph) reinit(backing []uint64, nPhys, nWebs int) []uint64 {
 		g.alias[i] = NodeID(i)
 		g.members[i] = append(g.members[i][:0], NodeID(i))
 	}
+	// The physical registers form a clique: every phys row gets all
+	// phys bits except its own, written a word at a time.
 	for a := 0; a < nPhys; a++ {
-		for b := a + 1; b < nPhys; b++ {
-			g.AddEdge(NodeID(a), NodeID(b))
+		row := g.adj[a]
+		for wi := 0; wi<<6 < nPhys; wi++ {
+			w := ^uint64(0)
+			if rem := nPhys - wi<<6; rem < 64 {
+				w = 1<<uint(rem) - 1
+			}
+			row[wi] = w
 		}
+		row[a>>6] &^= 1 << (uint(a) & 63)
+		g.degree[a] = nPhys - 1
 	}
 	return backing
 }

@@ -5,6 +5,7 @@ package ig
 
 import (
 	"fmt"
+	"math/bits"
 
 	"prefcolor/internal/ir"
 	"prefcolor/internal/scratch"
@@ -29,6 +30,17 @@ type RenumberScratch struct {
 	webOf     []int32
 	uf        unionFind
 	info      RenumberInfo
+
+	// Per-block occupancy masks over the register index space: bit r
+	// of gensMask/inMask/outMask[b] is set exactly when the matching
+	// siteSet entry is non-nil. The dataflow loops walk set bits
+	// instead of all NumVirt entries, so blocks touching a handful of
+	// registers skip the empty 64-register spans word-at-a-time.
+	// Reaching-definition sets only ever grow, so the masks are
+	// monotone too.
+	gensMask [][]uint64
+	inMask   [][]uint64
+	outMask  [][]uint64
 }
 
 // RenumberInfo records how Renumber mapped original virtual registers
@@ -122,35 +134,57 @@ func RenumberInto(f *ir.Func, ws *RenumberScratch) (*RenumberInfo, error) {
 	defer func() { ws.singleton = singleton; ws.siteReg = siteReg }()
 	type regSites = []siteSet // indexed by VirtNum; nil = no reaching def
 
-	// Per-block gen (last def site per register).
+	// Per-block gen (last def site per register), with occupancy masks.
+	nw := (nv + 63) / 64
 	ws.gens = scratch.Rows(ws.gens, nb)
+	ws.gensMask = scratch.Rows(ws.gensMask, nb)
+	ws.inMask = scratch.Rows(ws.inMask, nb)
+	ws.outMask = scratch.Rows(ws.outMask, nb)
 	gens := ws.gens
+	gensMask, inMask, outMask := ws.gensMask, ws.inMask, ws.outMask
 	for _, b := range f.Blocks {
 		g := scratch.Slice(gens[b.ID], nv)
+		gm := scratch.Slice(gensMask[b.ID], nw)
+		inMask[b.ID] = scratch.Slice(inMask[b.ID], nw)
+		outMask[b.ID] = scratch.Slice(outMask[b.ID], nw)
 		for i := range b.Instrs {
 			if d := b.Instrs[i].Def(); d.IsVirt() {
-				g[d.VirtNum()] = single(siteAt[b.ID][i])
+				r := d.VirtNum()
+				g[r] = single(siteAt[b.ID][i])
+				gm[r>>6] |= 1 << (uint(r) & 63)
 			}
 		}
 		gens[b.ID] = g
+		gensMask[b.ID] = gm
 	}
 
 	mergeIn := func(b *ir.Block, out []regSites, rs regSites) {
-		for i := range rs {
-			rs[i] = nil
+		im := inMask[b.ID]
+		for wi, w := range im {
+			base := wi << 6
+			for t := w; t != 0; t &= t - 1 {
+				rs[base+bits.TrailingZeros64(t)] = nil
+			}
+			im[wi] = 0
 		}
 		if b.ID == 0 {
 			for _, p := range f.Params {
 				if p.IsVirt() {
-					rs[p.VirtNum()] = single(paramSite[p.VirtNum()])
+					r := p.VirtNum()
+					rs[r] = single(paramSite[r])
+					im[r>>6] |= 1 << (uint(r) & 63)
 				}
 			}
 		}
 		for _, p := range b.Preds {
-			for r, sites := range out[p] {
-				if sites != nil {
-					rs[r] = unionSites(rs[r], sites)
+			po := out[p]
+			for wi, w := range outMask[p] {
+				base := wi << 6
+				for t := w; t != 0; t &= t - 1 {
+					r := base + bits.TrailingZeros64(t)
+					rs[r] = unionSites(rs[r], po[r])
 				}
+				im[wi] |= w
 			}
 		}
 	}
@@ -169,14 +203,22 @@ func RenumberInto(f *ir.Func, ws *RenumberScratch) (*RenumberInfo, error) {
 			rs := in[b.ID]
 			mergeIn(b, out, rs)
 			blockChanged := false
-			for r := 0; r < nv; r++ {
-				sites := rs[r]
-				if g := gens[b.ID][r]; g != nil {
-					sites = g
-				}
-				if !sitesEqual(out[b.ID][r], sites) {
-					out[b.ID][r] = sites
-					blockChanged = true
+			bg, bo := gens[b.ID], out[b.ID]
+			im, gm, om := inMask[b.ID], gensMask[b.ID], outMask[b.ID]
+			for wi := range im {
+				w := im[wi] | gm[wi]
+				om[wi] = w
+				base := wi << 6
+				for t := w; t != 0; t &= t - 1 {
+					r := base + bits.TrailingZeros64(t)
+					sites := rs[r]
+					if g := bg[r]; g != nil {
+						sites = g
+					}
+					if !sitesEqual(bo[r], sites) {
+						bo[r] = sites
+						blockChanged = true
+					}
 				}
 			}
 			if blockChanged {

@@ -1,0 +1,58 @@
+package ir_test
+
+import (
+	"bytes"
+	"testing"
+
+	"prefcolor/internal/ir"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// Round-trip property over the full synthetic workload: decode∘encode
+// is the identity and the encoding is canonical (a fixed point).
+func TestBinaryRoundTripWorkload(t *testing.T) {
+	m := target.X86Like(8)
+	profiles := append(workload.Benchmarks(), workload.Large())
+	n := 0
+	for _, p := range profiles {
+		for _, raw := range workload.Generate(p, m) {
+			n++
+			// Normalize through one parse: the generator pads NumVirt
+			// with never-used registers, which the text form cannot
+			// represent, so the wire contract is stated over the
+			// parse-normalized function.
+			f, err := ir.Parse(raw.String())
+			if err != nil {
+				t.Fatalf("%s: parse: %v", raw.Name, err)
+			}
+			f.Name = raw.Name
+			enc := ir.EncodeBinary(f)
+			g, err := ir.DecodeBinary(enc)
+			if err != nil {
+				t.Fatalf("%s: DecodeBinary: %v", f.Name, err)
+			}
+			if g.String() != f.String() {
+				t.Fatalf("%s: round trip changed text", f.Name)
+			}
+			if g.NumVirt != f.NumVirt || g.NumSpillSlots != f.NumSpillSlots {
+				t.Fatalf("%s: round trip changed counters", f.Name)
+			}
+			if !bytes.Equal(ir.EncodeBinary(g), enc) {
+				t.Fatalf("%s: encoding is not canonical", f.Name)
+			}
+			// Text and binary ingestion of the same function must agree
+			// on the canonical bytes — the server's cache-key contract.
+			reparsed, err := ir.Parse(f.String())
+			if err != nil {
+				t.Fatalf("%s: reparse: %v", f.Name, err)
+			}
+			if !bytes.Equal(ir.EncodeBinary(reparsed), enc) {
+				t.Fatalf("%s: text and binary paths disagree on canonical bytes", f.Name)
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("workload corpus is empty")
+	}
+}

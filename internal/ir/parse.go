@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -32,6 +33,12 @@ func Parse(src string) (*Func, error) {
 	}
 	p.f.RecomputePreds()
 	if err := Validate(p.f); err != nil {
+		var pe *PosError
+		if errors.As(err, &pe) {
+			if line := p.lineOf(pe); line > 0 {
+				return nil, fmt.Errorf("ir.Parse: line %d: invalid function: %w", line, err)
+			}
+		}
 		return nil, fmt.Errorf("ir.Parse: invalid function: %w", err)
 	}
 	return p.f, nil
@@ -51,6 +58,29 @@ type parser struct {
 	cur    *Block
 	blocks map[string]*Block
 	line   int
+
+	// Source coordinates for post-parse validation diagnostics: the
+	// line of each block's label and of each instruction appended to
+	// it, keyed by block since IDs may be assigned by forward
+	// reference before the label line is seen.
+	blockLine  map[*Block]int
+	instrLines map[*Block][]int
+}
+
+// lineOf maps a validation error's (block, instr) coordinates back to
+// a source line; 0 when unknown.
+func (p *parser) lineOf(pe *PosError) int {
+	if int(pe.Block) >= len(p.f.Blocks) {
+		return 0
+	}
+	b := p.f.Blocks[pe.Block]
+	if pe.Instr >= 0 {
+		if lines := p.instrLines[b]; pe.Instr < len(lines) {
+			return lines[pe.Instr]
+		}
+		return 0
+	}
+	return p.blockLine[b]
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -101,6 +131,8 @@ func (p *parser) reg(tok string) (Reg, error) {
 func (p *parser) run(src string) error {
 	p.f = NewFunc("")
 	p.blocks = map[string]*Block{}
+	p.blockLine = map[*Block]int{}
+	p.instrLines = map[*Block][]int{}
 	sawHeader, sawClose := false, false
 	for _, raw := range strings.Split(src, "\n") {
 		p.line++
@@ -129,6 +161,7 @@ func (p *parser) run(src string) error {
 				return err
 			}
 			p.cur = b
+			p.blockLine[b] = p.line
 		default:
 			if !sawHeader {
 				return p.errf("instruction before func header")
@@ -280,5 +313,6 @@ func (p *parser) instr(line string) error {
 		in.Uses = append(in.Uses, r)
 	}
 	p.cur.Instrs = append(p.cur.Instrs, in)
+	p.instrLines[p.cur] = append(p.instrLines[p.cur], p.line)
 	return nil
 }

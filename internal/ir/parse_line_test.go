@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Validation failures discovered after parsing must still point at the
+// offending source line — the parser's own line counter stops at the
+// end of the scan, so coordinates flow back through *PosError.
+func TestParseValidationErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine string
+	}{
+		{
+			"terminator mid-block",
+			"func f() {\nb0:\n  v0 = loadimm 1\n  ret v0\n  v1 = loadimm 2\n}\n",
+			"line 4:", // the ret is the violation site
+		},
+		{
+			"phi after non-phi",
+			"func f() {\nb0:\n  jump b1\nb1:\n  v0 = loadimm 1\n  v1 = phi v0\n  ret v1\n}\n",
+			"line 6:",
+		},
+		{
+			"missing terminator",
+			"func f() {\nb0:\n  v0 = loadimm 1\n}\n",
+			"line 2:", // block-level violation points at b0's label line
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded on invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not carry %q", err, tc.wantLine)
+			}
+			var pe *PosError
+			if !errors.As(err, &pe) {
+				t.Errorf("error %q is not a *PosError", err)
+			}
+		})
+	}
+}

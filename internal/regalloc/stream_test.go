@@ -1,0 +1,80 @@
+package regalloc_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// Streaming ingestion from binary frames must produce exactly what
+// AllocateAll produces from the pre-parsed slice — same functions at
+// the same indices, decode/allocate overlap notwithstanding.
+func TestAllocateStreamMatchesAllocateAll(t *testing.T) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Benchmarks()[0], m)
+
+	opts := regalloc.BatchOptions{
+		NewAllocator: func() regalloc.Allocator { return core.New() },
+		Workers:      4,
+	}
+	want, err := regalloc.AllocateAll(funcs, m, opts)
+	if err != nil {
+		t.Fatalf("AllocateAll: %v", err)
+	}
+
+	var wire []byte
+	for _, f := range funcs {
+		wire = ir.AppendBinaryFrame(wire, f)
+	}
+	dec := ir.NewStreamDecoder(bytes.NewReader(wire))
+	opts.ReadAhead = 3
+	got, err := regalloc.AllocateStream(dec.Next, m, opts)
+	if err != nil {
+		t.Fatalf("AllocateStream: %v", err)
+	}
+	if len(got.Funcs) != len(want.Funcs) {
+		t.Fatalf("stream produced %d funcs, want %d", len(got.Funcs), len(want.Funcs))
+	}
+	for i := range want.Funcs {
+		if got.Funcs[i].String() != want.Funcs[i].String() {
+			t.Errorf("func %d (%s): stream output differs from slice batch", i, funcs[i].Name)
+		}
+	}
+}
+
+// A source failure aborts the stream and is reported at its position.
+func TestAllocateStreamSourceError(t *testing.T) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Benchmarks()[0], m)[:3]
+	boom := errors.New("decode exploded")
+
+	i := 0
+	src := func() (*ir.Func, error) {
+		if i == 2 {
+			return nil, boom
+		}
+		f := funcs[i]
+		i++
+		return f, nil
+	}
+	_, err := regalloc.AllocateStream(src, m, regalloc.BatchOptions{
+		NewAllocator: func() regalloc.Allocator { return core.New() },
+		Workers:      2,
+	})
+	if err == nil {
+		t.Fatal("want error from failing source")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not wrap the source failure", err)
+	}
+	if !strings.Contains(err.Error(), "function 2") {
+		t.Errorf("error %q does not carry the stream position", err)
+	}
+}

@@ -8,20 +8,82 @@ import (
 )
 
 // cacheKey is the content address of one allocation request: the
-// SHA-256 of the function source plus every setting that can steer the
-// allocation outcome (machine model and register count, allocator
-// name, pre-allocation optimization, driver options). Telemetry
-// settings are deliberately excluded — collection observes without
-// steering, so instrumented and quiet runs share cache entries.
+// SHA-256 of the function's *canonical binary encoding* plus every
+// setting that can steer the allocation outcome (machine model and
+// register count, allocator name, pre-allocation optimization, driver
+// options). Keying on ir.EncodeBinary bytes rather than raw request
+// bytes means a textual and a binary request for the same function —
+// comments, whitespace, and wire format notwithstanding — share one
+// LRU entry. Telemetry settings are deliberately excluded —
+// collection observes without steering, so instrumented and quiet
+// runs share cache entries.
 type cacheKey [sha256.Size]byte
 
-// keyFor derives the cache key of one normalized request.
-func keyFor(source string, spec requestSpec) cacheKey {
-	src := sha256.Sum256([]byte(source))
+// keyFor derives the cache key from the canonical-encoding hash
+// (sha256 over ir.EncodeBinary of the function) and the normalized
+// request spec.
+func keyFor(canonHash [sha256.Size]byte, spec requestSpec) cacheKey {
 	return sha256.Sum256([]byte(fmt.Sprintf(
 		"src=%x|machine=%s|k=%d|alloc=%s|optimize=%t|remat=%t|bls=%t|rounds=%d",
-		src, spec.Machine, spec.K, spec.Allocator,
+		canonHash, spec.Machine, spec.K, spec.Allocator,
 		spec.Optimize, spec.Rematerialize, spec.BlockLocalSpills, spec.MaxRounds)))
+}
+
+// keyMemo remembers the canonical-encoding hash for raw request bytes
+// already seen (keyed by a hash of the raw text or binary body), so
+// repeat requests reach the result cache without re-parsing or
+// re-decoding. It is an optimization only — a missing or evicted memo
+// entry just costs one parse — and it is spec-independent, since the
+// canonicalization of a function does not depend on how it will be
+// allocated.
+type keyMemo struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *memoItem
+	items    map[[sha256.Size]byte]*list.Element
+}
+
+type memoItem struct {
+	raw   [sha256.Size]byte
+	canon [sha256.Size]byte
+}
+
+func newKeyMemo(capacity int) *keyMemo {
+	return &keyMemo{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+func (m *keyMemo) get(raw [sha256.Size]byte) ([sha256.Size]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[raw]
+	if !ok {
+		return [sha256.Size]byte{}, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoItem).canon, true
+}
+
+func (m *keyMemo) add(raw, canon [sha256.Size]byte) {
+	if m.capacity <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[raw]; ok {
+		el.Value.(*memoItem).canon = canon
+		m.order.MoveToFront(el)
+		return
+	}
+	if m.order.Len() >= m.capacity {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.items, oldest.Value.(*memoItem).raw)
+	}
+	m.items[raw] = m.order.PushFront(&memoItem{raw: raw, canon: canon})
 }
 
 // entry is one cached allocation outcome. Entries are immutable after

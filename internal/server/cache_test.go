@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,7 +9,7 @@ import (
 )
 
 func testKey(i int) cacheKey {
-	return keyFor(fmt.Sprintf("func k%d() {\nb0:\n  ret r0\n}\n", i), requestSpec{})
+	return keyFor(sha256.Sum256([]byte(fmt.Sprintf("func k%d() {\nb0:\n  ret r0\n}\n", i))), requestSpec{})
 }
 
 func testEntry(i int) *entry {
@@ -117,7 +118,7 @@ func TestFlightGroupSingleLeader(t *testing.T) {
 }
 
 func TestCacheKeySensitivity(t *testing.T) {
-	src := "func f(v0) {\nb0:\n  ret v0\n}\n"
+	src := sha256.Sum256([]byte("func f(v0) {\nb0:\n  ret v0\n}\n"))
 	base := requestSpec{Machine: "ia64", K: 16, Allocator: "pref-full"}
 	if keyFor(src, base) != keyFor(src, base) {
 		t.Error("identical requests produced different keys")
@@ -139,7 +140,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	if seen[keyFor("func g() {\nb0:\n  ret r0\n}\n", base)] {
+	if seen[keyFor(sha256.Sum256([]byte("func g() {\nb0:\n  ret r0\n}\n")), base)] {
 		t.Error("different source collided")
 	}
 }

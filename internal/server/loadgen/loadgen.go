@@ -20,19 +20,25 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"prefcolor/internal/ir"
+	"prefcolor/internal/server"
 	"prefcolor/internal/target"
 	"prefcolor/internal/workload"
 )
 
-// Item is one corpus entry: a named function in the textual IR.
+// Item is one corpus entry: a named function in the textual IR plus
+// its canonical binary encoding (for Options.Binary runs).
 type Item struct {
 	Name   string
 	Source string
+	Binary []byte
 }
 
 // CorpusFromProfiles serializes the named workload profiles ("all"
@@ -60,7 +66,11 @@ func CorpusFromProfiles(names string, m *target.Machine) ([]Item, error) {
 	var corpus []Item
 	for _, p := range profiles {
 		for _, f := range workload.Generate(p, m) {
-			corpus = append(corpus, Item{Name: f.Name, Source: f.String()})
+			corpus = append(corpus, Item{
+				Name:   f.Name,
+				Source: f.String(),
+				Binary: ir.EncodeBinary(f),
+			})
 		}
 	}
 	return corpus, nil
@@ -93,6 +103,18 @@ type Options struct {
 
 	// Seed makes the corpus-picking sequence deterministic; 0 means 1.
 	Seed int64
+
+	// Cold sends no_cache on every request, so the daemon parses (or
+	// decodes) and allocates each one from scratch — the honest
+	// cold-path measurement. Canonical cache keys make comment-salting
+	// tricks ineffective, so this is the only way to measure cold
+	// latency against a warm daemon.
+	Cold bool
+
+	// Binary posts each function's canonical binary encoding with the
+	// binary IR content type (spec parameters ride in the query)
+	// instead of the JSON/text body.
+	Binary bool
 
 	// KeepResponses retains the first successful response per corpus
 	// item in Report.Responses, for offline re-validation.
@@ -129,6 +151,13 @@ type Report struct {
 	LatencyP99MS  float64 `json:"latency_p99_ms"`
 	LatencyMaxMS  float64 `json:"latency_max_ms"`
 
+	// Hot and Cold split the successful requests by how the daemon
+	// served them: hot = from the result cache, cold = computed fresh.
+	// In Options.Cold runs every request is cold by construction; in
+	// mixed runs the split shows the cache's contribution directly.
+	Hot  Bucket `json:"hot"`
+	Cold Bucket `json:"cold"`
+
 	// DigestMismatches counts responses whose digest disagreed with an
 	// earlier response for the same item — always zero for a correct
 	// daemon.
@@ -139,12 +168,39 @@ type Report struct {
 	Responses []Response `json:"-"`
 }
 
+// Bucket summarizes one class of successful requests.
+type Bucket struct {
+	Requests      int     `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP90MS  float64 `json:"latency_p90_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+}
+
+func bucketFrom(latencies []float64, durationSec float64) Bucket {
+	b := Bucket{Requests: len(latencies)}
+	n := len(latencies)
+	if n == 0 {
+		return b
+	}
+	if durationSec > 0 {
+		b.ThroughputRPS = float64(n) / durationSec
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 { return latencies[int(p*float64(n-1))] }
+	b.LatencyP50MS = pct(0.50)
+	b.LatencyP90MS = pct(0.90)
+	b.LatencyP99MS = pct(0.99)
+	return b
+}
+
 type allocateBody struct {
 	Source    string `json:"source"`
 	Machine   string `json:"machine,omitempty"`
 	K         int    `json:"k,omitempty"`
 	Allocator string `json:"allocator,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
 }
 
 type allocateReply struct {
@@ -191,6 +247,8 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		hotLat    []float64
+		coldLat   []float64
 		rep       = Report{Concurrency: concurrency, CorpusSize: len(o.Corpus)}
 		digests   = make(map[int]string)
 		kept      = make(map[int]Response)
@@ -207,7 +265,30 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		return true
 	}
 
-	url := strings.TrimSuffix(o.BaseURL, "/") + "/v1/allocate"
+	reqURL := strings.TrimSuffix(o.BaseURL, "/") + "/v1/allocate"
+	if o.Binary {
+		// Binary requests carry the whole spec in the query; the body
+		// is the function itself.
+		q := url.Values{}
+		if o.Machine != "" {
+			q.Set("machine", o.Machine)
+		}
+		if o.K != 0 {
+			q.Set("k", strconv.Itoa(o.K))
+		}
+		if o.Allocator != "" {
+			q.Set("allocator", o.Allocator)
+		}
+		if o.TimeoutMS != 0 {
+			q.Set("timeout_ms", strconv.Itoa(o.TimeoutMS))
+		}
+		if o.Cold {
+			q.Set("no_cache", "true")
+		}
+		if enc := q.Encode(); enc != "" {
+			reqURL += "?" + enc
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
@@ -219,19 +300,27 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 					return
 				}
 				i := rng.Intn(len(o.Corpus))
-				body, _ := json.Marshal(allocateBody{
-					Source: o.Corpus[i].Source, Machine: o.Machine, K: o.K,
-					Allocator: o.Allocator, TimeoutMS: o.TimeoutMS,
-				})
+				var body []byte
+				contentType := "application/json"
+				if o.Binary {
+					body = o.Corpus[i].Binary
+					contentType = server.BinaryContentType
+				} else {
+					body, _ = json.Marshal(allocateBody{
+						Source: o.Corpus[i].Source, Machine: o.Machine, K: o.K,
+						Allocator: o.Allocator, TimeoutMS: o.TimeoutMS,
+						NoCache: o.Cold,
+					})
+				}
 				t0 := time.Now()
-				req, err := http.NewRequestWithContext(runCtx, http.MethodPost, url, bytes.NewReader(body))
+				req, err := http.NewRequestWithContext(runCtx, http.MethodPost, reqURL, bytes.NewReader(body))
 				if err != nil {
 					mu.Lock()
 					rep.Errors++
 					mu.Unlock()
 					continue
 				}
-				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("Content-Type", contentType)
 				resp, err := client.Do(req)
 				if err != nil {
 					if runCtx.Err() == nil {
@@ -255,10 +344,14 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 						continue
 					}
 					rep.OK++
+					ms := float64(elapsed.Microseconds()) / 1000
 					if r.Cached {
 						rep.CacheHits++
+						hotLat = append(hotLat, ms)
+					} else {
+						coldLat = append(coldLat, ms)
 					}
-					latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+					latencies = append(latencies, ms)
 					if prev, ok := digests[i]; ok && prev != r.Digest {
 						rep.DigestMismatches++
 					} else {
@@ -306,6 +399,8 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		rep.LatencyP99MS = pct(0.99)
 		rep.LatencyMaxMS = latencies[n-1]
 	}
+	rep.Hot = bucketFrom(hotLat, rep.DurationSec)
+	rep.Cold = bucketFrom(coldLat, rep.DurationSec)
 	items := make([]int, 0, len(kept))
 	for i := range kept {
 		items = append(items, i)

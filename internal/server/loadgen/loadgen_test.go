@@ -188,3 +188,68 @@ func TestRunMaxRequests(t *testing.T) {
 		t.Errorf("run took %.1fs; budget did not stop it", rep.DurationSec)
 	}
 }
+
+// TestRunColdBinary exercises the cold-path measurement mode over the
+// binary wire format: every request must bypass the cache (zero hits,
+// all samples in the cold bucket) while digests still agree with the
+// textual path.
+func TestRunColdBinary(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, QueueSize: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	m := target.UsageModel(16)
+	corpus, err := CorpusFromProfiles("compress", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range corpus {
+		if len(item.Binary) == 0 {
+			t.Fatalf("%s: corpus item has no binary encoding", item.Name)
+		}
+	}
+
+	// Warm the cache via the textual path first, so any cache leak into
+	// the cold run would show up as a hit.
+	warm, err := Run(context.Background(), Options{
+		BaseURL: ts.URL, Corpus: corpus[:2], Concurrency: 2,
+		Duration: 30 * time.Second, MaxRequests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Errors != 0 || warm.OK == 0 {
+		t.Fatalf("warm-up failed: %+v", warm)
+	}
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL: ts.URL, Corpus: corpus[:2], Concurrency: 2,
+		Duration: 30 * time.Second, MaxRequests: 8,
+		Cold: true, Binary: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("hard errors: %d", rep.Errors)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no successful binary requests")
+	}
+	if rep.CacheHits != 0 {
+		t.Errorf("cold run saw %d cache hits, want 0", rep.CacheHits)
+	}
+	if rep.Hot.Requests != 0 {
+		t.Errorf("hot bucket holds %d samples in a cold run", rep.Hot.Requests)
+	}
+	if rep.Cold.Requests != rep.OK {
+		t.Errorf("cold bucket %d != ok %d", rep.Cold.Requests, rep.OK)
+	}
+	if rep.Cold.LatencyP50MS <= 0 {
+		t.Error("cold bucket has no p50")
+	}
+	if rep.DigestMismatches != 0 {
+		t.Errorf("digest mismatches: %d", rep.DigestMismatches)
+	}
+}

@@ -100,6 +100,25 @@ type WorkloadProfile = workload.Profile
 //	}
 func ParseFunction(src string) (*Function, error) { return ir.Parse(src) }
 
+// EncodeFunctionBinary returns f's canonical binary IR encoding — the
+// compact wire format the prefgcd daemon accepts on /v1/allocate with
+// the application/x-prefgcd-ir content type. Encoding then decoding
+// reproduces the function exactly.
+func EncodeFunctionBinary(f *Function) []byte { return ir.EncodeBinary(f) }
+
+// DecodeFunctionBinary decodes one function from the binary IR wire
+// format and validates it.
+func DecodeFunctionBinary(data []byte) (*Function, error) { return ir.DecodeBinary(data) }
+
+// AppendFunctionBinaryFrame appends f as one length-prefixed frame of
+// the /v1/batch binary stream format and returns the extended buffer.
+func AppendFunctionBinaryFrame(dst []byte, f *Function) []byte {
+	return ir.AppendBinaryFrame(dst, f)
+}
+
+// IsBinaryIR reports whether data begins with the binary IR magic.
+func IsBinaryIR(data []byte) bool { return ir.IsBinary(data) }
+
 // NewMachine returns the paper's IA-64-like usage model with k
 // registers: the lower half volatile, up to eight parameter registers,
 // r0 doubling as first parameter and return register, and

@@ -22,6 +22,22 @@
 // Load mode exits non-zero if any request failed hard or any two
 // responses for the same function disagreed, so it doubles as a CI
 // smoke check.
+//
+// Cluster mode (-cluster) serves a consistent-hashing router at -addr
+// over -replicas in-process shards, so each shard's LRU stays disjoint
+// and hot; -router instead points the router at already-running
+// daemons:
+//
+//	prefgcd -cluster -replicas 3 -addr localhost:8400
+//	prefgcd -router r0=localhost:8401,r1=localhost:8402 -addr localhost:8400
+//
+// Sim mode (-sim) runs one deterministic fault-injection round —
+// scripted kill/drain/resurrect against a seeded cluster plus a
+// single-replica baseline — and writes the benchmark record
+// (BENCH_PR7.json format); it exits non-zero on any invariant
+// violation and prints the reproducer line:
+//
+//	prefgcd -sim -seed 1 -replicas 3 -requests 600 -corpus all -pr 7 -out BENCH_PR7.json
 package main
 
 import (
@@ -62,6 +78,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when none given (0 = 30s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on requested deadlines (0 = 2m)")
 
+	// Cluster-mode flags.
+	clusterMode := fs.Bool("cluster", false, "serve a consistent-hashing router over in-process replicas")
+	replicas := fs.Int("replicas", 3, "cluster/sim: shard count")
+	router := fs.String("router", "", "serve a router over external replicas: comma list of id=url")
+
+	// Sim-mode flags.
+	simMode := fs.Bool("sim", false, "run one deterministic cluster fault-injection round and exit")
+	schedule := fs.String("schedule", "", "sim: explicit fault schedule (e.g. kill@120:1,resurrect@200:1; default derives from -seed)")
+	events := fs.Int("events", 0, "sim: fault events in the derived schedule (0 = 4)")
+
 	// Load-mode flags.
 	load := fs.Bool("load", false, "drive load against a running daemon instead of serving")
 	duration := fs.Duration("duration", 5*time.Second, "load: run duration")
@@ -80,6 +106,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *simMode {
+		return runSim(stdout, stderr, simCLIConfig{
+			seed: *seed, replicas: *replicas, requests: *requests,
+			events: *events, schedule: *schedule, corpus: *corpus,
+			cache: *cacheEntries, pr: *pr, title: *title, out: *out,
+		})
+	}
+	if *clusterMode || *router != "" {
+		return serveCluster(stdout, stderr, clusterConfig{
+			addr: *addr, replicas: *replicas, router: *router,
+			srv: server.Config{
+				Workers:        *workers,
+				QueueSize:      *queueSize,
+				CacheEntries:   *cacheEntries,
+				DefaultTimeout: *defaultTimeout,
+				MaxTimeout:     *maxTimeout,
+			},
+		})
 	}
 	if *load {
 		return runLoad(stdout, stderr, loadConfig{

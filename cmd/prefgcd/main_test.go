@@ -36,6 +36,77 @@ func TestLoadModeBadCorpus(t *testing.T) {
 	}
 }
 
+func TestParseReplicaSpec(t *testing.T) {
+	reps, err := parseReplicaSpec("r0=localhost:8401, r1=http://host:8402")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].BaseURL != "http://localhost:8401" ||
+		reps[1].BaseURL != "http://host:8402" || reps[1].ID != "r1" {
+		t.Errorf("parsed %+v", reps)
+	}
+	for _, bad := range []string{"", "no-equals", ","} {
+		if _, err := parseReplicaSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestClusterModeBadRouterSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-router", "garbage"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+}
+
+func TestSimModeBadSchedule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sim", "-schedule", "explode@9:0"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown action") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+// TestSimModeEndToEnd runs a small fault-free simulation round through
+// the CLI and checks the benchmark record it emits.
+func TestSimModeEndToEnd(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-sim", "-seed", "1", "-requests", "60", "-corpus", "compress",
+		"-cache", "4", "-schedule", "none", "-pr", "7", "-out", outPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec simRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.PR != 7 {
+		t.Errorf("pr = %d, want 7", rec.PR)
+	}
+	if rec.Result == nil || rec.Result.OK != 60 {
+		t.Fatalf("result = %+v, want 60 ok", rec.Result)
+	}
+	if rec.Result.BaselineRPS <= 0 || rec.Result.Speedup <= 0 {
+		t.Errorf("baseline %.1f speedup %.2f — baseline phase missing",
+			rec.Result.BaselineRPS, rec.Result.Speedup)
+	}
+	if len(rec.Result.Violations) != 0 {
+		t.Errorf("violations: %v", rec.Result.Violations)
+	}
+	if !bytes.Equal(bytes.TrimSpace(out.Bytes()), bytes.TrimSpace(data)) {
+		t.Error("stdout record differs from -out file")
+	}
+}
+
 // TestLoadModeEndToEnd runs the load mode in-process against a live
 // server and checks the exit code, the report on stdout, and the
 // benchmark record written by -out.

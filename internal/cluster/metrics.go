@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// routerMetrics is the router's counter registry, rendered as
+// Prometheus text exposition on the router's /metrics. Everything is
+// keyed per shard so per-shard rps (rate of forwards_total), hit
+// ratio (hits vs misses), and rehash counts are one scrape away.
+type routerMetrics struct {
+	mu       sync.Mutex
+	ids      []string                 // stable label order
+	requests map[string]map[int]int64 // endpoint -> status -> count (router's own)
+	forwards map[string]map[int]int64 // replica -> status -> count
+	hits     map[string]int64         // replica -> cache hits observed
+	misses   map[string]int64         // replica -> cache misses observed
+	rehashes map[string]int64         // replica -> non-home serves
+	retries  map[string]int64         // reason -> count
+	states   map[string]int32         // replica -> health state
+}
+
+func newRouterMetrics(ids []string) *routerMetrics {
+	m := &routerMetrics{
+		ids:      append([]string(nil), ids...),
+		requests: make(map[string]map[int]int64),
+		forwards: make(map[string]map[int]int64),
+		hits:     make(map[string]int64),
+		misses:   make(map[string]int64),
+		rehashes: make(map[string]int64),
+		retries:  make(map[string]int64),
+		states:   make(map[string]int32),
+	}
+	sort.Strings(m.ids)
+	return m
+}
+
+// CountRequest tallies one finished router HTTP request.
+func (m *routerMetrics) CountRequest(endpoint string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+}
+
+// CountForward tallies one response obtained from a replica.
+func (m *routerMetrics) CountForward(replica string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.forwards[replica]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.forwards[replica] = byCode
+	}
+	byCode[code]++
+}
+
+// CountCache tallies a replica-reported cache disposition.
+func (m *routerMetrics) CountCache(replica string, hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.hits[replica]++
+	} else {
+		m.misses[replica]++
+	}
+}
+
+// CountRehash tallies a request served by a shard that is not the
+// key's home — the cost of failover, paid as a cold compute on a
+// foreign shard.
+func (m *routerMetrics) CountRehash(replica string) {
+	m.mu.Lock()
+	m.rehashes[replica]++
+	m.mu.Unlock()
+}
+
+// CountRetry tallies one retry by reason (conn, draining, http5xx, 429).
+func (m *routerMetrics) CountRetry(reason string) {
+	m.mu.Lock()
+	m.retries[reason]++
+	m.mu.Unlock()
+}
+
+// SetState records the router's belief about a replica's health.
+func (m *routerMetrics) SetState(replica string, state int32) {
+	m.mu.Lock()
+	m.states[replica] = state
+	m.mu.Unlock()
+}
+
+// Counters returns per-replica (forwards, hits, misses, rehashes)
+// totals — the simulator's accounting hook.
+func (m *routerMetrics) Counters(replica string) (forwards, hits, misses, rehashes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.forwards[replica] {
+		forwards += n
+	}
+	return forwards, m.hits[replica], m.misses[replica], m.rehashes[replica]
+}
+
+// Render writes the Prometheus text exposition.
+func (m *routerMetrics) Render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	labeled := func(name, help string, byKey map[string]map[int]int64, keyLabel string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			codes := make([]int, 0, len(byKey[k]))
+			for c := range byKey[k] {
+				codes = append(codes, c)
+			}
+			sort.Ints(codes)
+			for _, c := range codes {
+				fmt.Fprintf(&b, "%s{%s=%q,code=\"%d\"} %d\n", name, keyLabel, k, c, byKey[k][c])
+			}
+		}
+	}
+	perReplica := func(name, help string, vals map[string]int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, id := range m.ids {
+			fmt.Fprintf(&b, "%s{replica=%q} %d\n", name, id, vals[id])
+		}
+	}
+
+	labeled("prefgcd_router_requests_total",
+		"Router HTTP requests by endpoint and status code.", m.requests, "endpoint")
+	labeled("prefgcd_router_forwards_total",
+		"Responses obtained from replicas, by replica and status code.", m.forwards, "replica")
+	perReplica("prefgcd_router_cache_hits_total",
+		"Forwarded requests the replica served from its result cache.", m.hits)
+	perReplica("prefgcd_router_cache_misses_total",
+		"Forwarded requests the replica computed fresh.", m.misses)
+	perReplica("prefgcd_router_rehash_total",
+		"Requests served by a non-home shard after failover.", m.rehashes)
+
+	b.WriteString("# HELP prefgcd_router_retries_total Forwarding retries by reason.\n")
+	b.WriteString("# TYPE prefgcd_router_retries_total counter\n")
+	reasons := make([]string, 0, len(m.retries))
+	for r := range m.retries {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "prefgcd_router_retries_total{reason=%q} %d\n", r, m.retries[r])
+	}
+
+	b.WriteString("# HELP prefgcd_router_replica_state Router's belief about each replica (0 healthy, 1 draining, 2 down).\n")
+	b.WriteString("# TYPE prefgcd_router_replica_state gauge\n")
+	for _, id := range m.ids {
+		fmt.Fprintf(&b, "prefgcd_router_replica_state{replica=%q} %d\n", id, m.states[id])
+	}
+	return b.String()
+}

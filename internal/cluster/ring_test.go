@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"prefcolor/internal/server"
+)
+
+func testKey(i int) server.Key {
+	return server.Key(sha256.Sum256([]byte(fmt.Sprintf("key-%d", i))))
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"r0", "r1", "r2"}, 128)
+	b := newRing([]string{"r2", "r0", "r1"}, 128) // order must not matter
+	for i := 0; i < 200; i++ {
+		k := testKey(i)
+		if a.home(k) != b.home(k) {
+			t.Fatalf("key %d: home differs across construction order: %s vs %s",
+				i, a.home(k), b.home(k))
+		}
+	}
+}
+
+func TestRingLookupOrder(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2"}, 128)
+	for i := 0; i < 100; i++ {
+		k := testKey(i)
+		order := r.lookup(k)
+		if len(order) != 3 {
+			t.Fatalf("key %d: lookup returned %d replicas, want 3", i, len(order))
+		}
+		if order[0] != r.home(k) {
+			t.Fatalf("key %d: home %s not first in %v", i, r.home(k), order)
+		}
+		seen := map[string]bool{}
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("key %d: duplicate %s in preference order %v", i, id, order)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2"}, 128)
+	counts := map[string]int{}
+	const n = 6000
+	for i := 0; i < n; i++ {
+		counts[r.home(testKey(i))]++
+	}
+	for id, c := range counts {
+		// With 128 vnodes the shares should be within a loose band of
+		// the fair third — the point is no shard is starved or doubled.
+		if c < n/5 || c > n/2 {
+			t.Errorf("replica %s owns %d of %d keys — outside [%d, %d]", id, c, n, n/5, n/2)
+		}
+	}
+}
+
+// TestRingConsistency pins the property the whole design leans on:
+// removing one replica only moves the keys that lived on it — every
+// other key keeps its home, so failover does not reshuffle the
+// cluster's caches.
+func TestRingConsistency(t *testing.T) {
+	full := newRing([]string{"r0", "r1", "r2"}, 128)
+	reduced := newRing([]string{"r0", "r2"}, 128)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		k := testKey(i)
+		before, after := full.home(k), reduced.home(k)
+		if before == "r1" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d: home moved %s -> %s though r1 never owned it", i, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("r1 owned no keys — distribution test should have caught this")
+	}
+}
+
+// TestRingFailoverSuccessor pins that lookup's second choice is the
+// reduced ring's home — the router's failover lands exactly where the
+// keys would live if the shard were gone for good.
+func TestRingFailoverSuccessor(t *testing.T) {
+	full := newRing([]string{"r0", "r1", "r2"}, 128)
+	reduced := newRing([]string{"r0", "r2"}, 128)
+	for i := 0; i < 2000; i++ {
+		k := testKey(i)
+		if full.home(k) != "r1" {
+			continue
+		}
+		if got, want := full.lookup(k)[1], reduced.home(k); got != want {
+			t.Fatalf("key %d: failover successor %s, want %s", i, got, want)
+		}
+	}
+}

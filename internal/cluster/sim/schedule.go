@@ -1,0 +1,219 @@
+// Package sim is the deterministic cluster simulator: it drives a
+// router plus N in-process prefgcd replicas to a request budget while
+// killing, draining, and resurrecting replicas on a scripted
+// schedule, and checks the invariants every scaling PR must preserve
+// — zero digest divergence from a single-process oracle, zero
+// client-visible 5xx, bounded tail latency, and no key computing on
+// more shards than the fault count allows.
+//
+// Determinism is the metamorph-corpus kind: the fault schedule is a
+// pure function of a seed (or an explicit schedule string), events
+// fire at exact global request counts rather than wall-clock
+// moments, and every assertion is interleaving-independent — so a
+// failure prints one `-sim.seed`/`-sim.schedule` line that replays
+// the same kill/drain/resurrect sequence, and shrunk schedules can
+// be committed to testdata/ as regression scripts.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Action is one fault-injection verb.
+type Action string
+
+const (
+	// Kill abruptly severs a replica: its listener and every open
+	// connection close mid-flight, as a crash would.
+	Kill Action = "kill"
+
+	// Drain gracefully drains a replica: new admissions are refused
+	// with 503 while requests already admitted run to completion —
+	// the router must hand new work elsewhere with zero client 5xx.
+	Drain Action = "drain"
+
+	// Resurrect brings a killed or drained replica back as a fresh
+	// process: empty cache, new listener, same identity. Recomputed
+	// results must still match the oracle bit for bit.
+	Resurrect Action = "resurrect"
+)
+
+// Event is one scripted fault: when the global completed-request
+// counter reaches AtRequest, Action applies to Replica.
+type Event struct {
+	AtRequest int
+	Action    Action
+	Replica   int
+}
+
+// Schedule is a fault script, ordered by AtRequest.
+type Schedule []Event
+
+// String renders the schedule in the reproducer format:
+// "kill@120:1,drain@240:0,resurrect@400:1" (action@request:replica).
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = fmt.Sprintf("%s@%d:%d", e.Action, e.AtRequest, e.Replica)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule reads the String format back. "none" and "" parse to
+// an empty schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	var sched Schedule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		action, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("sim: event %q: want action@request:replica", part)
+		}
+		switch Action(action) {
+		case Kill, Drain, Resurrect:
+		default:
+			return nil, fmt.Errorf("sim: event %q: unknown action %q", part, action)
+		}
+		atStr, repStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("sim: event %q: want action@request:replica", part)
+		}
+		at, err := strconv.Atoi(atStr)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("sim: event %q: bad request count %q", part, atStr)
+		}
+		rep, err := strconv.Atoi(repStr)
+		if err != nil || rep < 0 {
+			return nil, fmt.Errorf("sim: event %q: bad replica index %q", part, repStr)
+		}
+		sched = append(sched, Event{AtRequest: at, Action: Action(action), Replica: rep})
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtRequest < sched[j].AtRequest })
+	return sched, nil
+}
+
+// Validate checks a schedule against a replica count and confirms the
+// cluster is never left without a live replica: kills and drains may
+// not take down the last standing shard, resurrects must target a
+// replica that is actually down or draining, and kills must target a
+// live one. (A drained replica counts as not-live for the "last
+// standing" rule — it refuses new work.)
+func (s Schedule) Validate(replicas int) error {
+	live := make([]bool, replicas) // accepting new work
+	up := make([]bool, replicas)   // process exists (live or draining)
+	for i := range live {
+		live[i], up[i] = true, true
+	}
+	liveCount := replicas
+	for _, e := range s {
+		if e.Replica < 0 || e.Replica >= replicas {
+			return fmt.Errorf("sim: event %v: replica out of range [0,%d)", e, replicas)
+		}
+		switch e.Action {
+		case Kill:
+			if !up[e.Replica] {
+				return fmt.Errorf("sim: event %v: replica already dead", e)
+			}
+			if live[e.Replica] {
+				if liveCount == 1 {
+					return fmt.Errorf("sim: event %v: would kill the last live replica", e)
+				}
+				liveCount--
+			}
+			live[e.Replica], up[e.Replica] = false, false
+		case Drain:
+			if !up[e.Replica] || !live[e.Replica] {
+				return fmt.Errorf("sim: event %v: replica not live", e)
+			}
+			if liveCount == 1 {
+				return fmt.Errorf("sim: event %v: would drain the last live replica", e)
+			}
+			liveCount--
+			live[e.Replica] = false
+		case Resurrect:
+			if live[e.Replica] {
+				return fmt.Errorf("sim: event %v: replica already live", e)
+			}
+			live[e.Replica], up[e.Replica] = true, true
+			liveCount++
+		default:
+			return fmt.Errorf("sim: event %v: unknown action", e)
+		}
+	}
+	return nil
+}
+
+// RandomSchedule derives a valid fault script from a seed: events
+// spaced through [10%, 85%] of the request horizon, actions drawn
+// among the feasible ones at each point (never killing or draining
+// the last live replica), with killed and drained replicas eligible
+// for resurrection. The same (seed, replicas, events, horizon)
+// always yields the same schedule — the seed IS the scenario.
+func RandomSchedule(seed int64, replicas, events, horizon int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	live := make([]bool, replicas)
+	up := make([]bool, replicas)
+	for i := range live {
+		live[i], up[i] = true, true
+	}
+	liveCount := replicas
+
+	var sched Schedule
+	lo, hi := horizon/10, horizon*85/100
+	if hi <= lo {
+		hi = lo + 1
+	}
+	ats := make([]int, 0, events)
+	for i := 0; i < events; i++ {
+		ats = append(ats, lo+rng.Intn(hi-lo))
+	}
+	sort.Ints(ats)
+	for _, at := range ats {
+		// Enumerate feasible (action, replica) pairs, then pick one.
+		type choice struct {
+			a Action
+			r int
+		}
+		var choices []choice
+		for r := 0; r < replicas; r++ {
+			if up[r] && live[r] && liveCount > 1 {
+				choices = append(choices, choice{Kill, r}, choice{Drain, r})
+			} else if up[r] && !live[r] && liveCount > 1 {
+				choices = append(choices, choice{Kill, r}) // kill a draining replica
+			}
+			if !live[r] {
+				choices = append(choices, choice{Resurrect, r})
+			}
+		}
+		if len(choices) == 0 {
+			continue
+		}
+		c := choices[rng.Intn(len(choices))]
+		switch c.a {
+		case Kill:
+			if live[c.r] {
+				liveCount--
+			}
+			live[c.r], up[c.r] = false, false
+		case Drain:
+			liveCount--
+			live[c.r] = false
+		case Resurrect:
+			liveCount++
+			live[c.r], up[c.r] = true, true
+		}
+		sched = append(sched, Event{AtRequest: at, Action: c.a, Replica: c.r})
+	}
+	return sched
+}

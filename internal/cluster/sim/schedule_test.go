@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleStringRoundtrip(t *testing.T) {
+	cases := []string{
+		"none",
+		"kill@120:1",
+		"kill@60:1,drain@110:0,resurrect@150:1",
+		"drain@50:2,kill@90:2,resurrect@200:2",
+	}
+	for _, s := range cases {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", s, err)
+		}
+		if got := sched.String(); got != s {
+			t.Errorf("roundtrip %q -> %q", s, got)
+		}
+	}
+	if sched, err := ParseSchedule(""); err != nil || len(sched) != 0 {
+		t.Errorf("empty string: got %v, %v", sched, err)
+	}
+}
+
+func TestParseScheduleSorts(t *testing.T) {
+	sched, err := ParseSchedule("resurrect@300:1,kill@100:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0].Action != Kill || sched[1].Action != Resurrect {
+		t.Errorf("schedule not sorted by request count: %s", sched)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, s := range []string{
+		"kill",             // no @
+		"explode@10:0",     // unknown action
+		"kill@ten:0",       // bad count
+		"kill@10",          // no replica
+		"kill@10:x",        // bad replica
+		"kill@-5:0",        // negative count
+		"kill@10:-1",       // negative replica
+		"kill@10:0,,what",  // malformed tail
+		"kill@10:0 junk:1", // not comma-separated
+	} {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q): want error", s)
+		}
+	}
+}
+
+func TestValidateLastReplicaRules(t *testing.T) {
+	mustFail := func(s string, replicas int, wantSub string) {
+		t.Helper()
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sched.Validate(replicas)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Validate(%q, %d) = %v, want error containing %q", s, replicas, err, wantSub)
+		}
+	}
+	mustFail("kill@10:0,kill@20:1,kill@30:2", 3, "last live")
+	mustFail("drain@10:0,drain@20:1", 2, "last live")
+	mustFail("kill@10:0,kill@20:0", 3, "already dead")
+	mustFail("resurrect@10:0", 3, "already live")
+	mustFail("drain@10:0,drain@20:0", 3, "not live")
+	mustFail("kill@10:5", 3, "out of range")
+
+	// Kill after drain on the same replica is legal — a draining
+	// process can still crash.
+	ok, err := ParseSchedule("drain@10:0,kill@20:0,resurrect@30:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(3); err != nil {
+		t.Errorf("drain-then-kill-then-resurrect should validate: %v", err)
+	}
+}
+
+func TestRandomScheduleDeterministicAndValid(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := RandomSchedule(seed, 3, 4, 600)
+		b := RandomSchedule(seed, 3, 4, 600)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: nondeterministic schedule: %s vs %s", seed, a, b)
+		}
+		if err := a.Validate(3); err != nil {
+			t.Fatalf("seed %d: derived schedule invalid: %v (%s)", seed, err, a)
+		}
+		for _, e := range a {
+			if e.AtRequest < 60 || e.AtRequest > 510 {
+				t.Fatalf("seed %d: event %v outside [10%%, 85%%] of horizon", seed, e)
+			}
+		}
+	}
+	// Different seeds should not all collapse to one script.
+	distinct := map[string]bool{}
+	for seed := int64(1); seed <= 20; seed++ {
+		distinct[RandomSchedule(seed, 3, 4, 600).String()] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct schedules across 20 seeds", len(distinct))
+	}
+}
+
+func TestScriptRoundtrip(t *testing.T) {
+	sched, err := ParseSchedule("kill@60:1,resurrect@120:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Script{Seed: 7, Replicas: 3, Requests: 240, Corpus: "all", Schedule: sched}
+	parsed, err := ParseScript(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seed != 7 || parsed.Replicas != 3 || parsed.Requests != 240 ||
+		parsed.Corpus != "all" || parsed.Schedule.String() != sched.String() {
+		t.Errorf("roundtrip mismatch: %+v", parsed)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"missing schedule": "seed: 1\nreplicas: 3\n",
+		"bad key":          "schedule: none\nbogus: 1\n",
+		"bad value":        "seed: seven\nschedule: none\n",
+		"invalid schedule": "replicas: 2\nschedule: kill@10:0,kill@20:1\n",
+		"no colon":         "schedule none\n",
+	} {
+		if _, err := ParseScript([]byte(text)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Script pairs a fault schedule with the sizing that makes it
+// meaningful — the same schedule against a different replica count or
+// request budget is a different scenario. Scripts serialize to the
+// testdata/*.schedule regression format: `key: value` lines plus `#`
+// comments, one scenario per file.
+type Script struct {
+	Seed     int64
+	Replicas int
+	Requests int
+	Corpus   string
+	Schedule Schedule
+}
+
+// Config expands the script into a runnable simulation config; zero
+// fields fall back to the simulator defaults.
+func (s *Script) Config() Config {
+	return Config{
+		Seed:     s.Seed,
+		Replicas: s.Replicas,
+		Requests: s.Requests,
+		Corpus:   s.Corpus,
+		Schedule: s.Schedule,
+	}
+}
+
+// Encode renders the testdata file format.
+func (s *Script) Encode() []byte {
+	var b strings.Builder
+	b.WriteString("# prefgcd cluster-sim fault script\n")
+	fmt.Fprintf(&b, "seed: %d\n", s.Seed)
+	fmt.Fprintf(&b, "replicas: %d\n", s.Replicas)
+	fmt.Fprintf(&b, "requests: %d\n", s.Requests)
+	fmt.Fprintf(&b, "corpus: %s\n", s.Corpus)
+	fmt.Fprintf(&b, "schedule: %s\n", s.Schedule.String())
+	return []byte(b.String())
+}
+
+// ParseScript reads the Encode format back.
+func ParseScript(data []byte) (*Script, error) {
+	s := &Script{}
+	sawSchedule := false
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("sim: script line %d: want key: value, got %q", ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "replicas":
+			s.Replicas, err = strconv.Atoi(val)
+		case "requests":
+			s.Requests, err = strconv.Atoi(val)
+		case "corpus":
+			s.Corpus = val
+		case "schedule":
+			s.Schedule, err = ParseSchedule(val)
+			sawSchedule = true
+		default:
+			return nil, fmt.Errorf("sim: script line %d: unknown key %q", ln+1, key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: script line %d: %v", ln+1, err)
+		}
+	}
+	if !sawSchedule {
+		return nil, fmt.Errorf("sim: script missing schedule line")
+	}
+	if s.Replicas > 0 {
+		if err := s.Schedule.Validate(s.Replicas); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// LoadScripts reads every *.schedule file under dir, sorted by name.
+func LoadScripts(dir string) (map[string]*Script, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.schedule"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]*Script, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ParseScript(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out[filepath.Base(path)] = s
+	}
+	return out, nil
+}
+
+// WriteScript archives a failing scenario for artifact upload or for
+// committing to testdata/ as a regression script.
+func WriteScript(dir, name string, s *Script) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, s.Encode(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,484 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/cluster"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/server"
+	"prefcolor/internal/server/loadgen"
+	"prefcolor/internal/target"
+)
+
+// Config sizes one simulation. The zero value of any field selects
+// its default.
+type Config struct {
+	// Replicas is the shard count; 0 means 3.
+	Replicas int
+
+	// Seed drives both the fault schedule (when Schedule is nil) and
+	// the load generator's corpus picking; 0 means 1.
+	Seed int64
+
+	// Schedule is the fault script; nil derives one from the seed
+	// with RandomSchedule(Seed, Replicas, Events, Requests). An empty
+	// non-nil schedule runs fault-free.
+	Schedule Schedule
+
+	// Events sizes the derived schedule; 0 means 4.
+	Events int
+
+	// Requests is the total request budget; 0 means 600.
+	Requests int
+
+	// Concurrency is the client goroutine count; 0 means 6.
+	Concurrency int
+
+	// TargetRPS, when positive, paces the clients toward an aggregate
+	// rate; 0 runs closed-loop.
+	TargetRPS float64
+
+	// Corpus names the workload profiles ("all", "large", or a comma
+	// list); empty means "all".
+	Corpus string
+
+	// Allocator, Machine, K configure the allocation spec; defaults
+	// pref-full / ia64 / 16.
+	Allocator string
+	Machine   string
+	K         int
+
+	// CacheEntries is each replica's LRU capacity; 0 means 32 —
+	// deliberately smaller than the default corpus, so the sharded
+	// cluster's disjoint caches hold the working set while a single
+	// replica thrashes. That gap is the cluster's whole reason to
+	// exist, and the Baseline comparison measures it.
+	CacheEntries int
+
+	// Workers and QueueSize size each replica's pool; defaults 2/32.
+	Workers   int
+	QueueSize int
+
+	// MaxP99MS is the bounded-tail assertion; 0 means 5000.
+	MaxP99MS float64
+
+	// Baseline also measures a single replica (same per-replica
+	// sizing, no router) over the same request budget, recording the
+	// aggregate speedup.
+	Baseline bool
+
+	// Timeout guards one phase of the simulation; 0 means 120s.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Events <= 0 {
+		c.Events = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 600
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 6
+	}
+	if c.Corpus == "" {
+		c.Corpus = "all"
+	}
+	if c.Allocator == "" {
+		c.Allocator = "pref-full"
+	}
+	if c.Machine == "" {
+		c.Machine = "ia64"
+	}
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 32
+	}
+	if c.MaxP99MS <= 0 {
+		c.MaxP99MS = 5000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+	return c
+}
+
+// Result is one simulation's outcome. Violations is empty iff every
+// invariant held; Reproducer replays the exact scenario.
+type Result struct {
+	Seed     int64  `json:"seed"`
+	Replicas int    `json:"replicas"`
+	Schedule string `json:"schedule"`
+	Corpus   string `json:"corpus"`
+
+	Requests         int            `json:"requests"`
+	OK               int            `json:"ok"`
+	Rejected429      int            `json:"rejected_429"`
+	Timeouts         int            `json:"timeouts"`
+	TransportErrors  int            `json:"transport_errors"`
+	Server5xx        int            `json:"server_5xx"`
+	DigestMismatches int            `json:"digest_mismatches"`
+	OracleMismatches int            `json:"oracle_mismatches"`
+	DoubleFlights    int            `json:"double_flights"`
+	CacheHitRate     float64        `json:"cache_hit_rate"`
+	AggregateRPS     float64        `json:"aggregate_rps"`
+	P50MS            float64        `json:"latency_p50_ms"`
+	P99MS            float64        `json:"latency_p99_ms"`
+	PerReplica       map[string]int `json:"per_replica"`
+
+	BaselineRPS float64 `json:"baseline_rps,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+
+	Violations []string `json:"violations,omitempty"`
+	Reproducer string   `json:"reproducer"`
+}
+
+// proc is one in-process replica: a server.Server behind a real TCP
+// listener, so kills sever connections exactly as a crash would.
+type proc struct {
+	srv *server.Server
+	hs  *http.Server
+	url string
+}
+
+func startProc(id string, cfg Config) (*proc, error) {
+	s := server.New(server.Config{
+		Workers:      cfg.Workers,
+		QueueSize:    cfg.QueueSize,
+		CacheEntries: cfg.CacheEntries,
+		ReplicaID:    id,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return &proc{srv: s, hs: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+// kill severs the replica: listener and every open connection close
+// immediately. The worker pool drains in the background — a real
+// crash would lose that work; here it just finishes into a cache
+// nobody will read, which is the harsher test for the router.
+func (p *proc) kill() {
+	_ = p.hs.Close()
+	go p.srv.Close()
+}
+
+// replicaID names shard i.
+func replicaID(i int) string { return fmt.Sprintf("r%d", i) }
+
+// Run executes one simulation. The returned error covers harness
+// failures (listen, corpus generation); invariant violations land in
+// Result.Violations so the caller can print the reproducer.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	schedule := cfg.Schedule
+	if schedule == nil {
+		schedule = RandomSchedule(cfg.Seed, cfg.Replicas, cfg.Events, cfg.Requests)
+	}
+	if err := schedule.Validate(cfg.Replicas); err != nil {
+		return nil, err
+	}
+
+	var machine *target.Machine
+	switch cfg.Machine {
+	case "ia64":
+		machine = target.UsageModel(cfg.K)
+	case "x86":
+		machine = target.X86Like(cfg.K)
+	case "s390":
+		machine = target.S390Like(cfg.K)
+	default:
+		return nil, fmt.Errorf("sim: unknown machine %q", cfg.Machine)
+	}
+	corpus, err := loadgen.CorpusFromProfiles(cfg.Corpus, machine)
+	if err != nil {
+		return nil, err
+	}
+
+	// Single-process oracle: the digest every replica must reproduce,
+	// computed with the same spec the requests will carry. PCSP-style
+	// correctness under any routing: a replica may only ever return
+	// exactly this.
+	oracle, err := oracleDigests(corpus, machine, cfg.Allocator)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Seed:     cfg.Seed,
+		Replicas: cfg.Replicas,
+		Schedule: schedule.String(),
+		Corpus:   cfg.Corpus,
+		Reproducer: fmt.Sprintf(
+			"go test ./internal/cluster/sim -run TestSimSeeded -sim.seed=%d -sim.replicas=%d -sim.requests=%d -sim.schedule=%q",
+			cfg.Seed, cfg.Replicas, cfg.Requests, schedule.String()),
+	}
+
+	// Optional baseline: one replica, no router, same budget.
+	if cfg.Baseline {
+		rps, err := baselineRPS(ctx, cfg, corpus)
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineRPS = rps
+	}
+
+	// The cluster: N replicas behind a router. Active health probing
+	// is off — the router learns about faults passively from the
+	// requests themselves, so no wall-clock prober races the
+	// scripted schedule.
+	procs := make([]*proc, cfg.Replicas)
+	replicas := make([]cluster.ReplicaConfig, cfg.Replicas)
+	for i := range procs {
+		p, err := startProc(replicaID(i), cfg)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				procs[j].kill()
+			}
+			return nil, err
+		}
+		procs[i] = p
+		replicas[i] = cluster.ReplicaConfig{ID: replicaID(i), BaseURL: p.url}
+	}
+	router, err := cluster.New(cluster.Config{
+		Replicas:       replicas,
+		HealthInterval: -1,
+		MaxAttempts:    cfg.Replicas,
+		Retry429:       3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	front := &http.Server{Handler: router.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go front.Serve(ln)
+	defer func() {
+		_ = front.Close()
+		router.Close()
+		for _, p := range procs {
+			if p != nil {
+				p.kill()
+			}
+		}
+	}()
+
+	// Shared simulation state, advanced by the loadgen observer.
+	var (
+		mu        sync.Mutex
+		nextEvent int
+		alive     = make([]bool, cfg.Replicas) // process exists
+		missOn    = make(map[int]map[string]bool)
+	)
+	for i := range alive {
+		alive[i] = true
+	}
+	apply := func(e Event) error {
+		i := e.Replica
+		switch e.Action {
+		case Kill:
+			if alive[i] {
+				procs[i].kill()
+				alive[i] = false
+			}
+		case Drain:
+			if alive[i] {
+				procs[i].srv.StartDrain()
+			}
+		case Resurrect:
+			if alive[i] {
+				// Drained, not killed: retire the old process first.
+				procs[i].kill()
+			}
+			p, err := startProc(replicaID(i), cfg)
+			if err != nil {
+				return err
+			}
+			procs[i] = p
+			alive[i] = true
+			return router.UpdateReplica(replicaID(i), p.url)
+		}
+		return nil
+	}
+	var applyErr error
+	observer := func(o loadgen.Obs) {
+		mu.Lock()
+		defer mu.Unlock()
+		for nextEvent < len(schedule) && o.Seq >= schedule[nextEvent].AtRequest {
+			e := schedule[nextEvent]
+			nextEvent++
+			if err := apply(e); err != nil && applyErr == nil {
+				applyErr = fmt.Errorf("sim: applying %v: %w", e, err)
+			}
+		}
+		if o.Status == http.StatusOK {
+			if want := oracle[o.Item]; o.Digest != want {
+				res.OracleMismatches++
+			}
+			if !o.CacheHit && o.Replica != "" {
+				set := missOn[o.Item]
+				if set == nil {
+					set = make(map[string]bool)
+					missOn[o.Item] = set
+				}
+				set[o.Replica] = true
+			}
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	rep, err := loadgen.Run(runCtx, loadgen.Options{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Corpus:      corpus,
+		Concurrency: cfg.Concurrency,
+		Duration:    cfg.Timeout,
+		MaxRequests: cfg.Requests,
+		Allocator:   cfg.Allocator,
+		Machine:     cfg.Machine,
+		K:           cfg.K,
+		Seed:        cfg.Seed,
+		TargetRPS:   cfg.TargetRPS,
+		Observer:    observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if applyErr != nil {
+		return nil, applyErr
+	}
+
+	res.Requests = rep.Requests
+	res.OK = rep.OK
+	res.Rejected429 = rep.Rejected429
+	res.Timeouts = rep.Timeouts
+	res.TransportErrors = rep.Errors - rep.Server5xx
+	res.Server5xx = rep.Server5xx
+	res.DigestMismatches = rep.DigestMismatches
+	res.CacheHitRate = rep.CacheHitRate
+	res.AggregateRPS = rep.ThroughputRPS
+	res.P50MS = rep.LatencyP50MS
+	res.P99MS = rep.LatencyP99MS
+	res.PerReplica = rep.PerReplica
+	if res.BaselineRPS > 0 {
+		res.Speedup = res.AggregateRPS / res.BaselineRPS
+	}
+
+	// No double-flight across shards: a key computes on exactly one
+	// shard, except that each kill/drain may push its keys one shard
+	// along the ring. Bound the distinct fresh-computing shards per
+	// key by 1 + the number of displacing events.
+	displacing := 0
+	for _, e := range schedule {
+		if e.Action == Kill || e.Action == Drain {
+			displacing++
+		}
+	}
+	for item, set := range missOn {
+		if len(set) > 1+displacing {
+			res.DoubleFlights++
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"double-flight: corpus item %d computed fresh on %d shards (bound %d)",
+				item, len(set), 1+displacing))
+		}
+	}
+	if res.OracleMismatches > 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"%d responses diverged from the single-process oracle digest", res.OracleMismatches))
+	}
+	if res.DigestMismatches > 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"%d cross-request digest mismatches", res.DigestMismatches))
+	}
+	if res.Server5xx > 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"%d client-visible 5xx despite handoff", res.Server5xx))
+	}
+	if res.P99MS > cfg.MaxP99MS {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"p99 %.1fms exceeds bound %.1fms", res.P99MS, cfg.MaxP99MS))
+	}
+	if res.OK == 0 {
+		res.Violations = append(res.Violations, "no successful requests")
+	}
+	sort.Strings(res.Violations)
+	return res, nil
+}
+
+// oracleDigests computes the ground-truth digest per corpus item in
+// this process, with the exact spec the simulated requests carry.
+func oracleDigests(corpus []loadgen.Item, machine *target.Machine, allocName string) ([]string, error) {
+	alloc, err := bench.NewAllocator(allocName)
+	if err != nil {
+		return nil, err
+	}
+	ws := regalloc.NewWorkspace()
+	digests := make([]string, len(corpus))
+	for i, item := range corpus {
+		f, err := ir.Parse(item.Source)
+		if err != nil {
+			return nil, fmt.Errorf("sim: oracle parse %s: %w", item.Name, err)
+		}
+		out, stats, err := regalloc.Run(f, machine, alloc, regalloc.Options{Workspace: ws})
+		if err != nil {
+			return nil, fmt.Errorf("sim: oracle run %s: %w", item.Name, err)
+		}
+		digests[i] = bench.FuncDigest(f.Name, stats, out)
+	}
+	return digests, nil
+}
+
+// baselineRPS measures one replica, no router, same budget — the
+// denominator of the cluster's aggregate speedup.
+func baselineRPS(ctx context.Context, cfg Config, corpus []loadgen.Item) (float64, error) {
+	p, err := startProc("baseline", cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer p.kill()
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	rep, err := loadgen.Run(runCtx, loadgen.Options{
+		BaseURL:     p.url,
+		Corpus:      corpus,
+		Concurrency: cfg.Concurrency,
+		Duration:    cfg.Timeout,
+		MaxRequests: cfg.Requests,
+		Allocator:   cfg.Allocator,
+		Machine:     cfg.Machine,
+		K:           cfg.K,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.ThroughputRPS, nil
+}

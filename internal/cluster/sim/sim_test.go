@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Seeded-round flags. A simulator failure prints one reproducer line
+// built from exactly these, e.g.:
+//
+//	go test ./internal/cluster/sim -run TestSimSeeded -sim.seed=7 -sim.replicas=3 -sim.requests=240 -sim.schedule="kill@60:1,resurrect@120:1"
+var (
+	simSeed = flag.Int64("sim.seed", 0,
+		"run one simulation round with this seed (0 = the default seed sweep)")
+	simRounds = flag.Int("sim.rounds", 0,
+		"extra seeded rounds beyond the default sweep")
+	simReplicas = flag.Int("sim.replicas", 0,
+		"replica count for seeded rounds (0 = simulator default)")
+	simRequests = flag.Int("sim.requests", 0,
+		"request budget per round (0 = test default)")
+	simSchedule = flag.String("sim.schedule", "",
+		"explicit fault schedule, overriding the seed-derived one")
+	simCorpus = flag.String("sim.corpus", "",
+		"workload profiles for seeded rounds (0 = simulator default)")
+)
+
+// testRequests picks the per-round budget: enough for every corpus
+// item to be requested several times so the caches matter, small
+// enough for the suite to stay quick.
+func testRequests() int {
+	if *simRequests > 0 {
+		return *simRequests
+	}
+	if testing.Short() {
+		return 120
+	}
+	return 240
+}
+
+// runRound executes one simulation and turns violations into test
+// failures carrying the reproducer line; with SIM_ARTIFACT_DIR set
+// (the CI job sets it) the failing scenario is also archived as a
+// .schedule script plus the full result JSON.
+func runRound(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("sim harness: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Logf("seed %d schedule %s: %d ok, %.1f rps, p99 %.1fms, hit rate %.2f",
+			res.Seed, res.Schedule, res.OK, res.AggregateRPS, res.P99MS, res.CacheHitRate)
+		return res
+	}
+	if dir := os.Getenv("SIM_ARTIFACT_DIR"); dir != "" {
+		sched, _ := ParseSchedule(res.Schedule)
+		script := &Script{
+			Seed: res.Seed, Replicas: res.Replicas,
+			Requests: res.Requests, Corpus: res.Corpus, Schedule: sched,
+		}
+		name := fmt.Sprintf("seed%d.schedule", res.Seed)
+		if path, err := WriteScript(dir, name, script); err == nil {
+			t.Logf("failing scenario written to %s", path)
+		} else {
+			t.Logf("writing scenario failed: %v", err)
+		}
+		if data, err := json.MarshalIndent(res, "", "  "); err == nil {
+			_ = os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed%d.json", res.Seed)), data, 0o644)
+		}
+	}
+	for _, v := range res.Violations {
+		t.Errorf("seed %d: %s", res.Seed, v)
+	}
+	t.Errorf("reproduce with:\n  %s", res.Reproducer)
+	return res
+}
+
+// TestSimSeeded is the seeded fault-injection sweep: each seed derives
+// a kill/drain/resurrect schedule and the full invariant set is
+// asserted — zero oracle divergence, zero client-visible 5xx, bounded
+// p99, and no key computing on more shards than the fault count
+// allows.
+func TestSimSeeded(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for i := 0; i < *simRounds; i++ {
+		seeds = append(seeds, int64(3+i))
+	}
+	if *simSeed != 0 {
+		seeds = []int64{*simSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := Config{
+				Seed:     seed,
+				Replicas: *simReplicas,
+				Requests: testRequests(),
+				Corpus:   *simCorpus,
+			}
+			if *simSchedule != "" {
+				sched, err := ParseSchedule(*simSchedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Schedule = sched
+			}
+			runRound(t, cfg)
+		})
+	}
+}
+
+// TestSimFaultFree pins the healthy-cluster baseline: with no faults
+// every request succeeds, all replicas serve traffic (the ring
+// actually spreads the key space), and repeated requests hit the
+// shard caches.
+func TestSimFaultFree(t *testing.T) {
+	res := runRound(t, Config{
+		Seed:     11,
+		Schedule: Schedule{}, // non-nil: explicitly fault-free
+		Requests: testRequests(),
+	})
+	if res.OK != res.Requests {
+		t.Errorf("fault-free round: %d of %d requests ok", res.OK, res.Requests)
+	}
+	if got := len(res.PerReplica); got < 2 {
+		t.Errorf("fault-free round: only %d replicas served traffic: %v", got, res.PerReplica)
+	}
+	if res.CacheHitRate < 0.5 {
+		t.Errorf("fault-free round: cache hit rate %.2f, want >= 0.5 once the corpus is resident",
+			res.CacheHitRate)
+	}
+}
+
+// TestScheduleReplay replays every committed regression script — these
+// scenarios exposed real bugs (or pin subtle handoff behavior) and
+// must keep passing bit for bit.
+func TestScheduleReplay(t *testing.T) {
+	scripts, err := LoadScripts("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no regression scripts in testdata/")
+	}
+	for name, script := range scripts {
+		name, script := name, script
+		t.Run(name, func(t *testing.T) {
+			cfg := script.Config()
+			if testing.Short() && cfg.Requests > 120 {
+				cfg.Requests = 120
+			}
+			runRound(t, cfg)
+		})
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"sync"
 )
 
-// cacheKey is the content address of one allocation request: the
+// Key is the content address of one allocation request: the
 // SHA-256 of the function's *canonical binary encoding* plus every
 // setting that can steer the allocation outcome (machine model and
 // register count, allocator name, pre-allocation optimization, driver
@@ -17,12 +17,12 @@ import (
 // LRU entry. Telemetry settings are deliberately excluded —
 // collection observes without steering, so instrumented and quiet
 // runs share cache entries.
-type cacheKey [sha256.Size]byte
+type Key [sha256.Size]byte
 
-// keyFor derives the cache key from the canonical-encoding hash
+// KeyFor derives the cache key from the canonical-encoding hash
 // (sha256 over ir.EncodeBinary of the function) and the normalized
 // request spec.
-func keyFor(canonHash [sha256.Size]byte, spec requestSpec) cacheKey {
+func KeyFor(canonHash [sha256.Size]byte, spec Spec) Key {
 	return sha256.Sum256([]byte(fmt.Sprintf(
 		"src=%x|machine=%s|k=%d|alloc=%s|optimize=%t|remat=%t|bls=%t|rounds=%d",
 		canonHash, spec.Machine, spec.K, spec.Allocator,
@@ -100,13 +100,13 @@ type lruCache struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recent; values are *lruItem
-	items    map[cacheKey]*list.Element
+	items    map[Key]*list.Element
 
 	hits, misses, evictions int64
 }
 
 type lruItem struct {
-	key cacheKey
+	key Key
 	val *entry
 }
 
@@ -114,12 +114,12 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{
 		capacity: capacity,
 		order:    list.New(),
-		items:    make(map[cacheKey]*list.Element),
+		items:    make(map[Key]*list.Element),
 	}
 }
 
 // Get returns the cached entry for key, refreshing its recency.
-func (c *lruCache) Get(key cacheKey) (*entry, bool) {
+func (c *lruCache) Get(key Key) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -134,7 +134,7 @@ func (c *lruCache) Get(key cacheKey) (*entry, bool) {
 
 // Add inserts (or refreshes) key's entry, evicting the least recently
 // used entry when the cache is at capacity.
-func (c *lruCache) Add(key cacheKey, val *entry) {
+func (c *lruCache) Add(key Key, val *entry) {
 	if c.capacity <= 0 {
 		return
 	}
@@ -175,7 +175,7 @@ func (c *lruCache) Counters() (hits, misses, evictions int64) {
 // provides cross-flight reuse.
 type flightGroup struct {
 	mu     sync.Mutex
-	flight map[cacheKey]*flightCall
+	flight map[Key]*flightCall
 
 	shared int64 // waiters served by another caller's computation
 }
@@ -188,12 +188,12 @@ type flightCall struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{flight: make(map[cacheKey]*flightCall)}
+	return &flightGroup{flight: make(map[Key]*flightCall)}
 }
 
 // join returns the in-flight call for key, creating one when absent;
 // leader reports whether this caller must compute and complete it.
-func (g *flightGroup) join(key cacheKey) (c *flightCall, leader bool) {
+func (g *flightGroup) join(key Key) (c *flightCall, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.flight[key]; ok {
@@ -207,7 +207,7 @@ func (g *flightGroup) join(key cacheKey) (c *flightCall, leader bool) {
 
 // complete publishes the leader's outcome and retires the flight, so
 // later callers start fresh (hitting the cache on success).
-func (g *flightGroup) complete(key cacheKey, c *flightCall, val *entry, err error, code int) {
+func (g *flightGroup) complete(key Key, c *flightCall, val *entry, err error, code int) {
 	c.val, c.err, c.code = val, err, code
 	g.mu.Lock()
 	delete(g.flight, key)

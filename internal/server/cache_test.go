@@ -8,8 +8,8 @@ import (
 	"testing"
 )
 
-func testKey(i int) cacheKey {
-	return keyFor(sha256.Sum256([]byte(fmt.Sprintf("func k%d() {\nb0:\n  ret r0\n}\n", i))), requestSpec{})
+func testKey(i int) Key {
+	return KeyFor(sha256.Sum256([]byte(fmt.Sprintf("func k%d() {\nb0:\n  ret r0\n}\n", i))), Spec{})
 }
 
 func testEntry(i int) *entry {
@@ -119,11 +119,11 @@ func TestFlightGroupSingleLeader(t *testing.T) {
 
 func TestCacheKeySensitivity(t *testing.T) {
 	src := sha256.Sum256([]byte("func f(v0) {\nb0:\n  ret v0\n}\n"))
-	base := requestSpec{Machine: "ia64", K: 16, Allocator: "pref-full"}
-	if keyFor(src, base) != keyFor(src, base) {
+	base := Spec{Machine: "ia64", K: 16, Allocator: "pref-full"}
+	if KeyFor(src, base) != KeyFor(src, base) {
 		t.Error("identical requests produced different keys")
 	}
-	variants := []requestSpec{
+	variants := []Spec{
 		{Machine: "x86", K: 16, Allocator: "pref-full"},
 		{Machine: "ia64", K: 24, Allocator: "pref-full"},
 		{Machine: "ia64", K: 16, Allocator: "chaitin"},
@@ -132,15 +132,15 @@ func TestCacheKeySensitivity(t *testing.T) {
 		{Machine: "ia64", K: 16, Allocator: "pref-full", BlockLocalSpills: true},
 		{Machine: "ia64", K: 16, Allocator: "pref-full", MaxRounds: 3},
 	}
-	seen := map[cacheKey]bool{keyFor(src, base): true}
+	seen := map[Key]bool{KeyFor(src, base): true}
 	for _, v := range variants {
-		k := keyFor(src, v)
+		k := KeyFor(src, v)
 		if seen[k] {
 			t.Errorf("spec %+v collided with another key", v)
 		}
 		seen[k] = true
 	}
-	if seen[keyFor(sha256.Sum256([]byte("func g() {\nb0:\n  ret r0\n}\n")), base)] {
+	if seen[KeyFor(sha256.Sum256([]byte("func g() {\nb0:\n  ret r0\n}\n")), base)] {
 		t.Error("different source collided")
 	}
 }

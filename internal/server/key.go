@@ -1,0 +1,103 @@
+package server
+
+import (
+	"crypto/sha256"
+	"net/http"
+
+	"prefcolor/internal/ir"
+)
+
+// KeyResolver maps request payloads — textual or binary IR — to the
+// canonical content hash the cache key is built from: sha256 over the
+// function's ir.EncodeBinary encoding. It memoizes raw-bytes→hash so
+// repeat payloads resolve without re-parsing, exactly the memo the
+// server itself keys its cache with; the cluster router uses one to
+// route a request to the shard that owns its cache entry without
+// disagreeing with the replica about what "the same function" means.
+type KeyResolver struct {
+	memo *keyMemo
+}
+
+// NewKeyResolver builds a resolver whose raw-bytes memo holds up to
+// entries mappings (entries <= 0 disables memoization; every call
+// then parses or decodes).
+func NewKeyResolver(entries int) *KeyResolver {
+	return &KeyResolver{memo: newKeyMemo(entries)}
+}
+
+// resolve canonicalizes in: it ensures in.canonHash holds the sha256
+// of the function's canonical binary encoding, parsing or decoding
+// the input if no memoized mapping exists yet. On a memo hit the
+// input is left unparsed — the steady state stays parse-free. The
+// returned int is an HTTP status code for the error, when non-nil.
+func (kr *KeyResolver) resolve(in *srcInput) (int, error) {
+	if in.f != nil && in.binary != nil {
+		// Already decoded by the handler; the bytes are our own
+		// canonical re-encoding.
+		in.canonHash = sha256.Sum256(in.binary)
+		return 0, nil
+	}
+	// The raw-bytes memo key is domain-separated by wire form: the
+	// same bytes mean different things as text and as binary.
+	h := sha256.New()
+	if in.binary != nil {
+		h.Write([]byte("b\x00"))
+		h.Write(in.binary)
+	} else {
+		h.Write([]byte("t\x00"))
+		h.Write([]byte(in.text))
+	}
+	var raw [32]byte
+	h.Sum(raw[:0])
+	if canon, ok := kr.memo.get(raw); ok {
+		in.canonHash = canon
+		return 0, nil
+	}
+	f, code, err := in.decode()
+	if err != nil {
+		return code, err
+	}
+	in.f = f
+	in.canonHash = sha256.Sum256(ir.EncodeBinary(f))
+	kr.memo.add(raw, in.canonHash)
+	return 0, nil
+}
+
+// ResolveText returns the canonical content hash for a textual IR
+// payload. The error, when non-nil, is a parse failure; the int is
+// the HTTP status a server would answer it with.
+func (kr *KeyResolver) ResolveText(src string) ([32]byte, int, error) {
+	in := srcInput{text: src}
+	if code, err := kr.resolve(&in); err != nil {
+		return [32]byte{}, code, err
+	}
+	return in.canonHash, 0, nil
+}
+
+// ResolveBinary returns the canonical content hash for a binary IR
+// payload (which need not be in canonical byte form itself — the
+// decoder re-encodes).
+func (kr *KeyResolver) ResolveBinary(b []byte) ([32]byte, int, error) {
+	in := srcInput{binary: b}
+	if code, err := kr.resolve(&in); err != nil {
+		return [32]byte{}, code, err
+	}
+	return in.canonHash, 0, nil
+}
+
+// Response headers a replica stamps so routers and load generators can
+// attribute work without parsing response bodies.
+const (
+	// ReplicaHeader names the replica that served a response (set only
+	// when Config.ReplicaID is non-empty).
+	ReplicaHeader = "X-Prefgcd-Replica"
+
+	// CacheHeader reports how /v1/allocate served a 200: "hit" from
+	// the result cache, "miss" computed fresh.
+	CacheHeader = "X-Prefgcd-Cache"
+)
+
+// DrainingStatus is the HTTP status a draining replica answers new
+// allocation work with; routers treat it as "hand this request to
+// another shard", not as a client-visible failure.
+const DrainingStatus = http.StatusServiceUnavailable

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prefcolor/internal/ir"
@@ -120,8 +121,34 @@ type Options struct {
 	// item in Report.Responses, for offline re-validation.
 	KeepResponses bool
 
+	// TargetRPS, when positive, paces the clients toward an aggregate
+	// request rate instead of running closed-loop flat out — the
+	// cluster-mode driver, where the question is "does the fleet hold
+	// an aggregate rate through faults", not "how fast can one client
+	// hammer".
+	TargetRPS float64
+
+	// Observer, when set, is called once per completed HTTP exchange
+	// (any status; transport failures carry Status 0) from the client
+	// goroutines. Seq is the 1-based global completion sequence — the
+	// deterministic clock the cluster simulator scripts its
+	// kill/drain/resurrect schedule against. The callback may block;
+	// only its own worker stalls.
+	Observer func(Obs)
+
 	// Client overrides the HTTP client; nil uses a pooled default.
 	Client *http.Client
+}
+
+// Obs describes one completed request to an Observer.
+type Obs struct {
+	Seq       int     // 1-based completion order across all clients
+	Item      int     // corpus index
+	Status    int     // HTTP status; 0 for transport failure
+	Digest    string  // allocation digest (200 only)
+	Replica   string  // X-Prefgcd-Replica header, when the daemon runs in replica mode
+	CacheHit  bool    // response was served from a result cache
+	LatencyMS float64 // request wall time
 }
 
 // Response is one retained allocation response.
@@ -162,6 +189,16 @@ type Report struct {
 	// earlier response for the same item — always zero for a correct
 	// daemon.
 	DigestMismatches int `json:"digest_mismatches"`
+
+	// Server5xx counts 5xx responses (excluding 504, reported as
+	// Timeouts). A router that hands off draining and dead shards
+	// correctly shows zero here even while replicas churn.
+	Server5xx int `json:"server_5xx"`
+
+	// PerReplica counts successful responses by the serving replica's
+	// X-Prefgcd-Replica header — the per-shard load split when the
+	// target is a cluster router (empty against a plain daemon).
+	PerReplica map[string]int `json:"per_replica,omitempty"`
 
 	// Responses holds one retained response per corpus item reached
 	// during the run (only with Options.KeepResponses).
@@ -253,7 +290,18 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		digests   = make(map[int]string)
 		kept      = make(map[int]Response)
 		budget    = o.MaxRequests
+		seq       atomic.Int64 // global completion counter for observers
 	)
+	rep.PerReplica = make(map[string]int)
+	observe := func(item, status int, digest, replica string, hit bool, ms float64) {
+		if o.Observer == nil {
+			return
+		}
+		o.Observer(Obs{
+			Seq: int(seq.Add(1)), Item: item, Status: status,
+			Digest: digest, Replica: replica, CacheHit: hit, LatencyMS: ms,
+		})
+	}
 	takeBudget := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
@@ -289,13 +337,32 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 			reqURL += "?" + enc
 		}
 	}
+	// Target-rate pacing: each client holds a ticker at its share of
+	// the aggregate rate and waits for a tick before each request.
+	// Closed-loop behavior (as fast as responses return) when unset.
+	var paceEvery time.Duration
+	if o.TargetRPS > 0 {
+		paceEvery = time.Duration(float64(time.Second) * float64(concurrency) / o.TargetRPS)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func(rng *rand.Rand) {
 			defer wg.Done()
+			var pacer *time.Ticker
+			if paceEvery > 0 {
+				pacer = time.NewTicker(paceEvery)
+				defer pacer.Stop()
+			}
 			for runCtx.Err() == nil {
+				if pacer != nil {
+					select {
+					case <-pacer.C:
+					case <-runCtx.Done():
+						return
+					}
+				}
 				if !takeBudget() {
 					return
 				}
@@ -327,12 +394,15 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 						mu.Lock()
 						rep.Errors++
 						mu.Unlock()
+						observe(i, 0, "", "", false, float64(time.Since(t0).Microseconds())/1000)
 					}
 					continue
 				}
 				payload, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				elapsed := time.Since(t0)
+				ms := float64(elapsed.Microseconds()) / 1000
+				replica := resp.Header.Get(server.ReplicaHeader)
 
 				mu.Lock()
 				switch resp.StatusCode {
@@ -344,7 +414,9 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 						continue
 					}
 					rep.OK++
-					ms := float64(elapsed.Microseconds()) / 1000
+					if replica != "" {
+						rep.PerReplica[replica]++
+					}
 					if r.Cached {
 						rep.CacheHits++
 						hotLat = append(hotLat, ms)
@@ -363,9 +435,11 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 						}
 					}
 					mu.Unlock()
+					observe(i, http.StatusOK, r.Digest, replica, r.Cached, ms)
 				case http.StatusTooManyRequests:
 					rep.Rejected429++
 					mu.Unlock()
+					observe(i, resp.StatusCode, "", replica, false, ms)
 					// Brief backoff: the daemon's Retry-After hint is
 					// seconds-granular, too coarse for a tight load loop.
 					select {
@@ -375,9 +449,14 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 				case http.StatusGatewayTimeout:
 					rep.Timeouts++
 					mu.Unlock()
+					observe(i, resp.StatusCode, "", replica, false, ms)
 				default:
 					rep.Errors++
+					if resp.StatusCode >= 500 {
+						rep.Server5xx++
+					}
 					mu.Unlock()
+					observe(i, resp.StatusCode, "", replica, false, ms)
 				}
 			}
 		}(rand.New(rand.NewSource(seed + int64(w))))

@@ -22,7 +22,6 @@ package server
 import (
 	"bufio"
 	"context"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -75,6 +74,19 @@ type Config struct {
 	// MaxBatch bounds the functions of one /v1/batch request; 0 means
 	// 256.
 	MaxBatch int
+
+	// ReplicaID, when non-empty, switches the server into replica
+	// mode: every response carries the ID in the X-Prefgcd-Replica
+	// header, /v1/allocate responses report cache disposition in
+	// X-Prefgcd-Cache, and /healthz includes the ID — the handles a
+	// cluster router needs to attribute work and track shard health.
+	ReplicaID string
+
+	// JobStartHook, when set, runs at the start of every allocation
+	// job in a worker. It is a test seam: holding the hook on a
+	// condition variable makes queue saturation (and therefore 429
+	// admission refusals) deterministic in backpressure tests.
+	JobStartHook func()
 }
 
 func (c Config) withDefaults() Config {
@@ -111,7 +123,7 @@ type Server struct {
 	cfg        Config
 	queue      *queue
 	cache      *lruCache
-	keymemo    *keyMemo
+	keys       *KeyResolver
 	flights    *flightGroup
 	metrics    *metrics
 	workspaces *wsPool
@@ -130,10 +142,12 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		queue:      newQueue(cfg.QueueSize, cfg.Workers),
 		cache:      newLRUCache(cfg.CacheEntries),
-		keymemo:    newKeyMemo(4 * cfg.CacheEntries),
+		keys:       NewKeyResolver(4 * cfg.CacheEntries),
 		flights:    newFlightGroup(),
 		metrics:    newMetrics(),
 		workspaces: newWSPool(),
+
+		hookJobStart: cfg.JobStartHook,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/allocate", s.counted("allocate", s.handleAllocate))
@@ -154,13 +168,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close drains the server: admission stops (new work gets 503), every
 // already-queued job runs to completion, and the worker pool exits.
 func (s *Server) Close() {
-	s.draining.Store(true)
+	s.StartDrain()
 	s.queue.Close()
 }
 
-// requestSpec is the allocation configuration shared by both
+// StartDrain begins a graceful drain without stopping the worker
+// pool: /healthz flips to 503 "draining", new allocation work is
+// refused with DrainingStatus, and every request already admitted —
+// queued or executing — runs to completion. A cluster router that
+// sees the refusal (or the health flip) hands new work to other
+// shards while this replica's in-flight responses finish normally.
+// Close completes the drain by also stopping the pool.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Spec is the allocation configuration shared by both
 // endpoints, normalized for cache keying.
-type requestSpec struct {
+type Spec struct {
 	Machine          string `json:"machine,omitempty"`   // ia64 (default), x86, s390
 	K                int    `json:"k,omitempty"`         // register count, default 16
 	Allocator        string `json:"allocator,omitempty"` // default pref-full
@@ -178,9 +204,11 @@ type requestSpec struct {
 	NoCache bool `json:"no_cache,omitempty"`
 }
 
-// normalize fills defaults and validates; it returns the machine the
-// spec names.
-func (spec *requestSpec) normalize() (*target.Machine, error) {
+// Normalize fills defaults and validates; it returns the machine the
+// spec names. Routers normalize before keying so that a request with
+// defaults spelled out and one with them omitted hash to the same
+// shard — the same identity the replica's own cache uses.
+func (spec *Spec) Normalize() (*target.Machine, error) {
 	if spec.Machine == "" {
 		spec.Machine = "ia64"
 	}
@@ -212,7 +240,7 @@ func (spec *requestSpec) normalize() (*target.Machine, error) {
 
 // allocateRequest is the /v1/allocate body.
 type allocateRequest struct {
-	requestSpec
+	Spec
 	Source    string `json:"source"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
@@ -220,7 +248,7 @@ type allocateRequest struct {
 // batchRequest is the /v1/batch body; the spec and timeout apply to
 // every function.
 type batchRequest struct {
-	requestSpec
+	Spec
 	Functions []string `json:"functions"`
 	TimeoutMS int      `json:"timeout_ms,omitempty"`
 }
@@ -273,9 +301,12 @@ type errorResponse struct {
 }
 
 // counted wraps a handler so every response lands in the request
-// counters.
+// counters (and, in replica mode, carries the replica's identity).
 func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.ReplicaID != "" {
+			w.Header().Set(ReplicaHeader, s.cfg.ReplicaID)
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		s.metrics.CountRequest(endpoint, rec.code)
@@ -346,12 +377,12 @@ func isBinaryRequest(r *http.Request) bool {
 	return ct == BinaryContentType || strings.HasPrefix(ct, BinaryContentType+";")
 }
 
-// specFromQuery builds the request spec for a binary request from the
+// SpecFromQuery builds the request spec for a binary request from the
 // URL query: machine, k, allocator, optimize, rematerialize,
 // block_local_spills, max_rounds, timeout_ms, no_cache.
-func specFromQuery(r *http.Request) (requestSpec, int, error) {
+func SpecFromQuery(r *http.Request) (Spec, int, error) {
 	q := r.URL.Query()
-	var spec requestSpec
+	var spec Spec
 	spec.Machine = q.Get("machine")
 	spec.Allocator = q.Get("allocator")
 	timeoutMS := 0
@@ -402,7 +433,7 @@ func (s *Server) readRawBody(w http.ResponseWriter, r *http.Request) ([]byte, bo
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	var in srcInput
-	var spec requestSpec
+	var spec Spec
 	var timeoutMS int
 	if isBinaryRequest(r) {
 		body, ok := s.readRawBody(w, r)
@@ -418,7 +449,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var err error
-		if spec, timeoutMS, err = specFromQuery(r); err != nil {
+		if spec, timeoutMS, err = SpecFromQuery(r); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -432,10 +463,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("empty source"))
 			return
 		}
-		spec, timeoutMS = req.requestSpec, req.TimeoutMS
+		spec, timeoutMS = req.Spec, req.TimeoutMS
 		in = srcInput{text: req.Source}
 	}
-	machine, err := spec.normalize()
+	machine, err := spec.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -447,6 +478,11 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, code, err)
 		return
+	}
+	if resp.Cached {
+		w.Header().Set(CacheHeader, "hit")
+	} else {
+		w.Header().Set(CacheHeader, "miss")
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -460,7 +496,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.readBody(w, r, &req) {
 		return
 	}
-	machine, err := req.normalize()
+	machine, err := req.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -492,7 +528,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				results[i] = allocateResponse{Error: "empty source", Code: http.StatusBadRequest}
 				return
 			}
-			resp, code, err := s.doOne(r.Context(), srcInput{text: src}, req.requestSpec, machine, d, true)
+			resp, code, err := s.doOne(r.Context(), srcInput{text: src}, req.Spec, machine, d, true)
 			if err != nil {
 				results[i] = allocateResponse{Error: err.Error(), Code: code}
 				return
@@ -511,12 +547,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // so a large batch never sits fully parsed in memory before the first
 // allocation starts.
 func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
-	spec, timeoutMS, err := specFromQuery(r)
+	spec, timeoutMS, err := SpecFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	machine, err := spec.normalize()
+	machine, err := spec.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -583,12 +619,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	health := map[string]any{
 		"status":         status,
 		"queue_depth":    s.queue.Depth(),
 		"queue_capacity": s.queue.Capacity(),
 		"cache_entries":  s.cache.Len(),
-	})
+	}
+	if s.cfg.ReplicaID != "" {
+		health["replica"] = s.cfg.ReplicaID
+	}
+	writeJSON(w, code, health)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -612,44 +652,6 @@ type srcInput struct {
 	// canonHash is sha256 over the function's canonical binary
 	// encoding, filled in by resolveKey.
 	canonHash [32]byte
-}
-
-// resolveKey canonicalizes in for cache keying: it ensures
-// in.canonHash holds the sha256 of the function's canonical binary
-// encoding, parsing or decoding the input if no memoized mapping
-// exists yet. On a memo hit the input is left unparsed — the steady
-// state stays parse-free.
-func (s *Server) resolveKey(in *srcInput) (int, error) {
-	if in.f != nil && in.binary != nil {
-		// Already decoded by the handler; the bytes are our own
-		// canonical re-encoding.
-		in.canonHash = sha256.Sum256(in.binary)
-		return 0, nil
-	}
-	// The raw-bytes memo key is domain-separated by wire form: the
-	// same bytes mean different things as text and as binary.
-	h := sha256.New()
-	if in.binary != nil {
-		h.Write([]byte("b\x00"))
-		h.Write(in.binary)
-	} else {
-		h.Write([]byte("t\x00"))
-		h.Write([]byte(in.text))
-	}
-	var raw [32]byte
-	h.Sum(raw[:0])
-	if canon, ok := s.keymemo.get(raw); ok {
-		in.canonHash = canon
-		return 0, nil
-	}
-	f, code, err := in.decode()
-	if err != nil {
-		return code, err
-	}
-	in.f = f
-	in.canonHash = sha256.Sum256(ir.EncodeBinary(f))
-	s.keymemo.add(raw, in.canonHash)
-	return 0, nil
 }
 
 // decode produces the function from whichever wire form in carries.
@@ -676,7 +678,7 @@ func (in *srcInput) decode() (*ir.Func, int, error) {
 // so one impatient caller cannot poison the shared flight. block
 // selects the batch endpoint's blocking submission. Requests with
 // spec.NoCache skip the cache and flight entirely (but still queue).
-func (s *Server) doOne(reqCtx context.Context, in srcInput, spec requestSpec,
+func (s *Server) doOne(reqCtx context.Context, in srcInput, spec Spec,
 	machine *target.Machine, d time.Duration, block bool) (*allocateResponse, int, error) {
 
 	if s.draining.Load() {
@@ -685,10 +687,10 @@ func (s *Server) doOne(reqCtx context.Context, in srcInput, spec requestSpec,
 	if spec.NoCache {
 		return s.doUncached(reqCtx, in, spec, machine, d, block)
 	}
-	if code, err := s.resolveKey(&in); err != nil {
+	if code, err := s.keys.resolve(&in); err != nil {
 		return nil, code, err
 	}
-	key := keyFor(in.canonHash, spec)
+	key := KeyFor(in.canonHash, spec)
 	if e, ok := s.cache.Get(key); ok {
 		return &allocateResponse{Function: e.Function, Digest: e.Digest, Stats: e.Stats, Cached: true}, 0, nil
 	}
@@ -759,7 +761,7 @@ func (s *Server) doOne(reqCtx context.Context, in srcInput, spec requestSpec,
 // consulting or filling the cache and without single-flight joining:
 // parse/decode and allocation both happen in the worker, so the
 // measured latency is the whole cold path.
-func (s *Server) doUncached(reqCtx context.Context, in srcInput, spec requestSpec,
+func (s *Server) doUncached(reqCtx context.Context, in srcInput, spec Spec,
 	machine *target.Machine, d time.Duration, block bool) (*allocateResponse, int, error) {
 
 	jobCtx, cancel := context.WithTimeout(context.Background(), d)
@@ -814,7 +816,7 @@ const statusClientGone = 499
 // compute parses or decodes, optionally optimizes, and allocates one
 // function under ctx, which regalloc.Run polls at its phase
 // boundaries.
-func (s *Server) compute(ctx context.Context, in srcInput, spec requestSpec,
+func (s *Server) compute(ctx context.Context, in srcInput, spec Spec,
 	machine *target.Machine) (*entry, int, error) {
 
 	f, code, err := in.decode()

@@ -114,7 +114,7 @@ func TestAllocateEndpoint(t *testing.T) {
 // computed allocation.
 func TestCachedResponseDeterminism(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	req := allocateRequest{Source: smallFunc, requestSpec: requestSpec{Allocator: "pref-full"}}
+	req := allocateRequest{Source: smallFunc, Spec: Spec{Allocator: "pref-full"}}
 
 	_, body1 := postJSON(t, ts.URL+"/v1/allocate", req)
 	_, body2 := postJSON(t, ts.URL+"/v1/allocate", req)
@@ -177,9 +177,9 @@ func TestAllocateBadRequests(t *testing.T) {
 	}{
 		{"empty source", allocateRequest{}},
 		{"parse error", allocateRequest{Source: "func broken(... xxx"}},
-		{"bad allocator", allocateRequest{Source: smallFunc, requestSpec: requestSpec{Allocator: "nope"}}},
-		{"bad machine", allocateRequest{Source: smallFunc, requestSpec: requestSpec{Machine: "vax"}}},
-		{"bad k", allocateRequest{Source: smallFunc, requestSpec: requestSpec{K: 1}}},
+		{"bad allocator", allocateRequest{Source: smallFunc, Spec: Spec{Allocator: "nope"}}},
+		{"bad machine", allocateRequest{Source: smallFunc, Spec: Spec{Machine: "vax"}}},
+		{"bad k", allocateRequest{Source: smallFunc, Spec: Spec{K: 1}}},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, ts.URL+"/v1/allocate", tc.req)

@@ -55,9 +55,13 @@ import (
 	"syscall"
 	"time"
 
+	"prefcolor/internal/bench"
+	"prefcolor/internal/linearscan"
+	"prefcolor/internal/regalloc"
 	"prefcolor/internal/server"
 	"prefcolor/internal/server/loadgen"
 	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
 )
 
 func main() {
@@ -77,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheEntries := fs.Int("cache", 0, "result cache entries (0 = 1024, negative disables)")
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when none given (0 = 30s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on requested deadlines (0 = 2m)")
+	tier := fs.Bool("tier", false, "serve: answer pref-full requests with the linear-scan fast tier and upgrade in the background; load: drive and verify a tier-mode daemon")
+	upgradeQueue := fs.Int("upgrade-queue", 0, "serve: tier upgrade queue bound (0 = 256)")
 
 	// Cluster-mode flags.
 	clusterMode := fs.Bool("cluster", false, "serve a consistent-hashing router over in-process replicas")
@@ -131,15 +137,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			addr: *addr, duration: *duration, concurrency: *concurrency,
 			corpus: *corpus, allocator: *allocator, k: *k, machine: *machine,
 			requests: *requests, seed: *seed, cold: *cold, binary: *binary,
-			pr: *pr, title: *title, out: *out,
+			tier: *tier, pr: *pr, title: *title, out: *out,
 		})
 	}
 	return serve(stdout, stderr, *addr, server.Config{
-		Workers:        *workers,
-		QueueSize:      *queueSize,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		CacheEntries:     *cacheEntries,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		Tier:             *tier,
+		UpgradeQueueSize: *upgradeQueue,
 	})
 }
 
@@ -188,9 +196,62 @@ type loadConfig struct {
 	seed        int64
 	cold        bool
 	binary      bool
+	tier        bool
 	pr          int
 	title       string
 	out         string
+}
+
+// allocSpeedup is the local allocator microbenchmark stamped into
+// tier-mode benchmark records: one large-workload sweep through the
+// linear-scan fast path versus one through the pref-full driver, on
+// the same machine model the load run targets.
+type allocSpeedup struct {
+	FastMSPerSweep float64 `json:"fast_ms_per_sweep"`
+	FullMSPerSweep float64 `json:"full_ms_per_sweep"`
+	Speedup        float64 `json:"speedup"`
+}
+
+func measureAllocSpeedup(m *target.Machine) (*allocSpeedup, error) {
+	funcs := workload.Generate(workload.Large(), m)
+	sweepFast := func(ws *linearscan.Workspace) error {
+		for _, f := range funcs {
+			if _, _, err := linearscan.Run(f, m, linearscan.RunOptions{Workspace: ws}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ws := linearscan.NewFastWorkspace()
+	if err := sweepFast(ws); err != nil { // warm the workspace
+		return nil, err
+	}
+	const iters = 5
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := sweepFast(ws); err != nil {
+			return nil, err
+		}
+	}
+	fast := float64(time.Since(t0).Microseconds()) / 1000 / iters
+
+	rws := regalloc.NewWorkspace()
+	t0 = time.Now()
+	for _, f := range funcs {
+		alloc, err := bench.NewAllocator("pref-full")
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := regalloc.Run(f, m, alloc, regalloc.Options{Workspace: rws}); err != nil {
+			return nil, err
+		}
+	}
+	full := float64(time.Since(t0).Microseconds()) / 1000
+	sp := &allocSpeedup{FastMSPerSweep: fast, FullMSPerSweep: full}
+	if fast > 0 {
+		sp.Speedup = full / fast
+	}
+	return sp, nil
 }
 
 // benchRecord is the BENCH_PR3.json schema: environment, load
@@ -215,8 +276,10 @@ type benchRecord struct {
 		Seed        int64   `json:"seed"`
 		Cold        bool    `json:"cold,omitempty"`
 		Binary      bool    `json:"binary,omitempty"`
+		Tier        bool    `json:"tier,omitempty"`
 	} `json:"config"`
-	Report *loadgen.Report `json:"report"`
+	Allocator *allocSpeedup   `json:"allocator_speedup,omitempty"`
+	Report    *loadgen.Report `json:"report"`
 }
 
 func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
@@ -258,6 +321,7 @@ func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
 		Seed:        cfg.seed,
 		Cold:        cfg.cold,
 		Binary:      cfg.binary,
+		Tier:        cfg.tier,
 	})
 	if err != nil {
 		return fail(err)
@@ -282,6 +346,14 @@ func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
 	rec.Config.Seed = cfg.seed
 	rec.Config.Cold = cfg.cold
 	rec.Config.Binary = cfg.binary
+	rec.Config.Tier = cfg.tier
+	if cfg.tier {
+		sp, err := measureAllocSpeedup(m)
+		if err != nil {
+			return fail(err)
+		}
+		rec.Allocator = sp
+	}
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -302,6 +374,17 @@ func runLoad(stdout, stderr io.Writer, cfg loadConfig) int {
 	}
 	if rep.OK == 0 {
 		return fail(errors.New("no successful requests"))
+	}
+	if cfg.tier {
+		// A warm daemon may serve everything full-tier (all upgrades
+		// already landed); only a daemon that never upgrades — or one
+		// whose upgrades diverge from the oracle — fails.
+		if rep.Tier == nil || rep.Tier.FullServed == 0 {
+			return fail(errors.New("tier mode: no full-tier responses; upgrades never landed"))
+		}
+		if rep.Tier.OracleMismatches > 0 {
+			return fail(fmt.Errorf("tier mode: %d full-tier digests diverged from the pref-full oracle", rep.Tier.OracleMismatches))
+		}
 	}
 	return 0
 }

@@ -28,6 +28,7 @@ func TestFacadeNamedConstructorsMatchRegistry(t *testing.T) {
 		"optimistic":          prefcolor.OptimisticCoalescing(),
 		"callcost":            prefcolor.CallCostDirected(),
 		"priority":            prefcolor.PriorityBased(),
+		"linearscan":          prefcolor.LinearScan(),
 	}
 	for want, alloc := range named {
 		if alloc.Name() != want {

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"prefcolor/internal/core"
+	"prefcolor/internal/linearscan"
 	"prefcolor/internal/perfmodel"
 	"prefcolor/internal/regalloc"
 	"prefcolor/internal/regalloc/briggs"
@@ -22,39 +23,38 @@ import (
 	"prefcolor/internal/workload"
 )
 
-// NewAllocator builds a fresh allocator by figure label. Fresh
-// instances keep runs independent.
-func NewAllocator(name string) (regalloc.Allocator, error) {
-	switch name {
-	case "chaitin":
-		return chaitin.New(), nil
-	case "briggs-aggressive":
-		return briggs.New(), nil
-	case "briggs-conservative":
-		return briggs.NewConservative(), nil
-	case "iterated":
-		return iterated.New(), nil
-	case "optimistic":
-		return optimistic.New(), nil
-	case "priority":
-		return priority.New(), nil
-	case "callcost":
-		return callcost.New(), nil
-	case "pref-coalesce":
-		return core.NewCoalesceOnly(), nil
-	case "pref-full":
-		return core.New(), nil
-	}
-	return nil, fmt.Errorf("bench: unknown allocator %q", name)
+// The canonical allocator configurations register once, in
+// presentation order (baselines, the linear-scan fast tier, then the
+// preference-directed configurations). Further families drop in by
+// calling regalloc.Register from their own package init and blank-
+// importing that package here (or anywhere on the binary's import
+// graph).
+func init() {
+	regalloc.Register("chaitin", func() regalloc.Allocator { return chaitin.New() })
+	regalloc.Register("briggs-aggressive", func() regalloc.Allocator { return briggs.New() })
+	regalloc.Register("briggs-conservative", func() regalloc.Allocator { return briggs.NewConservative() })
+	regalloc.Register("iterated", func() regalloc.Allocator { return iterated.New() })
+	regalloc.Register("optimistic", func() regalloc.Allocator { return optimistic.New() })
+	regalloc.Register("priority", func() regalloc.Allocator { return priority.New() })
+	regalloc.Register("callcost", func() regalloc.Allocator { return callcost.New() })
+	regalloc.Register("linearscan", func() regalloc.Allocator { return linearscan.New() })
+	regalloc.Register("pref-coalesce", func() regalloc.Allocator { return core.NewCoalesceOnly() })
+	regalloc.Register("pref-full", func() regalloc.Allocator { return core.New() })
 }
 
-// AllocatorNames lists every available configuration.
-func AllocatorNames() []string {
-	return []string{
-		"chaitin", "briggs-aggressive", "briggs-conservative", "iterated",
-		"optimistic", "priority", "callcost", "pref-coalesce", "pref-full",
+// NewAllocator builds a fresh allocator by registered name. Fresh
+// instances keep runs independent.
+func NewAllocator(name string) (regalloc.Allocator, error) {
+	alloc, err := regalloc.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
 	}
+	return alloc, nil
 }
+
+// AllocatorNames lists every available configuration, in registration
+// order.
+func AllocatorNames() []string { return regalloc.RegisteredNames() }
 
 // ProgramResult aggregates one allocator over one whole benchmark.
 type ProgramResult struct {

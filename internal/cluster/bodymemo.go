@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"prefcolor/internal/server"
+)
+
+// routeInfo is one JSON allocate body's routing decision: the canonical
+// content hash of its function and its normalized spec. Memoizing the
+// pair on the raw body bytes lets a repeat request skip the JSON parse
+// entirely — the router's hot path on a steady workload is then
+// hash + ring lookup, no decoding at all.
+type routeInfo struct {
+	canon [sha256.Size]byte
+	spec  server.Spec
+}
+
+// bodyMemo is a fixed-capacity LRU from raw-body hash to routing
+// decision. Only bodies that validated end to end (parse, key
+// resolution, spec normalization) are stored, so a memo hit needs no
+// re-checks. A zero capacity disables memoization: get always misses,
+// add drops.
+type bodyMemo struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *bodyItem
+	items    map[[sha256.Size]byte]*list.Element
+}
+
+type bodyItem struct {
+	raw  [sha256.Size]byte
+	info routeInfo
+}
+
+func newBodyMemo(capacity int) *bodyMemo {
+	return &bodyMemo{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+func (m *bodyMemo) get(raw [sha256.Size]byte) (routeInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[raw]
+	if !ok {
+		return routeInfo{}, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*bodyItem).info, true
+}
+
+func (m *bodyMemo) add(raw [sha256.Size]byte, info routeInfo) {
+	if m.capacity <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[raw]; ok {
+		el.Value.(*bodyItem).info = info
+		m.order.MoveToFront(el)
+		return
+	}
+	if m.order.Len() >= m.capacity {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.items, oldest.Value.(*bodyItem).raw)
+	}
+	m.items[raw] = m.order.PushFront(&bodyItem{raw: raw, info: info})
+}

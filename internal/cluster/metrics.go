@@ -21,6 +21,9 @@ type routerMetrics struct {
 	rehashes map[string]int64         // replica -> non-home serves
 	retries  map[string]int64         // reason -> count
 	states   map[string]int32         // replica -> health state
+
+	bodyHits   int64 // JSON allocate bodies routed from the body memo
+	bodyParses int64 // JSON allocate bodies that needed a full parse
 }
 
 func newRouterMetrics(ids []string) *routerMetrics {
@@ -86,6 +89,18 @@ func (m *routerMetrics) CountRehash(replica string) {
 func (m *routerMetrics) CountRetry(reason string) {
 	m.mu.Lock()
 	m.retries[reason]++
+	m.mu.Unlock()
+}
+
+// CountBody tallies one JSON allocate routing decision: served from
+// the raw-body memo (hit) or paid for with a JSON parse.
+func (m *routerMetrics) CountBody(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.bodyHits++
+	} else {
+		m.bodyParses++
+	}
 	m.mu.Unlock()
 }
 
@@ -159,6 +174,11 @@ func (m *routerMetrics) Render() string {
 	for _, r := range reasons {
 		fmt.Fprintf(&b, "prefgcd_router_retries_total{reason=%q} %d\n", r, m.retries[r])
 	}
+
+	fmt.Fprintf(&b, "# HELP prefgcd_router_body_memo_total JSON allocate routing decisions by source.\n"+
+		"# TYPE prefgcd_router_body_memo_total counter\n"+
+		"prefgcd_router_body_memo_total{outcome=\"hit\"} %d\n"+
+		"prefgcd_router_body_memo_total{outcome=\"parse\"} %d\n", m.bodyHits, m.bodyParses)
 
 	b.WriteString("# HELP prefgcd_router_replica_state Router's belief about each replica (0 healthy, 1 draining, 2 down).\n")
 	b.WriteString("# TYPE prefgcd_router_replica_state gauge\n")

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -152,6 +153,7 @@ type Router struct {
 	ring     *ring
 	replicas map[string]*replica
 	keys     *server.KeyResolver
+	bodies   *bodyMemo
 	metrics  *routerMetrics
 	client   *http.Client
 	mux      *http.ServeMux
@@ -193,6 +195,7 @@ func New(cfg Config) (*Router, error) {
 		ring:     newRing(ids, cfg.Vnodes),
 		replicas: replicas,
 		keys:     server.NewKeyResolver(cfg.KeyMemoEntries),
+		bodies:   newBodyMemo(cfg.KeyMemoEntries),
 		metrics:  newRouterMetrics(ids),
 		client:   client,
 	}
@@ -377,9 +380,10 @@ func isBinaryRequest(r *http.Request) bool {
 
 // handleAllocate routes one allocation to its home shard. The router
 // resolves the same canonical content key the replica will cache
-// under (parse/decode is memoized, so the steady state is hash-only),
-// picks the shard by consistent hashing, and forwards the original
-// body verbatim.
+// under (both the JSON parse and the IR decode are memoized, so the
+// steady state is hash-only), picks the shard by consistent hashing,
+// and forwards the original body verbatim — stamping the resolved key
+// into the KeyHeader so a trusting replica need not parse it either.
 func (rt *Router) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	body, ok := rt.readRawBody(w, r)
 	if !ok {
@@ -406,31 +410,52 @@ func (rt *Router) handleAllocate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		contentType = server.BinaryContentType
-		canon, code, err = rt.keys.ResolveBinary(body)
+		if canon, code, err = rt.keys.ResolveBinary(body); err != nil {
+			writeError(w, code, err)
+			return
+		}
+		if _, err = spec.Normalize(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	} else {
-		var req allocateBody
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
-			return
-		}
-		if req.Source == "" {
-			writeError(w, http.StatusBadRequest, errors.New("empty source"))
-			return
-		}
-		spec = req.Spec
 		contentType = "application/json"
-		canon, code, err = rt.keys.ResolveText(req.Source)
+		canon, spec, code, err = rt.routeJSON(body)
 	}
 	if err != nil {
 		writeError(w, code, err)
 		return
 	}
-	if _, err := spec.Normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	key := server.KeyFor(canon, spec)
-	rt.forward(w, r, key, body, contentType, r.URL.RawQuery)
+	rt.forward(w, r, key, canon, body, contentType, r.URL.RawQuery)
+}
+
+// routeJSON resolves a JSON allocate body to its canonical content
+// hash and normalized spec, memoized on the raw bytes: a repeat body
+// costs one hash and one map probe, not a JSON parse. Only fully
+// validated bodies enter the memo, so the hit path needs no re-checks.
+func (rt *Router) routeJSON(body []byte) (canon [32]byte, spec server.Spec, code int, err error) {
+	raw := sha256.Sum256(body)
+	if info, ok := rt.bodies.get(raw); ok {
+		rt.metrics.CountBody(true)
+		return info.canon, info.spec, 0, nil
+	}
+	rt.metrics.CountBody(false)
+	var req allocateBody
+	if err := json.Unmarshal(body, &req); err != nil {
+		return canon, spec, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err)
+	}
+	if req.Source == "" {
+		return canon, spec, http.StatusBadRequest, errors.New("empty source")
+	}
+	if canon, code, err = rt.keys.ResolveText(req.Source); err != nil {
+		return canon, spec, code, err
+	}
+	if _, err := req.Spec.Normalize(); err != nil {
+		return canon, spec, http.StatusBadRequest, err
+	}
+	rt.bodies.add(raw, routeInfo{canon: canon, spec: req.Spec})
+	return canon, req.Spec, 0, nil
 }
 
 // forward sends body to the key's home shard, failing over along the
@@ -438,9 +463,9 @@ func (rt *Router) handleAllocate(w http.ResponseWriter, r *http.Request) {
 // honoring 429 Retry-After pauses. The winning replica's response —
 // success or final refusal — streams back to the client unchanged.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request,
-	key server.Key, body []byte, contentType, rawQuery string) {
+	key server.Key, canon [32]byte, body []byte, contentType, rawQuery string) {
 
-	resp, servedBy, err := rt.tryReplicas(r.Context(), key, body, contentType, rawQuery)
+	resp, servedBy, err := rt.tryReplicas(r.Context(), key, canon, body, contentType, rawQuery)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err)
 		return
@@ -462,7 +487,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request,
 // 429 waits out the Retry-After (bounded) and retries the same
 // replica; everything else (200, 4xx, 504) is final.
 func (rt *Router) tryReplicas(ctx context.Context, key server.Key,
-	body []byte, contentType, rawQuery string) (*http.Response, string, error) {
+	canon [32]byte, body []byte, contentType, rawQuery string) (*http.Response, string, error) {
 
 	order := rt.ring.lookup(key)
 	// First preference: replicas believed healthy, in ring order.
@@ -496,7 +521,7 @@ func (rt *Router) tryReplicas(ctx context.Context, key server.Key,
 		}
 		tries429 := 0
 		for {
-			resp, err := rt.send(ctx, rep, body, contentType, rawQuery)
+			resp, err := rt.send(ctx, rep, canon, body, contentType, rawQuery)
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, "", ctx.Err()
@@ -551,9 +576,11 @@ func (rt *Router) tryReplicas(ctx context.Context, key server.Key,
 	return nil, "", fmt.Errorf("all replicas failed: %w", lastErr)
 }
 
-// send forwards one request body to one replica.
+// send forwards one request body to one replica, carrying the
+// already-resolved content key so a replica with TrustKeyHeader on can
+// probe its cache without parsing the body.
 func (rt *Router) send(ctx context.Context, rep *replica,
-	body []byte, contentType, rawQuery string) (*http.Response, error) {
+	canon [32]byte, body []byte, contentType, rawQuery string) (*http.Response, error) {
 
 	u := rep.url() + "/v1/allocate"
 	if rawQuery != "" {
@@ -564,6 +591,7 @@ func (rt *Router) send(ctx context.Context, rep *replica,
 		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	req.Header.Set(server.KeyHeader, server.EncodeKeyHeader(canon))
 	return rt.client.Do(req)
 }
 
@@ -640,7 +668,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i] = batchItem{err: err.Error(), code: code}
 			continue
 		}
-		items[i] = batchItem{body: one, key: server.KeyFor(canon, req.Spec)}
+		items[i] = batchItem{body: one, key: server.KeyFor(canon, req.Spec), canon: canon}
 	}
 	rt.fanOut(w, r, items, "application/json", "")
 }
@@ -679,7 +707,7 @@ func (rt *Router) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("frame %d: %w", n, err))
 			return
 		}
-		items = append(items, batchItem{body: enc, key: server.KeyFor(canon, spec)})
+		items = append(items, batchItem{body: enc, key: server.KeyFor(canon, spec), canon: canon})
 	}
 	if len(items) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
@@ -689,10 +717,11 @@ func (rt *Router) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 }
 
 type batchItem struct {
-	body []byte
-	key  server.Key
-	err  string
-	code int
+	body  []byte
+	key   server.Key
+	canon [32]byte
+	err   string
+	code  int
 }
 
 // fanOut forwards every batch item to its home shard concurrently
@@ -718,7 +747,7 @@ func (rt *Router) fanOut(w http.ResponseWriter, r *http.Request,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			resp, servedBy, err := rt.tryReplicas(r.Context(), items[i].key, items[i].body, contentType, rawQuery)
+			resp, servedBy, err := rt.tryReplicas(r.Context(), items[i].key, items[i].canon, items[i].body, contentType, rawQuery)
 			if err != nil {
 				results[i] = itemResult{err: err.Error(), code: http.StatusBadGateway}
 				return

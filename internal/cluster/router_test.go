@@ -575,6 +575,64 @@ func TestRouterActiveProber(t *testing.T) {
 	waitState("r1", "draining")
 }
 
+// TestRouterBodyMemoAndKeyHeader pins the parse-free forwarding path:
+// a repeat JSON body routes from the raw-body memo without re-parsing,
+// the forwarded request carries the router-resolved X-Prefgcd-Key, and
+// a replica trusting that header serves its cache hit without parsing
+// the body itself.
+func TestRouterBodyMemoAndKeyHeader(t *testing.T) {
+	reps := startReplicas(t, 2, server.Config{
+		Workers: 2, QueueSize: 16, CacheEntries: 64, TrustKeyHeader: true,
+	})
+	rt, front := newTestRouter(t, reps, Config{})
+
+	src := distinctFunc(3)
+	resp, body := postAllocate(t, front.URL, src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: HTTP %d: %s", resp.StatusCode, body)
+	}
+	first := digestOf(t, body)
+	resp2, body2 := postAllocate(t, front.URL, src)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat request: HTTP %d: %s", resp2.StatusCode, body2)
+	}
+	if got := digestOf(t, body2); got != first {
+		t.Errorf("repeat digest %s != first %s", got, first)
+	}
+	if got := resp2.Header.Get(server.CacheHeader); got != "hit" {
+		t.Errorf("repeat request: cache %q, want hit", got)
+	}
+
+	rt.metrics.mu.Lock()
+	hits, parses := rt.metrics.bodyHits, rt.metrics.bodyParses
+	rt.metrics.mu.Unlock()
+	if parses != 1 || hits != 1 {
+		t.Errorf("body memo: %d parses, %d hits; want 1 and 1", parses, hits)
+	}
+
+	// The memo routes by raw bytes, so the decision must match a fresh
+	// parse: same canonical key both times.
+	want := keyOf(t, src)
+	bodyJSON, _ := json.Marshal(allocateBody{Source: src})
+	canon, spec, _, err := rt.routeJSON(bodyJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := server.KeyFor(canon, spec); got != want {
+		t.Errorf("memoized route key %v != fresh key %v", got, want)
+	}
+
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), `prefgcd_router_body_memo_total{outcome="hit"}`) {
+		t.Error("metrics missing body memo counters")
+	}
+}
+
 func TestRouterConfigErrors(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("no replicas: want error")

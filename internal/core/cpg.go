@@ -33,6 +33,18 @@ type CPG struct {
 	succs [][]ig.NodeID
 	preds [][]ig.NodeID
 
+	// Positional back-pointers pairing the two views of each edge:
+	// succPos[a][j] is the index of a's entry in preds[b] for the edge
+	// a→b = succs[a][j], and predPos mirrors it. They make removeEdge a
+	// pair of O(1) swap-removes — without them the removal had to
+	// re-find a by scanning preds[b], and preds[Bottom] holds nearly
+	// every node, so each transitive-reduction prune paid a full pass
+	// over that row. Nothing downstream reads row order (selection
+	// counts rows and walks nodes in ascending id; Succs/Preds/Dump
+	// sort), so swap-remove is observationally free.
+	succPos [][]int32
+	predPos [][]int32
+
 	// Epoch-marked visited buffer for reachability queries, indexed
 	// like succs/preds, plus reusable DFS scratch space.
 	visitMark  []uint32
@@ -58,6 +70,8 @@ func (c *CPG) reset() {
 	for i := range c.succs {
 		c.succs[i] = c.succs[i][:0]
 		c.preds[i] = c.preds[i][:0]
+		c.succPos[i] = c.succPos[i][:0]
+		c.predPos[i] = c.predPos[i][:0]
 	}
 	clear(c.visitMark)
 	c.visitEpoch = 0
@@ -68,6 +82,8 @@ func (c *CPG) ensure(i int) {
 	for i >= len(c.succs) {
 		c.succs = append(c.succs, nil)
 		c.preds = append(c.preds, nil)
+		c.succPos = append(c.succPos, nil)
+		c.predPos = append(c.predPos, nil)
 	}
 	for i >= len(c.visitMark) {
 		c.visitMark = append(c.visitMark, 0)
@@ -235,24 +251,51 @@ func (c *CPG) addEdge(a, b ig.NodeID) {
 			return
 		}
 	}
+	c.succPos[ai] = append(c.succPos[ai], int32(len(c.preds[bi])))
+	c.predPos[bi] = append(c.predPos[bi], int32(len(c.succs[ai])))
 	c.succs[ai] = append(c.succs[ai], b)
 	c.preds[bi] = append(c.preds[bi], a)
 }
 
+// removeEdge deletes a→b. Cost: one scan of a's successor row (small —
+// bounded by what transitive reduction leaves) plus two swap-removes;
+// b's predecessor row, which may be huge (Bottom's holds almost every
+// node), is never scanned thanks to the positional back-pointers.
 func (c *CPG) removeEdge(a, b ig.NodeID) {
 	ai, bi := cpgIdx(a), cpgIdx(b)
-	c.succs[ai] = removeFrom(c.succs[ai], b)
-	c.preds[bi] = removeFrom(c.preds[bi], a)
-}
-
-func removeFrom(s []ig.NodeID, x ig.NodeID) []ig.NodeID {
-	out := s[:0]
-	for _, v := range s {
-		if v != x {
-			out = append(out, v)
+	sl := c.succs[ai]
+	j := -1
+	for idx, s := range sl {
+		if s == b {
+			j = idx
+			break
 		}
 	}
-	return out
+	if j < 0 {
+		return
+	}
+	pi := int(c.succPos[ai][j])
+
+	last := len(sl) - 1
+	if j != last {
+		moved := sl[last] // edge a→moved slides into slot j
+		c.predPos[cpgIdx(moved)][c.succPos[ai][last]] = int32(j)
+		sl[j] = moved
+		c.succPos[ai][j] = c.succPos[ai][last]
+	}
+	c.succs[ai] = sl[:last]
+	c.succPos[ai] = c.succPos[ai][:last]
+
+	pl := c.preds[bi]
+	last = len(pl) - 1
+	if pi != last {
+		moved := pl[last] // edge moved→b slides into slot pi
+		c.succPos[cpgIdx(moved)][c.predPos[bi][last]] = int32(pi)
+		pl[pi] = moved
+		c.predPos[bi][pi] = c.predPos[bi][last]
+	}
+	c.preds[bi] = pl[:last]
+	c.predPos[bi] = c.predPos[bi][:last]
 }
 
 // addEdgeReduced adds u→n keeping the graph transitively reduced: the

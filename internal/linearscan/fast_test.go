@@ -1,0 +1,183 @@
+package linearscan_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/linearscan"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// checkFastOutput audits a fast-path allocation end to end: the
+// output is fully lowered (phys-only, in-range), and interpreting
+// input and output under call-clobbering semantics gives identical
+// observable behavior on two parameter bases. Interference validity
+// is covered separately by RunOptions.Validate, which replays every
+// round through the standard CheckResult.
+func checkFastOutput(t *testing.T, input, out *ir.Func, m *target.Machine) {
+	t.Helper()
+	out.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		for _, r := range append(append([]ir.Reg{}, in.Defs...), in.Uses...) {
+			if r.IsVirt() {
+				t.Fatalf("%s: virtual register %v survives at b%d[%d]", input.Name, r, b.ID, i)
+			}
+			if r.IsPhys() && r.PhysNum() >= m.NumRegs {
+				t.Fatalf("%s: register %v out of machine range at b%d[%d]", input.Name, r, b.ID, i)
+			}
+		}
+	})
+	opts := ir.InterpOptions{CallClobbers: m.CallClobbers()}
+	for _, base := range []int64{0, 3} {
+		init, outInit := map[ir.Reg]int64{}, map[ir.Reg]int64{}
+		for i, p := range input.Params {
+			init[p] = base + int64(i)
+			outInit[out.Params[i]] = base + int64(i)
+		}
+		a, err := ir.Interp(input, init, opts)
+		if err != nil {
+			return // non-terminating input: structural checks suffice
+		}
+		b, err := ir.Interp(out, outInit, opts)
+		if err != nil {
+			t.Fatalf("%s: interpreting output: %v", input.Name, err)
+		}
+		if a.HasRet != b.HasRet || a.Ret != b.Ret {
+			t.Fatalf("%s: base %d: return differs: input (%v, %d) output (%v, %d)",
+				input.Name, base, a.HasRet, a.Ret, b.HasRet, b.Ret)
+		}
+		if len(a.Stores) != len(b.Stores) {
+			t.Fatalf("%s: base %d: store count differs: %d vs %d", input.Name, base, len(a.Stores), len(b.Stores))
+		}
+		for i := range a.Stores {
+			if a.Stores[i] != b.Stores[i] {
+				t.Fatalf("%s: base %d: store %d differs: %+v vs %+v", input.Name, base, i, a.Stores[i], b.Stores[i])
+			}
+		}
+	}
+}
+
+// TestFastWorkloadSweep runs the graph-free fast path over the full
+// benchmark suite on every machine model with per-round CheckResult
+// validation on, then audits the rewritten output behaviorally.
+func TestFastWorkloadSweep(t *testing.T) {
+	profiles := append(workload.Benchmarks(), workload.Large())
+	for _, m := range machines() {
+		ws := linearscan.NewFastWorkspace()
+		for _, p := range profiles {
+			for i, f := range workload.Generate(p, m) {
+				out, stats, err := linearscan.Run(f, m, linearscan.RunOptions{Validate: true, Workspace: ws})
+				if err != nil {
+					t.Fatalf("%s/%s func %d: %v", m.Name, p.Name, i, err)
+				}
+				if stats.Rounds < 1 {
+					t.Fatalf("%s/%s func %d: no rounds recorded", m.Name, p.Name, i)
+				}
+				checkFastOutput(t, f, out, m)
+			}
+		}
+	}
+}
+
+// TestFastFuzzSweep drives the metamorphic harness's seeded random
+// programs through the fast path with validation on.
+func TestFastFuzzSweep(t *testing.T) {
+	ms := []*target.Machine{
+		target.UsageModel(8),
+		target.S390Like(8),
+		target.X86Like(8).WithIA64AddImmLimit(),
+	}
+	for seed := int64(1); seed <= 64; seed++ {
+		for _, m := range ms {
+			f := workload.GenerateRawFunc(workload.Fuzz(), m, seed)
+			out, _, err := linearscan.Run(f, m, linearscan.RunOptions{Validate: true})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name, err)
+			}
+			checkFastOutput(t, f, out, m)
+		}
+	}
+}
+
+// TestFastDeterministic pins digest stability of the fast path, with
+// and without workspace reuse.
+func TestFastDeterministic(t *testing.T) {
+	m := target.UsageModel(16)
+	ws := linearscan.NewFastWorkspace()
+	for _, f := range workload.Generate(workload.Benchmarks()[0], m) {
+		out1, st1, err := linearscan.Run(f, m, linearscan.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2, st2, err := linearscan.Run(f, m, linearscan.RunOptions{Workspace: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1 := bench.FuncDigest(f.Name, st1, out1)
+		d2 := bench.FuncDigest(f.Name, st2, out2)
+		if d1 != d2 {
+			t.Fatalf("%s: digest diverges with workspace reuse: %s vs %s", f.Name, d1, d2)
+		}
+	}
+}
+
+// TestFastQualitySane bounds the fast path's quality loss on the
+// large workload: register-granularity hulls spill more than the
+// renumbered adapter, but estimated cycles must stay within a small
+// multiple of pref-full.
+func TestFastQualitySane(t *testing.T) {
+	m := target.UsageModel(16)
+	var fast, full float64
+	for _, f := range workload.Generate(workload.Large(), m) {
+		out, _, err := linearscan.Run(f, m, linearscan.RunOptions{Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast += perfmodel.Estimate(out, m).Cycles
+		out, _, err = regalloc.RunChecked(f, m, core.New(), regalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full += perfmodel.Estimate(out, m).Cycles
+	}
+	if fast > 3*full {
+		t.Fatalf("fast-path estimated cycles %.0f vs pref-full %.0f: more than 3x worse", fast, full)
+	}
+	t.Logf("estimated cycles: linearscan fast %.0f, pref-full %.0f (ratio %.2f)", fast, full, fast/full)
+}
+
+// BenchmarkLinearScanFastLarge measures the serving fast path — the
+// latency the daemon's fast tier pays per large-workload sweep.
+func BenchmarkLinearScanFastLarge(b *testing.B) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Large(), m)
+	ws := linearscan.NewFastWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range funcs {
+			if _, _, err := linearscan.Run(f, m, linearscan.RunOptions{Workspace: ws}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLinearScanFastValidated is the fast path with per-round
+// graph validation — what the check costs if a deployment wants it.
+func BenchmarkLinearScanFastValidated(b *testing.B) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Large(), m)
+	ws := linearscan.NewFastWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range funcs {
+			if _, _, err := linearscan.Run(f, m, linearscan.RunOptions{Validate: true, Workspace: ws}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

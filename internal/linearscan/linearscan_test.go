@@ -1,0 +1,171 @@
+package linearscan_test
+
+import (
+	"testing"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/core"
+	"prefcolor/internal/linearscan"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+	"prefcolor/internal/workload"
+)
+
+// machines are the models the sweep allocates on: the paper's usage
+// model at the figures' register counts plus the irregular x86- and
+// s390-flavored models, and a low-pressure 8-register configuration
+// that forces spilling on the larger functions.
+func machines() []*target.Machine {
+	return []*target.Machine{
+		target.UsageModel(8),
+		target.UsageModel(16),
+		target.UsageModel(32),
+		target.X86Like(16),
+		target.S390Like(16),
+	}
+}
+
+// TestWorkloadSweep runs the full benchmark suite (and the oversized
+// large profile) through the RunChecked oracle on every machine
+// model: every allocation must be valid, spill temporaries must never
+// re-spill, and the rewrite must produce well-formed phys-only code.
+func TestWorkloadSweep(t *testing.T) {
+	profiles := append(workload.Benchmarks(), workload.Large())
+	for _, m := range machines() {
+		for _, p := range profiles {
+			funcs := workload.Generate(p, m)
+			for i, f := range funcs {
+				if _, _, err := regalloc.RunChecked(f, m, linearscan.New(), regalloc.Options{}); err != nil {
+					t.Fatalf("%s/%s func %d: %v", m.Name, p.Name, i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillOptions exercises the driver's optional spill strategies —
+// rematerialization and block-local spill code — under the low-
+// pressure model where they actually trigger.
+func TestSpillOptions(t *testing.T) {
+	m := target.UsageModel(8)
+	for _, opts := range []regalloc.Options{
+		{Rematerialize: true},
+		{BlockLocalSpills: true},
+		{Rematerialize: true, BlockLocalSpills: true},
+	} {
+		for _, f := range workload.Generate(workload.Large(), m) {
+			if _, _, err := regalloc.RunChecked(f, m, linearscan.New(), opts); err != nil {
+				t.Fatalf("opts %+v: %v", opts, err)
+			}
+		}
+	}
+}
+
+// TestFuzzSweep drives seeded random raw programs (the metamorphic
+// harness's generator and machine trio) through the oracle.
+func TestFuzzSweep(t *testing.T) {
+	ms := []*target.Machine{
+		target.UsageModel(8),
+		target.S390Like(8),
+		target.X86Like(8).WithIA64AddImmLimit(),
+	}
+	for seed := int64(1); seed <= 64; seed++ {
+		for _, m := range ms {
+			f := workload.GenerateRawFunc(workload.Fuzz(), m, seed)
+			if _, _, err := regalloc.RunChecked(f, m, linearscan.New(), regalloc.Options{}); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name, err)
+			}
+		}
+	}
+}
+
+// TestDeterministic pins digest stability: two runs over clones of
+// the same input produce identical rewritten code, with and without a
+// reused workspace.
+func TestDeterministic(t *testing.T) {
+	m := target.UsageModel(16)
+	ws := regalloc.NewWorkspace()
+	for _, f := range workload.Generate(workload.Benchmarks()[0], m) {
+		out1, st1, err := regalloc.RunChecked(f, m, linearscan.New(), regalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2, st2, err := regalloc.RunChecked(f, m, linearscan.New(), regalloc.Options{Workspace: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1 := bench.FuncDigest(f.Name, st1, out1)
+		d2 := bench.FuncDigest(f.Name, st2, out2)
+		if d1 != d2 {
+			t.Fatalf("%s: digest diverges with workspace reuse: %s vs %s", f.Name, d1, d2)
+		}
+	}
+}
+
+// TestRegistered pins the registry wiring: the daemon and harness
+// resolve the allocator by name.
+func TestRegistered(t *testing.T) {
+	a, err := bench.NewAllocator("linearscan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "linearscan" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+	found := false
+	for _, n := range bench.AllocatorNames() {
+		if n == "linearscan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("linearscan missing from AllocatorNames: %v", bench.AllocatorNames())
+	}
+}
+
+// TestQualitySane bounds the fast tier's quality loss on the large
+// workload: the hull approximation costs spills and moves, but the
+// estimated cycles must stay within a small multiple of pref-full —
+// a tripled estimate would mean the intervals or the spill heuristic
+// regressed to nonsense.
+func TestQualitySane(t *testing.T) {
+	m := target.UsageModel(16)
+	var fast, full float64
+	for _, f := range workload.Generate(workload.Large(), m) {
+		out, _, err := regalloc.RunChecked(f, m, linearscan.New(), regalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast += perfmodel.Estimate(out, m).Cycles
+		out, _, err = regalloc.RunChecked(f, m, core.New(), regalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full += perfmodel.Estimate(out, m).Cycles
+	}
+	if fast > 3*full {
+		t.Fatalf("linearscan estimated cycles %.0f vs pref-full %.0f: more than 3x worse", fast, full)
+	}
+	t.Logf("estimated cycles: linearscan %.0f, pref-full %.0f (ratio %.2f)", fast, full, fast/full)
+}
+
+// benchAllocator measures end-to-end driver latency per large-
+// workload function for one allocator configuration.
+func benchAllocator(b *testing.B, name string) {
+	m := target.UsageModel(16)
+	funcs := workload.Generate(workload.Large(), m)
+	ws := regalloc.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range funcs {
+			alloc, _ := bench.NewAllocator(name)
+			if _, _, err := regalloc.Run(f, m, alloc, regalloc.Options{Workspace: ws}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkLinearScanLarge(b *testing.B) { benchAllocator(b, "linearscan") }
+func BenchmarkPrefFullLarge(b *testing.B)   { benchAllocator(b, "pref-full") }

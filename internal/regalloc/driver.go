@@ -7,6 +7,7 @@ import (
 
 	"prefcolor/internal/ig"
 	"prefcolor/internal/ir"
+	"prefcolor/internal/liveness"
 	"prefcolor/internal/scratch"
 	"prefcolor/internal/target"
 	"prefcolor/internal/telemetry"
@@ -530,6 +531,19 @@ func expandSpills(g *ig.Graph, spilled []ig.NodeID) []int {
 	return out
 }
 
+// InsertSpillEverywhere inserts spill-everywhere code for the given
+// webs (virtual-register numbers): a store follows every definition
+// (and function entry, for parameters and webs whose entry value is
+// read before any definition), and every use reads a fresh temporary
+// loaded just before it. It returns the fresh temporaries plus the
+// spilled webs themselves (whose remaining live ranges are now tiny),
+// all of which must never be spilled again. The driver uses it for
+// every round's spill set; it is exported for allocators with their
+// own driver loop (the linear-scan fast tier).
+func InsertSpillEverywhere(f *ir.Func, webs []int) []ir.Reg {
+	return insertSpillCode(f, webs)
+}
+
 // insertSpillCode splits each spilled web: a store follows every
 // definition (and function entry, for parameters and webs whose entry
 // value is read before any definition), and every use reads a fresh
@@ -565,7 +579,9 @@ func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
 		}
 		for i := range b.Instrs {
 			in := b.Instrs[i]
-			replaced := map[ir.Reg]ir.Reg{}
+			// Allocated lazily: most instructions touch no spilled web,
+			// and a map per instruction is measurable on the fast path.
+			var replaced map[ir.Reg]ir.Reg
 			for ui, u := range in.Uses {
 				s, ok := slot[u]
 				if !ok {
@@ -574,6 +590,9 @@ func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
 				t, dup := replaced[u]
 				if !dup {
 					t = f.NewReg()
+					if replaced == nil {
+						replaced = map[ir.Reg]ir.Reg{}
+					}
 					replaced[u] = t
 					temps = append(temps, t)
 					out = append(out, ir.Instr{Op: ir.SpillLoad, Defs: []ir.Reg{t}, Imm: s})
@@ -592,12 +611,11 @@ func insertSpillCode(f *ir.Func, webs []int) []ir.Reg {
 	return temps
 }
 
-// rewrite maps the colored function onto physical registers: caller
-// saves are inserted around calls for volatile-resident values, web
-// registers are replaced by their assigned physical registers, and
-// copies made redundant by the assignment are deleted.
+// rewrite maps the colored function onto physical registers: it
+// resolves every web's color through the graph's coalescing aliases
+// and hands the dense color table to RewriteColored.
 func rewrite(ctx *Context, res *Result, stats *Stats) (*ir.Func, error) {
-	f, g, m := ctx.F, ctx.Graph, ctx.Machine
+	f, g := ctx.F, ctx.Graph
 	var colors []int
 	if ws := ctx.Workspace; ws != nil {
 		ws.colors = scratch.Slice(ws.colors, f.NumVirt)
@@ -612,7 +630,25 @@ func rewrite(ctx *Context, res *Result, stats *Stats) (*ir.Func, error) {
 		}
 		colors[w] = c
 	}
+	return RewriteColored(f, ctx.Machine, ctx.Live, colors, stats)
+}
 
+// RewriteColored maps a fully colored function onto physical
+// registers, in place: caller saves are inserted around calls for
+// volatile-resident values, every virtual register w is replaced by
+// physical register colors[w], copies made redundant by the
+// assignment are deleted, and the rewrite statistics (moves, spill
+// code, caller saves, register usage) are recorded on stats. live
+// must be current for f. The driver calls it with graph-resolved
+// colors; allocators with their own driver loop (the linear-scan fast
+// tier) call it directly.
+//
+// live may be nil only when the caller guarantees no value colored
+// volatile is live across any call — then the caller-save scan has
+// nothing to find and is skipped. The linear-scan fast path earns
+// this by construction: its clobber masks forbid volatile registers
+// to every web live across a call.
+func RewriteColored(f *ir.Func, m *target.Machine, live *liveness.Info, colors []int, stats *Stats) (*ir.Func, error) {
 	// Caller-save insertion: find, per call, the webs assigned
 	// volatile registers that live across it.
 	type savePoint struct {
@@ -621,7 +657,10 @@ func rewrite(ctx *Context, res *Result, stats *Stats) (*ir.Func, error) {
 	}
 	saves := map[ir.BlockID][]savePoint{}
 	for _, b := range f.Blocks {
-		ctx.Live.ForEachInstrReverse(b, func(i int, in *ir.Instr, liveAfter ir.RegSet) {
+		if live == nil {
+			break
+		}
+		live.ForEachInstrReverse(b, func(i int, in *ir.Instr, liveAfter ir.RegSet) {
 			if in.Op != ir.Call {
 				return
 			}

@@ -1,0 +1,56 @@
+package regalloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The allocator registry is the drop-in boundary for allocator
+// families: a package provides a factory, registers it under a stable
+// name (typically from init), and every consumer — the bench harness,
+// the daemon's request spec, the comparison tools, the metamorphic
+// matrix — resolves it by that name without knowing the package.
+// Factories return fresh instances so concurrent runs stay
+// independent.
+var (
+	registryMu    sync.RWMutex
+	registry      = map[string]func() Allocator{}
+	registryOrder []string
+)
+
+// Register adds an allocator factory under name. It panics on a
+// duplicate name or nil factory: both are wiring bugs, and failing at
+// init beats failing on the first request.
+func Register(name string, factory func() Allocator) {
+	if factory == nil {
+		panic(fmt.Sprintf("regalloc.Register(%q): nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("regalloc.Register(%q): duplicate registration", name))
+	}
+	registry[name] = factory
+	registryOrder = append(registryOrder, name)
+}
+
+// ByName builds a fresh allocator by registered name.
+func ByName(name string) (Allocator, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("regalloc: unknown allocator %q (known: %v)", name, RegisteredNames())
+	}
+	return factory(), nil
+}
+
+// RegisteredNames lists every registered allocator in registration
+// order (the order bench presents configurations in).
+func RegisteredNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}

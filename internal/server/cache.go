@@ -87,11 +87,14 @@ func (m *keyMemo) add(raw, canon [sha256.Size]byte) {
 }
 
 // entry is one cached allocation outcome. Entries are immutable after
-// insertion, so readers share them without copying.
+// insertion, so readers share them without copying — a tier upgrade
+// swaps the whole entry via Add, never mutates one in place.
 type entry struct {
 	Function string    // rewritten code, textual IR
 	Digest   string    // bench.FuncDigest fingerprint
 	Stats    statsJSON // allocation statistics
+	Tier     string    // tier mode: "fast" or "full"; else empty
+	Cycles   float64   // tier mode: perfmodel cycle estimate of Function
 }
 
 // lruCache is a fixed-capacity least-recently-used result cache. A

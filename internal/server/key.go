@@ -2,6 +2,7 @@ package server
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"net/http"
 
 	"prefcolor/internal/ir"
@@ -31,6 +32,11 @@ func NewKeyResolver(entries int) *KeyResolver {
 // input is left unparsed — the steady state stays parse-free. The
 // returned int is an HTTP status code for the error, when non-nil.
 func (kr *KeyResolver) resolve(in *srcInput) (int, error) {
+	if in.canonKnown {
+		// A trusted router already resolved this payload's identity
+		// (X-Prefgcd-Key); the cache-hit path stays parse-free.
+		return 0, nil
+	}
 	if in.f != nil && in.binary != nil {
 		// Already decoded by the handler; the bytes are our own
 		// canonical re-encoding.
@@ -95,7 +101,36 @@ const (
 	// CacheHeader reports how /v1/allocate served a 200: "hit" from
 	// the result cache, "miss" computed fresh.
 	CacheHeader = "X-Prefgcd-Cache"
+
+	// TierHeader reports which tier served a 200 in tier mode: "fast"
+	// (linear-scan, upgrade pending) or "full" (the request's own
+	// allocator).
+	TierHeader = "X-Prefgcd-Tier"
+
+	// KeyHeader carries a function's canonical content hash
+	// (hex-encoded sha256 over its ir.EncodeBinary form) from a router
+	// that has already resolved it. A replica honors it only with
+	// Config.TrustKeyHeader on.
+	KeyHeader = "X-Prefgcd-Key"
 )
+
+// EncodeKeyHeader renders a canonical content hash as the KeyHeader
+// value a router forwards.
+func EncodeKeyHeader(canon [32]byte) string { return hex.EncodeToString(canon[:]) }
+
+// DecodeKeyHeader parses a KeyHeader value; ok is false for an absent
+// or malformed header (the replica then resolves the body itself).
+func DecodeKeyHeader(v string) (canon [32]byte, ok bool) {
+	if len(v) != 2*len(canon) {
+		return canon, false
+	}
+	b, err := hex.DecodeString(v)
+	if err != nil {
+		return canon, false
+	}
+	copy(canon[:], b)
+	return canon, true
+}
 
 // DrainingStatus is the HTTP status a draining replica answers new
 // allocation work with; routers treat it as "hand this request to

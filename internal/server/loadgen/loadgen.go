@@ -28,7 +28,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prefcolor/internal/bench"
 	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
 	"prefcolor/internal/server"
 	"prefcolor/internal/target"
 	"prefcolor/internal/workload"
@@ -117,6 +119,14 @@ type Options struct {
 	// instead of the JSON/text body.
 	Binary bool
 
+	// Tier drives a tier-mode daemon: responses are bucketed by the
+	// X-Prefgcd-Tier header, digests are checked per (item, tier), the
+	// fast→full flip of each item is timed, and every full-tier digest
+	// is verified against a locally computed pref-full oracle — the
+	// proof that background upgrades land exactly the allocation a
+	// non-tiered daemon would have served.
+	Tier bool
+
 	// KeepResponses retains the first successful response per corpus
 	// item in Report.Responses, for offline re-validation.
 	KeepResponses bool
@@ -187,8 +197,13 @@ type Report struct {
 
 	// DigestMismatches counts responses whose digest disagreed with an
 	// earlier response for the same item — always zero for a correct
-	// daemon.
+	// daemon. In tier mode the comparison is per (item, tier), since
+	// the fast and full allocations of one function legitimately
+	// differ.
 	DigestMismatches int `json:"digest_mismatches"`
+
+	// Tier summarizes a tier-mode run (Options.Tier only).
+	Tier *TierReport `json:"tier,omitempty"`
 
 	// Server5xx counts 5xx responses (excluding 504, reported as
 	// Timeouts). A router that hands off draining and dead shards
@@ -203,6 +218,36 @@ type Report struct {
 	// Responses holds one retained response per corpus item reached
 	// during the run (only with Options.KeepResponses).
 	Responses []Response `json:"-"`
+}
+
+// TierReport summarizes one tier-mode run.
+type TierReport struct {
+	// FastServed and FullServed count successful responses by tier.
+	FastServed int `json:"fast_served"`
+	FullServed int `json:"full_served"`
+
+	// Fast covers freshly computed fast-tier responses — the latency
+	// the tier exists to deliver (cache hits excluded).
+	Fast Bucket `json:"fast"`
+
+	// UpgradedItems counts corpus items observed in both tiers;
+	// the upgrade percentiles time each item's fast→full flip as seen
+	// from the client (first full-tier response minus first fast-tier
+	// response, an over-estimate bounded by the polling rate).
+	UpgradedItems int     `json:"upgraded_items"`
+	UpgradeP50MS  float64 `json:"upgrade_p50_ms"`
+	UpgradeP90MS  float64 `json:"upgrade_p90_ms"`
+	UpgradeP99MS  float64 `json:"upgrade_p99_ms"`
+
+	// QualityRatio is fast-tier over full-tier estimated cycles,
+	// summed across upgraded items — the quality the fast tier trades
+	// until its upgrade lands.
+	QualityRatio float64 `json:"quality_ratio"`
+
+	// OracleMismatches counts full-tier responses whose digest
+	// disagreed with a locally computed pref-full allocation of the
+	// same item — always zero for a correct daemon.
+	OracleMismatches int `json:"oracle_mismatches"`
 }
 
 // Bucket summarizes one class of successful requests.
@@ -241,10 +286,12 @@ type allocateBody struct {
 }
 
 type allocateReply struct {
-	Function string `json:"function"`
-	Digest   string `json:"digest"`
-	Cached   bool   `json:"cached"`
-	Error    string `json:"error"`
+	Function string  `json:"function"`
+	Digest   string  `json:"digest"`
+	Cached   bool    `json:"cached"`
+	Tier     string  `json:"tier"`
+	Cycles   float64 `json:"cycles"`
+	Error    string  `json:"error"`
 }
 
 // Run drives the daemon until the duration elapses, the request
@@ -267,6 +314,39 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	seed := o.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	// Tier mode verifies full-tier responses against a local pref-full
+	// oracle, so it only makes sense for the allocator tiering stands
+	// in for, on cacheable requests.
+	var oracle map[int]string
+	if o.Tier {
+		if o.Allocator != "" && o.Allocator != "pref-full" {
+			return nil, fmt.Errorf("loadgen: tier mode requires the pref-full allocator, got %q", o.Allocator)
+		}
+		if o.Cold {
+			return nil, fmt.Errorf("loadgen: tier mode is incompatible with cold (no_cache disables tiering)")
+		}
+		spec := server.Spec{Machine: o.Machine, K: o.K}
+		m, err := spec.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		oracle = make(map[int]string, len(o.Corpus))
+		for i, item := range o.Corpus {
+			f, err := ir.Parse(item.Source)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: oracle parse %s: %w", item.Name, err)
+			}
+			alloc, err := bench.NewAllocator("pref-full")
+			if err != nil {
+				return nil, err
+			}
+			out, stats, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: oracle allocation %s: %w", item.Name, err)
+			}
+			oracle[i] = bench.FuncDigest(f.Name, stats, out)
+		}
 	}
 	client := o.Client
 	if client == nil {
@@ -291,6 +371,16 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		kept      = make(map[int]Response)
 		budget    = o.MaxRequests
 		seq       atomic.Int64 // global completion counter for observers
+
+		// Tier-mode state, all guarded by mu.
+		tierRep     TierReport
+		fastDigests = make(map[int]string)
+		fullDigests = make(map[int]string)
+		firstFast   = make(map[int]time.Time)
+		firstFull   = make(map[int]time.Time)
+		fastCyc     = make(map[int]float64)
+		fullCyc     = make(map[int]float64)
+		fastLat     []float64
 	)
 	rep.PerReplica = make(map[string]int)
 	observe := func(item, status int, digest, replica string, hit bool, ms float64) {
@@ -424,10 +514,35 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 						coldLat = append(coldLat, ms)
 					}
 					latencies = append(latencies, ms)
-					if prev, ok := digests[i]; ok && prev != r.Digest {
+					dmap := digests
+					if o.Tier {
+						switch r.Tier {
+						case "fast":
+							dmap = fastDigests
+							tierRep.FastServed++
+							if _, ok := firstFast[i]; !ok {
+								firstFast[i] = time.Now()
+							}
+							if !r.Cached {
+								fastLat = append(fastLat, ms)
+							}
+							fastCyc[i] = r.Cycles
+						case "full":
+							dmap = fullDigests
+							tierRep.FullServed++
+							if _, ok := firstFull[i]; !ok {
+								firstFull[i] = time.Now()
+							}
+							fullCyc[i] = r.Cycles
+							if want := oracle[i]; want != "" && r.Digest != want {
+								tierRep.OracleMismatches++
+							}
+						}
+					}
+					if prev, ok := dmap[i]; ok && prev != r.Digest {
 						rep.DigestMismatches++
 					} else {
-						digests[i] = r.Digest
+						dmap[i] = r.Digest
 					}
 					if o.KeepResponses {
 						if _, ok := kept[i]; !ok {
@@ -480,6 +595,34 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	}
 	rep.Hot = bucketFrom(hotLat, rep.DurationSec)
 	rep.Cold = bucketFrom(coldLat, rep.DurationSec)
+	if o.Tier {
+		var upLat []float64
+		var fc, fl float64
+		for i, t0 := range firstFast {
+			t1, ok := firstFull[i]
+			if !ok {
+				continue
+			}
+			tierRep.UpgradedItems++
+			if d := t1.Sub(t0); d >= 0 {
+				upLat = append(upLat, float64(d.Microseconds())/1000)
+			}
+			fc += fastCyc[i]
+			fl += fullCyc[i]
+		}
+		sort.Float64s(upLat)
+		if n := len(upLat); n > 0 {
+			pct := func(p float64) float64 { return upLat[int(p*float64(n-1))] }
+			tierRep.UpgradeP50MS = pct(0.50)
+			tierRep.UpgradeP90MS = pct(0.90)
+			tierRep.UpgradeP99MS = pct(0.99)
+		}
+		if fl > 0 {
+			tierRep.QualityRatio = fc / fl
+		}
+		tierRep.Fast = bucketFrom(fastLat, rep.DurationSec)
+		rep.Tier = &tierRep
+	}
 	items := make([]int, 0, len(kept))
 	for i := range kept {
 		items = append(items, i)

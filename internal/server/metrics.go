@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"prefcolor/internal/telemetry"
 )
@@ -21,10 +22,22 @@ type metrics struct {
 	dropped  int64                    // jobs whose deadline expired while queued
 	executed int64                    // jobs actually run by the pool
 	tel      telemetry.Snapshot       // merged across all completed allocations
+
+	// Tier-mode counters (all zero when tiering is off).
+	tierServed      map[string]int64 // responses by serving tier
+	tierUpgrades    int64            // cache entries escalated to full
+	tierUpgradeFail int64            // upgrades that errored
+	tierSheds       int64            // upgrades dropped by a full queue
+	tierUpgradeSec  float64          // total enqueue-to-swap upgrade time
+	tierFastCycles  float64          // estimated cycles of upgraded entries, fast tier
+	tierFullCycles  float64          // estimated cycles of upgraded entries, full tier
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: make(map[string]map[int]int64)}
+	return &metrics{
+		requests:   make(map[string]map[int]int64),
+		tierServed: make(map[string]int64),
+	}
 }
 
 // CountRequest tallies one finished HTTP request.
@@ -46,6 +59,40 @@ func (m *metrics) CountDropped() {
 	m.mu.Unlock()
 }
 
+// CountTierServed tallies one response by the tier that produced it.
+func (m *metrics) CountTierServed(tier string) {
+	m.mu.Lock()
+	m.tierServed[tier]++
+	m.mu.Unlock()
+}
+
+// CountTierShed tallies an upgrade dropped by a full queue.
+func (m *metrics) CountTierShed() {
+	m.mu.Lock()
+	m.tierSheds++
+	m.mu.Unlock()
+}
+
+// CountTierUpgradeFailed tallies an upgrade whose full-pipeline
+// re-computation errored.
+func (m *metrics) CountTierUpgradeFailed() {
+	m.mu.Lock()
+	m.tierUpgradeFail++
+	m.mu.Unlock()
+}
+
+// CountTierUpgrade tallies one completed cache-entry escalation: its
+// enqueue-to-swap latency and the estimated cycles of the entry before
+// (fast) and after (full), the service-level quality delta.
+func (m *metrics) CountTierUpgrade(elapsed time.Duration, fastCycles, fullCycles float64) {
+	m.mu.Lock()
+	m.tierUpgrades++
+	m.tierUpgradeSec += elapsed.Seconds()
+	m.tierFastCycles += fastCycles
+	m.tierFullCycles += fullCycles
+	m.mu.Unlock()
+}
+
 // CountExecuted merges one completed allocation's telemetry.
 func (m *metrics) CountExecuted(snap *telemetry.Snapshot) {
 	m.mu.Lock()
@@ -58,7 +105,8 @@ func (m *metrics) CountExecuted(snap *telemetry.Snapshot) {
 // the live queue, cache, and workspace-pool gauges so the scrape
 // reflects the moment.
 func (m *metrics) Render(queueDepth, queueCapacity, cacheEntries int,
-	cacheHits, cacheMisses, cacheEvictions, flightShared, wsGets, wsNews int64) string {
+	cacheHits, cacheMisses, cacheEvictions, flightShared, wsGets, wsNews int64,
+	upgradeDepth, upgradeCapacity int) string {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -109,6 +157,31 @@ func (m *metrics) Render(queueDepth, queueCapacity, cacheEntries int,
 	}
 	fmt.Fprintf(&b, "# HELP prefgcd_workspace_pool_hit_ratio Fraction of workspace borrows served from the pool.\n"+
 		"# TYPE prefgcd_workspace_pool_hit_ratio gauge\nprefgcd_workspace_pool_hit_ratio %g\n", hitRate)
+
+	// Tiered allocation: the fast/full serving mix, the background
+	// escalation pipeline, and the quality delta the fast tier trades
+	// for its latency (ratio of the two cycle counters).
+	b.WriteString("# HELP prefgcd_tier_served_total Responses by the tier of the allocation served.\n")
+	b.WriteString("# TYPE prefgcd_tier_served_total counter\n")
+	tiers := make([]string, 0, len(m.tierServed))
+	for t := range m.tierServed {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	for _, t := range tiers {
+		fmt.Fprintf(&b, "prefgcd_tier_served_total{tier=%q} %d\n", t, m.tierServed[t])
+	}
+	counter("prefgcd_tier_upgrades_total", "Cache entries escalated from fast to full tier.", m.tierUpgrades)
+	counter("prefgcd_tier_upgrade_failures_total", "Upgrades whose full re-computation errored.", m.tierUpgradeFail)
+	counter("prefgcd_tier_upgrade_sheds_total", "Upgrades dropped because the upgrade queue was full.", m.tierSheds)
+	fmt.Fprintf(&b, "# HELP prefgcd_tier_upgrade_seconds_total Cumulative enqueue-to-swap upgrade latency.\n"+
+		"# TYPE prefgcd_tier_upgrade_seconds_total counter\nprefgcd_tier_upgrade_seconds_total %g\n", m.tierUpgradeSec)
+	gauge("prefgcd_tier_upgrade_queue_depth", "Upgrade jobs waiting for the background worker.", upgradeDepth)
+	gauge("prefgcd_tier_upgrade_queue_capacity", "Admission bound of the upgrade queue.", upgradeCapacity)
+	fmt.Fprintf(&b, "# HELP prefgcd_tier_fast_cycles_total Estimated cycles of upgraded entries as served by the fast tier.\n"+
+		"# TYPE prefgcd_tier_fast_cycles_total counter\nprefgcd_tier_fast_cycles_total %g\n", m.tierFastCycles)
+	fmt.Fprintf(&b, "# HELP prefgcd_tier_full_cycles_total Estimated cycles of the same entries after their full-tier upgrade.\n"+
+		"# TYPE prefgcd_tier_full_cycles_total counter\nprefgcd_tier_full_cycles_total %g\n", m.tierFullCycles)
 
 	// Process-wide memory gauges, read at scrape time (go_memstats
 	// style): live heap and completed GC cycles, putting the per-job

@@ -36,7 +36,9 @@ import (
 
 	"prefcolor/internal/bench"
 	"prefcolor/internal/ir"
+	"prefcolor/internal/linearscan"
 	"prefcolor/internal/opt"
+	"prefcolor/internal/perfmodel"
 	"prefcolor/internal/regalloc"
 	"prefcolor/internal/ssa"
 	"prefcolor/internal/target"
@@ -87,6 +89,29 @@ type Config struct {
 	// condition variable makes queue saturation (and therefore 429
 	// admission refusals) deterministic in backpressure tests.
 	JobStartHook func()
+
+	// Tier enables tiered allocation: cacheable pref-full requests
+	// are answered first by the linear-scan fast path and their cache
+	// entries upgraded to the full preference-directed result in the
+	// background. See tier.go.
+	Tier bool
+
+	// TierAllocator names the fast-tier algorithm; empty means
+	// "linearscan" (the graph-free fast path). Any registered
+	// allocator name selects a driver-based fast tier instead.
+	TierAllocator string
+
+	// UpgradeQueueSize bounds the background upgrade queue; 0 means
+	// 256. A full queue sheds upgrades (the fast entry remains).
+	UpgradeQueueSize int
+
+	// TrustKeyHeader accepts the X-Prefgcd-Key request header as the
+	// function's canonical content hash, skipping the parse or decode
+	// the replica would otherwise need before probing its cache.
+	// Enable only behind a router that computes keys the same way
+	// (server.KeyResolver): a wrong header caches a result under the
+	// wrong identity.
+	TrustKeyHeader bool
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +139,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
+	if c.TierAllocator == "" {
+		c.TierAllocator = "linearscan"
+	}
+	if c.UpgradeQueueSize <= 0 {
+		c.UpgradeQueueSize = 256
+	}
 	return c
 }
 
@@ -127,6 +158,8 @@ type Server struct {
 	flights    *flightGroup
 	metrics    *metrics
 	workspaces *wsPool
+	fastWS     sync.Pool // *linearscan.Workspace, for the fast tier
+	upgrades   *upgrader
 	mux        *http.ServeMux
 	draining   atomic.Bool
 
@@ -149,6 +182,10 @@ func New(cfg Config) *Server {
 
 		hookJobStart: cfg.JobStartHook,
 	}
+	s.fastWS.New = func() any { return linearscan.NewFastWorkspace() }
+	if cfg.Tier {
+		s.startUpgrader(cfg.UpgradeQueueSize)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/allocate", s.counted("allocate", s.handleAllocate))
 	s.mux.HandleFunc("POST /v1/batch", s.counted("batch", s.handleBatch))
@@ -170,6 +207,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.StartDrain()
 	s.queue.Close()
+	s.stopUpgrader()
 }
 
 // StartDrain begins a graceful drain without stopping the worker
@@ -288,8 +326,10 @@ type allocateResponse struct {
 	Digest   string    `json:"digest"`
 	Stats    statsJSON `json:"stats"`
 	Cached   bool      `json:"cached"`
-	Error    string    `json:"error,omitempty"` // batch items only
-	Code     int       `json:"code,omitempty"`  // batch items only
+	Tier     string    `json:"tier,omitempty"`   // tier mode: "fast" or "full"
+	Cycles   float64   `json:"cycles,omitempty"` // tier mode: perfmodel estimate
+	Error    string    `json:"error,omitempty"`  // batch items only
+	Code     int       `json:"code,omitempty"`   // batch items only
 }
 
 type batchResponse struct {
@@ -471,6 +511,11 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.cfg.TrustKeyHeader {
+		if canon, ok := DecodeKeyHeader(r.Header.Get(KeyHeader)); ok {
+			in.canonHash, in.canonKnown = canon, true
+		}
+	}
 	resp, code, err := s.doOne(r.Context(), in, spec, machine, s.timeout(timeoutMS), false)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
@@ -483,6 +528,9 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(CacheHeader, "hit")
 	} else {
 		w.Header().Set(CacheHeader, "miss")
+	}
+	if resp.Tier != "" {
+		w.Header().Set(TierHeader, resp.Tier)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -634,10 +682,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	hits, misses, evictions := s.cache.Counters()
 	wsGets, wsNews := s.workspaces.counters()
+	upDepth, upCap := s.upgradeDepth()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, s.metrics.Render(
 		s.queue.Depth(), s.queue.Capacity(), s.cache.Len(),
-		hits, misses, evictions, s.flights.Shared(), wsGets, wsNews))
+		hits, misses, evictions, s.flights.Shared(), wsGets, wsNews,
+		upDepth, upCap))
 }
 
 // srcInput is one function input in whichever wire form it arrived:
@@ -650,8 +700,10 @@ type srcInput struct {
 	f      *ir.Func // decoded form, when already known
 
 	// canonHash is sha256 over the function's canonical binary
-	// encoding, filled in by resolveKey.
-	canonHash [32]byte
+	// encoding, filled in by resolveKey — or, when canonKnown is set,
+	// taken on trust from the X-Prefgcd-Key request header.
+	canonHash  [32]byte
+	canonKnown bool
 }
 
 // decode produces the function from whichever wire form in carries.
@@ -692,8 +744,9 @@ func (s *Server) doOne(reqCtx context.Context, in srcInput, spec Spec,
 	}
 	key := KeyFor(in.canonHash, spec)
 	if e, ok := s.cache.Get(key); ok {
-		return &allocateResponse{Function: e.Function, Digest: e.Digest, Stats: e.Stats, Cached: true}, 0, nil
+		return s.respFrom(e, true), 0, nil
 	}
+	tier := s.tierApplies(spec)
 
 	call, leader := s.flights.join(key)
 	if leader {
@@ -713,9 +766,23 @@ func (s *Server) doOne(reqCtx context.Context, in srcInput, spec Spec,
 					http.StatusGatewayTimeout)
 				return
 			}
-			e, code, err := s.compute(jobCtx, in, spec, machine)
+			var e *entry
+			var code int
+			var err error
+			if tier {
+				// Fast tier first; any fast-path failure falls back to
+				// the full pipeline so tiering never loses a request.
+				if e, code, err = s.computeFast(jobCtx, in, spec, machine); err != nil && jobCtx.Err() == nil {
+					e, code, err = s.compute(jobCtx, in, spec, machine, true)
+				}
+			} else {
+				e, code, err = s.compute(jobCtx, in, spec, machine, false)
+			}
 			if err == nil {
 				s.cache.Add(key, e)
+				if tier && e.Tier == tierFast {
+					s.enqueueUpgrade(key, in, spec, machine, e.Cycles)
+				}
 			}
 			s.flights.complete(key, call, e, err, code)
 		}
@@ -753,8 +820,17 @@ func (s *Server) doOne(reqCtx context.Context, in srcInput, spec Spec,
 	if call.err != nil {
 		return nil, call.code, call.err
 	}
-	e := call.val
-	return &allocateResponse{Function: e.Function, Digest: e.Digest, Stats: e.Stats, Cached: false}, 0, nil
+	return s.respFrom(call.val, false), 0, nil
+}
+
+// respFrom shapes a cache entry into the wire response and tallies the
+// serving tier when the entry carries one.
+func (s *Server) respFrom(e *entry, cached bool) *allocateResponse {
+	if e.Tier != "" {
+		s.metrics.CountTierServed(e.Tier)
+	}
+	return &allocateResponse{Function: e.Function, Digest: e.Digest, Stats: e.Stats,
+		Cached: cached, Tier: e.Tier, Cycles: e.Cycles}
 }
 
 // doUncached runs one allocation through the admission queue without
@@ -783,7 +859,7 @@ func (s *Server) doUncached(reqCtx context.Context, in srcInput, spec Spec,
 				fmt.Errorf("dropped after %v in queue: %w", d, jobCtx.Err())
 			return
 		}
-		e, code, err = s.compute(jobCtx, in, spec, machine)
+		e, code, err = s.compute(jobCtx, in, spec, machine, false)
 	}
 	if block {
 		if serr := s.queue.Submit(reqCtx, job); serr != nil {
@@ -815,9 +891,10 @@ const statusClientGone = 499
 
 // compute parses or decodes, optionally optimizes, and allocates one
 // function under ctx, which regalloc.Run polls at its phase
-// boundaries.
+// boundaries. tier stamps the entry as a full-tier result (with its
+// estimated cycle count) for responses that must name their tier.
 func (s *Server) compute(ctx context.Context, in srcInput, spec Spec,
-	machine *target.Machine) (*entry, int, error) {
+	machine *target.Machine, tier bool) (*entry, int, error) {
 
 	f, code, err := in.decode()
 	if err != nil {
@@ -853,9 +930,14 @@ func (s *Server) compute(ctx context.Context, in srcInput, spec Spec,
 		return nil, http.StatusUnprocessableEntity, err
 	}
 	s.metrics.CountExecuted(stats.Telemetry)
-	return &entry{
+	e := &entry{
 		Function: out.String(),
 		Digest:   bench.FuncDigest(f.Name, stats, out),
 		Stats:    statsFrom(stats),
-	}, 0, nil
+	}
+	if tier {
+		e.Tier = tierFull
+		e.Cycles = perfmodel.Estimate(out, machine).Cycles
+	}
+	return e, 0, nil
 }

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/linearscan"
+	"prefcolor/internal/opt"
+	"prefcolor/internal/perfmodel"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/ssa"
+	"prefcolor/internal/target"
+)
+
+// Tiered allocation: with Config.Tier on, a cacheable pref-full
+// request is first answered by the linear-scan fast path — a valid
+// allocation, produced in a small fraction of pref-full's latency —
+// and the cache entry is then upgraded in the background by re-running
+// the request through the full preference-directed pipeline and
+// atomically swapping the entry. The response (and the cache entry it
+// came from) names its tier in the X-Prefgcd-Tier header and the
+// "tier" body field, so callers that care about allocation quality can
+// poll the same request until it reports "full"; callers that only
+// need a correct allocation quickly take the first answer.
+//
+// The upgrade pipeline is deliberately decoupled from the serving
+// pool: one background worker drains a bounded queue, a pending set
+// single-flights upgrades per cache key, and a full queue sheds the
+// upgrade (the fast entry simply remains) rather than blocking any
+// serving path. Draining stops new upgrade admissions immediately;
+// Close cancels the in-flight upgrade, since an upgrade is a quality
+// improvement to an already-correct cached result, never owed work.
+
+// Entry (and response) tier names.
+const (
+	tierFast = "fast" // linear-scan fast path; upgrade pending or shed
+	tierFull = "full" // the request's own allocator ran to completion
+)
+
+// tierApplies reports whether a request takes the tiered path: the
+// tier serves as a stand-in for the preference-directed default only,
+// and an uncacheable request has no entry to upgrade.
+func (s *Server) tierApplies(spec Spec) bool {
+	return s.cfg.Tier && !spec.NoCache && spec.Allocator == "pref-full"
+}
+
+// computeFast is the fast-tier counterpart of compute: same decode and
+// optional SSA optimization, but allocation through the linear-scan
+// fast path (or, with a non-default Config.TierAllocator, the standard
+// driver under that allocator). Rematerialize and BlockLocalSpills are
+// driver spill refinements the fast path does not implement; they
+// reach the full-tier upgrade untouched, since the spec — options
+// included — keys the entry being upgraded.
+func (s *Server) computeFast(ctx context.Context, in srcInput, spec Spec,
+	machine *target.Machine) (*entry, int, error) {
+
+	f, code, err := in.decode()
+	if err != nil {
+		return nil, code, err
+	}
+	if spec.Optimize {
+		ssa.Build(f)
+		opt.Optimize(f)
+		ssa.Destruct(f)
+		f.CompactNops()
+	}
+	if ctx.Err() != nil {
+		return nil, http.StatusGatewayTimeout, ctx.Err()
+	}
+	var out *ir.Func
+	var stats *regalloc.Stats
+	if s.cfg.TierAllocator == "linearscan" {
+		ws := s.fastWS.Get().(*linearscan.Workspace)
+		defer s.fastWS.Put(ws)
+		out, stats, err = linearscan.Run(f, machine, linearscan.RunOptions{
+			MaxRounds: spec.MaxRounds,
+			Workspace: ws,
+		})
+	} else {
+		var alloc regalloc.Allocator
+		if alloc, err = bench.NewAllocator(s.cfg.TierAllocator); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		ws := s.workspaces.get()
+		defer s.workspaces.put(ws)
+		out, stats, err = regalloc.Run(f, machine, alloc, regalloc.Options{
+			Context:   ctx,
+			MaxRounds: spec.MaxRounds,
+			Workspace: ws,
+		})
+	}
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	return &entry{
+		Function: out.String(),
+		Digest:   bench.FuncDigest(f.Name, stats, out),
+		Stats:    statsFrom(stats),
+		Tier:     tierFast,
+		Cycles:   perfmodel.Estimate(out, machine).Cycles,
+	}, 0, nil
+}
+
+// upgrader is the background escalation pipeline: a bounded job queue,
+// a single worker, and a pending set that single-flights upgrades per
+// cache key.
+type upgrader struct {
+	jobs   chan upgradeJob
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	pmu     sync.Mutex
+	pending map[Key]struct{}
+}
+
+// upgradeJob re-derives one cache entry at full quality. It carries
+// the request's wire form, never the decoded function — the fast
+// compute may have rewritten the decoded form in place (SSA
+// optimization mutates), so the upgrade decodes fresh.
+type upgradeJob struct {
+	key        Key
+	in         srcInput
+	spec       Spec
+	machine    *target.Machine
+	fastCycles float64
+	enqueued   time.Time
+}
+
+func (s *Server) startUpgrader(queueSize int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.upgrades = &upgrader{
+		jobs:    make(chan upgradeJob, queueSize),
+		cancel:  cancel,
+		pending: make(map[Key]struct{}),
+	}
+	s.upgrades.wg.Add(1)
+	go s.upgradeLoop(ctx)
+}
+
+// stopUpgrader cancels the in-flight upgrade (if any) and waits for
+// the worker to exit. Queued jobs are abandoned: their fast-tier cache
+// entries are correct allocations, just not upgraded ones.
+func (s *Server) stopUpgrader() {
+	if s.upgrades == nil {
+		return
+	}
+	s.upgrades.cancel()
+	s.upgrades.wg.Wait()
+}
+
+// upgradeDepth returns the queue's (depth, capacity) for metrics.
+func (s *Server) upgradeDepth() (int, int) {
+	if s.upgrades == nil {
+		return 0, 0
+	}
+	return len(s.upgrades.jobs), cap(s.upgrades.jobs)
+}
+
+// enqueueUpgrade schedules the background escalation of key's cache
+// entry. A key already pending is skipped (single flight); a full
+// queue sheds the job and counts the shed; a draining server admits no
+// new upgrades.
+func (s *Server) enqueueUpgrade(key Key, in srcInput, spec Spec,
+	machine *target.Machine, fastCycles float64) {
+
+	if s.draining.Load() {
+		return
+	}
+	u := s.upgrades
+	u.pmu.Lock()
+	if _, dup := u.pending[key]; dup {
+		u.pmu.Unlock()
+		return
+	}
+	u.pending[key] = struct{}{}
+	u.pmu.Unlock()
+
+	in.f = nil // force a fresh decode; see upgradeJob
+	select {
+	case u.jobs <- upgradeJob{key: key, in: in, spec: spec, machine: machine,
+		fastCycles: fastCycles, enqueued: time.Now()}:
+	default:
+		s.metrics.CountTierShed()
+		u.pmu.Lock()
+		delete(u.pending, key)
+		u.pmu.Unlock()
+	}
+}
+
+func (s *Server) upgradeLoop(ctx context.Context) {
+	u := s.upgrades
+	defer u.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-u.jobs:
+			s.runUpgrade(ctx, job)
+		}
+	}
+}
+
+// runUpgrade re-computes one entry through the standard full pipeline
+// and atomically swaps the cache entry (lruCache.Add refreshes in
+// place under the cache lock). An entry evicted between fast compute
+// and upgrade completion is simply re-inserted at full quality —
+// harmless, and the next request hits it.
+func (s *Server) runUpgrade(ctx context.Context, job upgradeJob) {
+	u := s.upgrades
+	defer func() {
+		u.pmu.Lock()
+		delete(u.pending, job.key)
+		u.pmu.Unlock()
+	}()
+	jobCtx, cancel := context.WithTimeout(ctx, s.cfg.MaxTimeout)
+	defer cancel()
+	e, _, err := s.compute(jobCtx, job.in, job.spec, job.machine, true)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown, not a failed upgrade
+		}
+		s.metrics.CountTierUpgradeFailed()
+		return
+	}
+	s.cache.Add(job.key, e)
+	s.metrics.CountTierUpgrade(time.Since(job.enqueued), job.fastCycles, e.Cycles)
+}

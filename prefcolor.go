@@ -23,6 +23,7 @@ import (
 	"prefcolor/internal/bench"
 	"prefcolor/internal/core"
 	"prefcolor/internal/ir"
+	"prefcolor/internal/linearscan"
 	"prefcolor/internal/opt"
 	"prefcolor/internal/perfmodel"
 	"prefcolor/internal/regalloc"
@@ -175,6 +176,13 @@ func CallCostDirected() Allocator { return callcost.New() }
 // (simplified: spills where the original splits), the coloring school
 // the paper's related-work section contrasts with Chaitin's.
 func PriorityBased() Allocator { return priority.New() }
+
+// LinearScan returns the fast-tier linear-scan allocator: one pass
+// over conservative live-interval hulls, roughly an order of
+// magnitude faster than the preference-directed allocator at the cost
+// of coalescing and spill quality. The daemon's tier mode serves it
+// first and upgrades to PreferenceDirected in the background.
+func LinearScan() Allocator { return linearscan.New() }
 
 // AllocatorByName resolves the figure labels ("chaitin",
 // "briggs-aggressive", "briggs-conservative", "iterated",

@@ -15,6 +15,12 @@ import (
 type Allocator struct {
 	mode     Mode
 	ablation Ablation
+
+	// refSelect routes selection through the reference oracle
+	// (select_ref.go) instead of the incremental ready-set structures.
+	// Name() is unchanged so stats and digests stay comparable — the
+	// two paths are pinned bit-identical.
+	refSelect bool
 }
 
 // New returns the full-preference allocator ("full preferences" in
@@ -24,6 +30,15 @@ func New() *Allocator { return &Allocator{mode: FullPreferences} }
 // NewCoalesceOnly returns the configuration of §6.1 that reflects
 // only coalescing preferences ("only coalescing" in the figures).
 func NewCoalesceOnly() *Allocator { return &Allocator{mode: CoalesceOnly} }
+
+// WithReferenceSelector returns a copy of a that selects with the
+// retained full-scan reference implementation. The differential tests
+// use it as the oracle the incremental selector must match exactly.
+func (a *Allocator) WithReferenceSelector() *Allocator {
+	c := *a
+	c.refSelect = true
+	return &c
+}
 
 // Name implements regalloc.Allocator.
 func (a *Allocator) Name() string {
@@ -61,6 +76,7 @@ func (a *Allocator) Allocate(ctx *regalloc.Context) (*regalloc.Result, error) {
 	tel.End(telemetry.PhaseCPG, sp)
 	s := newSelectorIn(&cs.sel, ctx, rpg, cpg, a.mode)
 	s.ab = a.ablation
+	s.refSelect = a.refSelect
 	return s.run()
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -53,13 +54,15 @@ type CPG struct {
 	scratch    []ig.NodeID
 
 	// Construction-only scratch, reused across rebuilds of this CPG
-	// (buildCPGInto): stack membership, WIG degrees, CPG membership,
+	// (buildCPGInto): stack membership as a bitset shaped like the
+	// graph's adjacency rows (so degree restriction is a word-AND and
+	// popcount against OrigRow), WIG degrees, CPG membership,
 	// readiness, and the per-pop remaining-neighbor list.
-	present   []bool
-	wigDeg    []int
-	inCPG     []bool
-	ready     []bool
-	remaining []ig.NodeID
+	presentBits []uint64
+	wigDeg      []int
+	inCPG       []bool
+	ready       []bool
+	remaining   []ig.NodeID
 }
 
 // reset empties the graph for a rebuild while keeping every backing
@@ -129,28 +132,28 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 	c.reset()
 	c.ensure(cpgIdx(ig.NodeID(g.NumNodes() - 1)))
 
-	c.present = scratch.Slice(c.present, g.NumNodes())
-	present := c.present
+	c.presentBits = scratch.Slice(c.presentBits, g.WordsPerRow())
+	present := c.presentBits
 	for _, n := range stack {
 		if g.IsPhys(n) {
 			return fmt.Errorf("core.BuildCPG: physical node %d on the stack", n)
 		}
-		if present[n] {
+		if present[int(n)>>6]&(1<<(uint(n)&63)) != 0 {
 			return fmt.Errorf("core.BuildCPG: node %d on the stack twice", n)
 		}
-		present[n] = true
+		present[int(n)>>6] |= 1 << (uint(n) & 63)
 	}
 
-	// WIG degrees: original adjacency restricted to stack (web) nodes.
+	// WIG degrees: original adjacency restricted to stack (web) nodes —
+	// per node, one AND-and-popcount pass over the row instead of a
+	// closure call per set bit.
 	c.wigDeg = scratch.Slice(c.wigDeg, g.NumNodes())
 	wigDeg := c.wigDeg
 	for _, n := range stack {
 		d := 0
-		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
-			if present[nb] {
-				d++
-			}
-		})
+		for wi, w := range g.OrigRow(n) {
+			d += bits.OnesCount64(w & present[wi])
+		}
 		wigDeg[n] = d
 	}
 
@@ -159,16 +162,19 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 	inCPG, ready := c.inCPG, c.ready
 
 	// Step 4: initial low-degree nodes (ready) and potential-spill
-	// nodes (not ready) hang off Bottom.
+	// nodes (not ready) hang off Bottom. addEdgeNew is safe here and
+	// throughout the replay: every slot was ensured above, and each edge
+	// the construction requests is provably new (one Bottom edge per
+	// stack node, one pop per node, deduplicated neighbor lists).
 	for _, n := range stack {
 		switch {
 		case wigDeg[n] < k:
 			inCPG[n] = true
-			c.addEdge(n, Bottom)
+			c.addEdgeNew(n, Bottom)
 			ready[n] = true
 		case int(n) < len(potentialSpill) && potentialSpill[n]:
 			inCPG[n] = true
-			c.addEdge(n, Bottom)
+			c.addEdgeNew(n, Bottom)
 		}
 	}
 
@@ -176,18 +182,19 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 	remaining := c.remaining
 	defer func() { c.remaining = remaining }()
 	for _, n := range stack {
-		present[n] = false
+		present[int(n)>>6] &^= 1 << (uint(n) & 63)
 		if !inCPG[n] {
 			return fmt.Errorf("core.BuildCPG: node %d popped before appearing in the CPG (stack inconsistent with graph)", n)
 		}
-		// ForEachOrigNeighbor visits in ascending node order, so
+		// The word loop visits bits in ascending node order, so
 		// remaining is already sorted.
 		remaining = remaining[:0]
-		g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
-			if present[nb] {
-				remaining = append(remaining, nb)
+		for wi, w := range g.OrigRow(n) {
+			base := ig.NodeID(wi << 6)
+			for m := w & present[wi]; m != 0; m &= m - 1 {
+				remaining = append(remaining, base+ig.NodeID(bits.TrailingZeros64(m)))
 			}
-		})
+		}
 
 		// Step 6: materialize remaining neighbors.
 		for _, nb := range remaining {
@@ -209,7 +216,7 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 				continue
 			}
 			sawNonReady = true
-			c.addEdge(nb, n)
+			c.addEdgeNew(nb, n)
 			succs := c.succsOf(nb)
 			if len(succs) == 1 {
 				continue
@@ -218,6 +225,10 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 				c.markFrom(n)
 				descMarked = true
 			}
+			// Snapshot-then-find, not index-based removal: repeated
+			// swap-removes permute the survivors differently depending
+			// on iteration direction, and downstream selection order
+			// (hence the golden digests) observes row order.
 			c.scratch = append(c.scratch[:0], succs...)
 			for _, x := range c.scratch {
 				if x != n && c.marked(x) {
@@ -226,7 +237,7 @@ func buildCPGInto(c *CPG, g *ig.Graph, stack []ig.NodeID, potentialSpill []bool,
 			}
 		}
 		if !sawNonReady {
-			c.addEdge(Top, n)
+			c.addEdgeNew(Top, n)
 		}
 		// Step 8: removal may make neighbors removable.
 		for _, nb := range remaining {
@@ -251,6 +262,18 @@ func (c *CPG) addEdge(a, b ig.NodeID) {
 			return
 		}
 	}
+	c.addEdgeAt(ai, bi, a, b)
+}
+
+// addEdgeNew is addEdge for callers that guarantee both slots exist
+// and the edge is absent, skipping the growth and duplicate checks.
+// buildCPGInto satisfies both by construction, and the checks were a
+// measurable share of its replay loop.
+func (c *CPG) addEdgeNew(a, b ig.NodeID) {
+	c.addEdgeAt(cpgIdx(a), cpgIdx(b), a, b)
+}
+
+func (c *CPG) addEdgeAt(ai, bi int, a, b ig.NodeID) {
 	c.succPos[ai] = append(c.succPos[ai], int32(len(c.preds[bi])))
 	c.predPos[bi] = append(c.predPos[bi], int32(len(c.succs[ai])))
 	c.succs[ai] = append(c.succs[ai], b)
@@ -262,7 +285,7 @@ func (c *CPG) addEdge(a, b ig.NodeID) {
 // b's predecessor row, which may be huge (Bottom's holds almost every
 // node), is never scanned thanks to the positional back-pointers.
 func (c *CPG) removeEdge(a, b ig.NodeID) {
-	ai, bi := cpgIdx(a), cpgIdx(b)
+	ai := cpgIdx(a)
 	sl := c.succs[ai]
 	j := -1
 	for idx, s := range sl {
@@ -274,6 +297,14 @@ func (c *CPG) removeEdge(a, b ig.NodeID) {
 	if j < 0 {
 		return
 	}
+	c.removeEdgeAt(ai, j)
+}
+
+// removeEdgeAt deletes the edge at index j of slot ai's successor row,
+// for callers that already know the position.
+func (c *CPG) removeEdgeAt(ai, j int) {
+	sl := c.succs[ai]
+	bi := cpgIdx(sl[j])
 	pi := int(c.succPos[ai][j])
 
 	last := len(sl) - 1

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"prefcolor/internal/ig"
+	"prefcolor/internal/scratch"
 )
 
 // recolorPasses bounds the greedy fixup iterations.
@@ -55,13 +57,6 @@ func (p *planOverlay) len() int {
 	return len(p.nodes)
 }
 
-func (p *planOverlay) clone() *planOverlay {
-	return &planOverlay{
-		nodes:  append([]ig.NodeID(nil), p.nodes...),
-		colors: append([]int(nil), p.colors...),
-	}
-}
-
 // recolorFixup is a post-selection cleanup in the direction of the
 // paper's closing remark ("we are working on a heuristic algorithm …
 // that allows aggressive preference resolutions"): after the CPG
@@ -75,6 +70,7 @@ func (p *planOverlay) clone() *planOverlay {
 // construction.
 func (s *selector) recolorFixup() {
 	g := s.ctx.Graph
+	s.buildRecolorIndex()
 	moves := s.rcMoves[:0]
 	if s.rcSeen == nil {
 		s.rcSeen = map[[2]ig.NodeID]bool{}
@@ -121,51 +117,32 @@ func (s *selector) colorOf(n ig.NodeID) int {
 
 // tryPlans evaluates the three repair plans for an unhonored copy —
 // move x to y's register, y to x's, or both to a third — and applies
-// the best strictly-positive one.
+// the best strictly-positive one. The candidate and best overlays are
+// selector-owned buffers, so the whole evaluation allocates nothing.
 func (s *selector) tryPlans(x, y ig.NodeID) bool {
 	g, k := s.ctx.Graph, s.ctx.K()
 	cx, cy := s.colorOf(x), s.colorOf(y)
 
 	bestDelta := 0.0
-	var bestPlan *planOverlay
-
-	consider := func(plan *planOverlay) {
-		delta := 0.0
-		for i, n := range plan.nodes {
-			nc := plan.colors[i]
-			if g.IsPhys(n) || !s.colorFreeFor(n, nc, plan) {
-				return
-			}
-			delta += s.nodeScore(n, nc, plan) - s.nodeScore(n, s.colorOf(n), nil)
-		}
-		if delta > bestDelta+1e-9 {
-			bestDelta = delta
-			bestPlan = plan.clone()
-		}
-	}
-
-	var scratch planOverlay
-	single := func(n ig.NodeID, c int) {
-		scratch.nodes = append(scratch.nodes[:0], n)
-		scratch.colors = append(scratch.colors[:0], c)
-		consider(&scratch)
-	}
-	double := func(c int) {
-		scratch.nodes = append(scratch.nodes[:0], x, y)
-		scratch.colors = append(scratch.colors[:0], c, c)
-		consider(&scratch)
-	}
+	haveBest := false
+	plan := &s.rcPlan
 
 	if !g.IsPhys(x) {
-		single(x, cy)
+		plan.nodes = append(plan.nodes[:0], x)
+		plan.colors = append(plan.colors[:0], cy)
+		bestDelta, haveBest = s.considerPlan(plan, bestDelta, haveBest)
 	}
 	if !g.IsPhys(y) {
-		single(y, cx)
+		plan.nodes = append(plan.nodes[:0], y)
+		plan.colors = append(plan.colors[:0], cx)
+		bestDelta, haveBest = s.considerPlan(plan, bestDelta, haveBest)
 	}
 	if !g.IsPhys(x) && !g.IsPhys(y) {
 		for c := 0; c < k; c++ {
 			if c != cx && c != cy {
-				double(c)
+				plan.nodes = append(plan.nodes[:0], x, y)
+				plan.colors = append(plan.colors[:0], c, c)
+				bestDelta, haveBest = s.considerPlan(plan, bestDelta, haveBest)
 			}
 		}
 	}
@@ -173,43 +150,117 @@ func (s *selector) tryPlans(x, y ig.NodeID) bool {
 	// onto a single color (star- and chain-shaped copy groups need
 	// more than two nodes to move together).
 	if members := s.compMembers(x); len(members) > 2 && len(members) <= maxCompPlan {
-		var plan planOverlay
 		for c := 0; c < k; c++ {
-			s.componentPlan(members, c, &plan)
+			s.componentPlan(members, c, plan)
 			if plan.len() >= 2 {
-				consider(&plan)
+				bestDelta, haveBest = s.considerPlan(plan, bestDelta, haveBest)
 			}
 		}
 	}
-	if bestPlan == nil {
+	if !haveBest {
 		return false
 	}
-	for i, n := range bestPlan.nodes {
-		s.color[n] = bestPlan.colors[i]
+	for i, n := range s.rcBest.nodes {
+		s.recolorTo(n, s.rcBest.colors[i])
 	}
 	s.ctx.Telemetry.NoteRecolor()
 	return true
 }
 
+// considerPlan scores plan against the current assignment; when it
+// strictly beats bestDelta it is copied into s.rcBest. Returns the
+// updated running best.
+func (s *selector) considerPlan(plan *planOverlay, bestDelta float64, haveBest bool) (float64, bool) {
+	g := s.ctx.Graph
+	delta := 0.0
+	for i, n := range plan.nodes {
+		nc := plan.colors[i]
+		if g.IsPhys(n) || !s.colorFreeFor(n, nc, plan) {
+			return bestDelta, haveBest
+		}
+		delta += s.nodeScore(n, nc, plan) - s.nodeScore(n, s.colorOf(n), nil)
+	}
+	if delta > bestDelta+1e-9 {
+		s.rcBest.nodes = append(s.rcBest.nodes[:0], plan.nodes...)
+		s.rcBest.colors = append(s.rcBest.colors[:0], plan.colors...)
+		return delta, true
+	}
+	return bestDelta, haveBest
+}
+
+// recolorTo commits node n to color c, keeping the per-color
+// occupancy bitsets in sync.
+func (s *selector) recolorTo(n ig.NodeID, c int) {
+	words := s.ctx.Graph.WordsPerRow()
+	wi, m := int(n)>>6, uint64(1)<<(uint(n)&63)
+	if old := s.color[n]; old >= 0 && old < s.ctx.K() {
+		s.rcColorBits[old*words+wi] &^= m
+	}
+	s.color[n] = c
+	if c >= 0 && c < s.ctx.K() {
+		s.rcColorBits[c*words+wi] |= m
+	}
+}
+
 // maxCompPlan bounds the component-migration plan size.
 const maxCompPlan = 12
 
-// compMembers lists the colored, non-physical members of n's copy
-// component.
-func (s *selector) compMembers(n ig.NodeID) []ig.NodeID {
-	comp := s.compOf(n)
-	out := s.compBuf[:0]
-	for i := s.ctx.Graph.NumPhys(); i < s.ctx.Graph.NumNodes(); i++ {
-		m := ig.NodeID(i)
-		if s.compOf(m) == comp && s.color[m] >= 0 {
-			out = append(out, m)
-			if len(out) > maxCompPlan {
-				break
-			}
+// buildRecolorIndex prepares the two structures the recolor pass
+// queries constantly: per-color occupancy bitsets (node n set in color
+// c's row when n currently wears c) and the copy components bucketed
+// by root in CSR form. Both stay valid for the whole pass — recoloring
+// updates the bitsets via recolorTo, and the colored set itself is
+// static (plans change colors, never colored-ness).
+func (s *selector) buildRecolorIndex() {
+	g, k := s.ctx.Graph, s.ctx.K()
+	n, words := g.NumNodes(), g.WordsPerRow()
+
+	s.rcColorBits = scratch.Slice(s.rcColorBits, k*words)
+	for i := 0; i < g.NumPhys() && i < k; i++ {
+		s.rcColorBits[i*words+(i>>6)] |= 1 << (uint(i) & 63)
+	}
+	for i := g.NumPhys(); i < n; i++ {
+		if c := s.color[i]; c >= 0 && c < k {
+			s.rcColorBits[c*words+(i>>6)] |= 1 << (uint(i) & 63)
 		}
 	}
-	s.compBuf = out
-	return out
+
+	// CSR buckets: off[r+1] holds component r's member count during the
+	// first pass, then the prefix sums turn it into row boundaries.
+	off := scratch.Slice(s.rcCompOff, n+1)
+	for i := g.NumPhys(); i < n; i++ {
+		if s.color[i] >= 0 {
+			off[s.compOf(ig.NodeID(i))+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	s.rcCompOff = off
+	mem := scratch.Slice(s.rcCompMem, int(off[n]))
+	next := s.rcCompNext[:0]
+	next = append(next, off[:n]...)
+	s.rcCompNext = next
+	for i := g.NumPhys(); i < n; i++ {
+		if s.color[i] >= 0 {
+			r := s.compOf(ig.NodeID(i))
+			mem[next[r]] = ig.NodeID(i)
+			next[r]++
+		}
+	}
+	s.rcCompMem = mem
+}
+
+// compMembers lists the colored, non-physical members of n's copy
+// component — a CSR row lookup, truncated where the pre-indexed scan
+// stopped (one past maxCompPlan, enough for the caller's size gate).
+func (s *selector) compMembers(n ig.NodeID) []ig.NodeID {
+	r := s.compOf(n)
+	row := s.rcCompMem[s.rcCompOff[r]:s.rcCompOff[r+1]]
+	if len(row) > maxCompPlan+1 {
+		row = row[:maxCompPlan+1]
+	}
+	return row
 }
 
 // componentPlan greedily gathers into plan the members that can all
@@ -230,22 +281,54 @@ func (s *selector) componentPlan(members []ig.NodeID, c int, plan *planOverlay) 
 
 // colorFreeFor reports whether node n may wear color c given current
 // colors with the plan's overrides (plan members never interfere with
-// each other here, but the check stays general).
+// each other here, but the check stays general). The usual case is one
+// AND pass of n's adjacency row against color c's occupancy bitset —
+// nonzero words are resolved bit by bit against the plan, and the
+// plan's own recolorings get a direct interference test. Colors the
+// bitsets don't track (a physical neighbor's id at or above K) take
+// the plain per-neighbor walk.
 func (s *selector) colorFreeFor(n ig.NodeID, c int, plan *planOverlay) bool {
-	free := true
-	s.ctx.Graph.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
-		if !free {
-			return
+	g := s.ctx.Graph
+	if c < 0 || c >= s.ctx.K() {
+		for wi, w := range g.OrigRow(n) {
+			base := ig.NodeID(wi << 6)
+			for w != 0 {
+				nb := base + ig.NodeID(bits.TrailingZeros64(w))
+				w &= w - 1
+				nbc, ok := plan.lookup(nb)
+				if !ok {
+					nbc = s.colorOf(nb)
+				}
+				if nbc == c {
+					return false
+				}
+			}
 		}
-		nbc, ok := plan.lookup(nb)
-		if !ok {
-			nbc = s.colorOf(nb)
+		return true
+	}
+	words := g.WordsPerRow()
+	cb := s.rcColorBits[c*words : c*words+words]
+	for wi, w := range g.OrigRow(n) {
+		w &= cb[wi]
+		base := ig.NodeID(wi << 6)
+		for w != 0 {
+			nb := base + ig.NodeID(bits.TrailingZeros64(w))
+			w &= w - 1
+			// A plan member's current color is overridden; its planned
+			// color is checked below.
+			if _, ok := plan.lookup(nb); !ok {
+				return false
+			}
 		}
-		if nbc == c {
-			free = false
+	}
+	if plan != nil {
+		for i, m := range plan.nodes {
+			if m != n && plan.colors[i] == c && g.OrigInterferes(n, m) {
+				return false
+			}
 		}
-	})
-	return free
+	}
+	return true
 }
 
 // nodeScore values node n wearing color c for recoloring decisions:

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"prefcolor/internal/ig"
 	"prefcolor/internal/regalloc"
@@ -27,17 +28,43 @@ type selector struct {
 	processed  []bool
 	nProcessed int
 	predCount  []int
-	queue      []bool
+
+	// The ready set (nodes whose CPG predecessors are all processed):
+	// a bitset with an O(1) membership test plus a maintained count,
+	// so the telemetry histogram costs nothing per pop. In the default
+	// incremental mode a lazy max-heap over (priority, node) entries
+	// sits on top — see chooseNode — so a pop costs O(log r) instead
+	// of a full scan of every node.
+	readyBits  []uint64
+	readyCount int
+	heap       []priEntry
+
+	// forbid is the per-node forbidden-register mask (kwords words of
+	// k bits each, flat): bit c set when some colored original-graph
+	// neighbor holds register c. It is maintained incrementally —
+	// noteColored sets one bit per neighbor as a node is colored,
+	// noteUncolored re-derives the freed bit on the rare eviction path
+	// — so availRegsInto reads a mask instead of rebuilding it from a
+	// full neighbor walk on every priority recompute.
+	forbid []uint64
+	kwords int
+
+	// refSelect routes chooseNode and availRegsInto through the
+	// retained reference implementations (full ready-set scan,
+	// per-query neighbor walk — select_ref.go), which the differential
+	// tests pin the incremental structures against bit for bit.
+	refSelect bool
 
 	// comp groups copy-related nodes into components (transitive
 	// closure over non-interfering copies); compColors counts, per
 	// component, how often each register was granted inside it (nil
-	// until the component first receives a color). The final pick
-	// prefers a component's established registers, which recovers the
-	// transitive-chain coalesces the paper's §6.1 notes its
-	// one-at-a-time scheme can miss.
+	// until the component first receives a color, rows carved from
+	// compArena). The final pick prefers a component's established
+	// registers, which recovers the transitive-chain coalesces the
+	// paper's §6.1 notes its one-at-a-time scheme can miss.
 	comp       []int32
 	compColors [][]int
+	compArena  []int
 
 	// priVal/priOK memoize queue priorities; processing a node
 	// invalidates its interference neighbors (their available sets
@@ -69,10 +96,17 @@ type selector struct {
 	honorable []rankedPref
 	deferred  []*Pref
 
-	// Recolor-fixup scratch (see recolor.go).
-	rcMoves []recolorCand
-	rcSeen  map[[2]ig.NodeID]bool
-	compBuf []ig.NodeID
+	// Recolor-fixup scratch (see recolor.go): candidate moves, the
+	// per-color occupancy bitsets, the copy-component CSR buckets, and
+	// the reusable plan overlays.
+	rcMoves     []recolorCand
+	rcSeen      map[[2]ig.NodeID]bool
+	rcColorBits []uint64
+	rcCompOff   []int32
+	rcCompNext  []int32
+	rcCompMem   []ig.NodeID
+	rcPlan      planOverlay
+	rcBest      planOverlay
 }
 
 // rankedPref pairs a preference with its current honoring strength for
@@ -98,6 +132,7 @@ func newSelectorIn(s *selector, ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode 
 	n := g.NumNodes()
 	s.ctx, s.rpg, s.cpg, s.mode = ctx, rpg, cpg, mode
 	s.ab = Ablation{}
+	s.refSelect = false
 	s.nProcessed = 0
 
 	s.color = scratch.Fill(s.color, n, -1)
@@ -107,7 +142,11 @@ func newSelectorIn(s *selector, ctx *regalloc.Context, rpg *RPG, cpg *CPG, mode 
 	s.spilled = scratch.Slice(s.spilled, n)
 	s.processed = scratch.Slice(s.processed, n)
 	s.predCount = scratch.Slice(s.predCount, n)
-	s.queue = scratch.Slice(s.queue, n)
+	s.readyBits = scratch.Slice(s.readyBits, (n+63)/64)
+	s.readyCount = 0
+	s.heap = s.heap[:0]
+	s.compArena = s.compArena[:0]
+	s.initForbid(g, ctx.K())
 
 	if cap(s.comp) < n {
 		s.comp = make([]int32, n)
@@ -161,6 +200,9 @@ func (s *selector) compOf(n ig.NodeID) int32 {
 }
 
 // noteCompColor records that node n's component now holds register c.
+// Count rows are carved out of a selector-owned arena so the per-
+// component allocations don't recur every round; a row handed out
+// before an arena growth stays valid in the old backing.
 func (s *selector) noteCompColor(n ig.NodeID, c int) {
 	comp := s.compOf(n)
 	counts := s.compColors[comp]
@@ -169,7 +211,16 @@ func (s *selector) noteCompColor(n ig.NodeID, c int) {
 		if k := s.ctx.K(); k > size {
 			size = k
 		}
-		counts = make([]int, size)
+		off, need := len(s.compArena), len(s.compArena)+size
+		if cap(s.compArena) < need {
+			grown := make([]int, need, 2*need)
+			copy(grown, s.compArena[:off])
+			s.compArena = grown
+		} else {
+			s.compArena = s.compArena[:need]
+			clear(s.compArena[off:need])
+		}
+		counts = s.compArena[off:need:need]
 		s.compColors[comp] = counts
 	}
 	if c < len(counts) {
@@ -201,14 +252,14 @@ func (s *selector) run() (*regalloc.Result, error) {
 		}
 		s.predCount[n] = cnt
 		if cnt == 0 {
-			s.queue[n] = true
+			s.pushReady(n)
 		}
 	}
 
 	res := regalloc.NewResult()
 	for s.nProcessed < numWebs {
 		if tel.Enabled() {
-			tel.ObserveReady(s.countReady())
+			tel.ObserveReady(s.readyCount)
 		}
 		n := s.chooseNode()
 		if n < 0 {
@@ -230,55 +281,144 @@ func (s *selector) run() (*regalloc.Result, error) {
 	return res, nil
 }
 
-// countReady sizes the current ready set for the telemetry histogram.
-func (s *selector) countReady() int {
-	n := 0
-	for _, q := range s.queue {
-		if q {
-			n++
-		}
-	}
-	return n
-}
-
 // chooseNode is steps 2–3: among ready nodes, pick the one with the
 // largest strength differential between its strongest and weakest
 // honorable preference (a single preference's differential is its own
 // strength — the regret of missing it).
+//
+// The incremental form works off the lazy max-heap: entries are pushed
+// when a node becomes ready and whenever a stale priority is
+// recomputed, and validated on pop — an entry for a node that is no
+// longer ready, was invalidated since (priOK down), or no longer
+// carries the node's current priority is discarded. The heap orders by
+// (priority descending, node id ascending), which reproduces exactly
+// the winner of the reference's ascending full scan with its strict
+// keep-first maximum: highest priority, ties to the lowest node id.
 func (s *selector) chooseNode() ig.NodeID {
-	// The queue scan runs in ascending node order, which both keeps
-	// tie-breaking deterministic and matches the sorted iteration the
-	// map-based implementation paid a sort for.
-	best := ig.NodeID(-1)
-	bestPri := math.Inf(-1)
-	for i := range s.queue {
-		if !s.queue[i] {
-			continue
-		}
-		n := ig.NodeID(i)
-		if s.ab.FIFOPriority {
+	if s.refSelect {
+		return s.chooseNodeRef()
+	}
+	if s.ab.FIFOPriority {
+		return s.firstReady()
+	}
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		n := top.node
+		switch {
+		case !s.isReady(n):
+			s.heapPop()
+		case !s.priOK[n]:
+			s.heapPop()
+			pri := s.priority(n)
+			s.priVal[n], s.priOK[n] = pri, true
+			s.heapPush(priEntry{pri: pri, node: n})
+		case top.pri != s.priVal[n]:
+			// A superseded entry; the recompute that changed priVal
+			// pushed a current one, which is still in the heap.
+			s.heapPop()
+		default:
 			return n
 		}
-		if !s.priOK[n] {
-			s.priVal[n] = s.priority(n)
-			s.priOK[n] = true
-		}
-		if pri := s.priVal[n]; best < 0 || pri > bestPri {
-			best, bestPri = n, pri
-		}
 	}
-	return best
+	return -1
 }
 
-// invalidateAround drops cached priorities that coloring n may have
-// changed: interference neighbors (available registers shrank) and
-// preference partners (a deferred preference may now be honorable).
+// invalidate drops node n's cached priority. In incremental mode a
+// ready n is recomputed and repushed on the spot: priorities can rise
+// as well as fall (a deferred preference turning honorable), and a
+// risen priority buried in the heap under its old value would pop too
+// late — the reference scan, which recomputes every stale ready node
+// each pop, sees the rise immediately, so the heap must too. The
+// recompute count matches the reference exactly (one per invalidation
+// of a ready node); the scan per pop is what the heap saves.
+func (s *selector) invalidate(n ig.NodeID) {
+	if !s.refSelect && !s.ab.FIFOPriority && s.isReady(n) {
+		pri := s.priority(n)
+		s.priVal[n], s.priOK[n] = pri, true
+		s.heapPush(priEntry{pri: pri, node: n})
+		return
+	}
+	s.priOK[n] = false
+}
+
+// invalidateAround drops cached priorities that the (un)coloring of n
+// may have changed: interference neighbors (available registers
+// changed) and preference partners (a deferred preference may now be
+// honorable). The neighbor walk is a closure-free word loop over the
+// original adjacency row.
 func (s *selector) invalidateAround(n ig.NodeID) {
-	s.ctx.Graph.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
-		s.priOK[nb] = false
-	})
+	for wi, w := range s.ctx.Graph.OrigRow(n) {
+		base := ig.NodeID(wi << 6)
+		for w != 0 {
+			s.invalidate(base + ig.NodeID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
 	for _, src := range s.prefSources[n] {
-		s.priOK[src] = false
+		s.invalidate(src)
+	}
+}
+
+// noteColored is invalidateAround fused with the incremental forbid-
+// mask update for the hot path: granting register c to n sets bit c in
+// every original neighbor's mask in the same walk that refreshes their
+// cached priorities. The mask bit lands before the neighbor's
+// recompute, so the recompute reads the post-coloring candidate set —
+// the same state the reference's next-pop rebuild reads.
+func (s *selector) noteColored(n ig.NodeID, c int) {
+	cw, cm := c>>6, uint64(1)<<(uint(c)&63)
+	kw := s.kwords
+	for wi, w := range s.ctx.Graph.OrigRow(n) {
+		base := int(wi << 6)
+		for w != 0 {
+			nb := base + bits.TrailingZeros64(w)
+			s.forbid[nb*kw+cw] |= cm
+			s.invalidate(ig.NodeID(nb))
+			w &= w - 1
+		}
+	}
+	for _, src := range s.prefSources[n] {
+		s.invalidate(src)
+	}
+}
+
+// noteUncolored is the eviction-path counterpart: n just lost register
+// old, so each neighbor's mask keeps bit old only if another of its
+// colored neighbors still holds it. The per-neighbor re-derivation is
+// the one place a full walk survives — evictions are rare (spill-
+// temporary rescue only), and a plain counter per (node, color) would
+// cost k counters per node on the hot path to serve it.
+func (s *selector) noteUncolored(n ig.NodeID, old int) {
+	g := s.ctx.Graph
+	ow, om := old>>6, uint64(1)<<(uint(old)&63)
+	kw := s.kwords
+	for wi, w := range g.OrigRow(n) {
+		base := int(wi << 6)
+		for w != 0 {
+			nb := base + bits.TrailingZeros64(w)
+			still := false
+			for wj, w2 := range g.OrigRow(ig.NodeID(nb)) {
+				base2 := int(wj << 6)
+				for w2 != 0 {
+					if s.color[base2+bits.TrailingZeros64(w2)] == old {
+						still = true
+						break
+					}
+					w2 &= w2 - 1
+				}
+				if still {
+					break
+				}
+			}
+			if !still {
+				s.forbid[nb*kw+ow] &^= om
+			}
+			s.invalidate(ig.NodeID(nb))
+			w &= w - 1
+		}
+	}
+	for _, src := range s.prefSources[n] {
+		s.invalidate(src)
 	}
 }
 
@@ -403,26 +543,56 @@ func (s *selector) honoringRegsInto(out []int, p *Pref, avail []int) []int {
 
 // availRegsInto appends step 4.1's candidate set to out: machine
 // registers not used by any colored node interfering with n in the
-// original graph. The shared availMask is free again on return, so
-// nested queries through different out-buffers never collide.
+// original graph. The incremental form just reads n's maintained
+// forbid mask — free registers are the clear bits, listed ascending
+// exactly as the reference's 0..k-1 sweep lists them.
 func (s *selector) availRegsInto(out []int, n ig.NodeID) []int {
-	g, k := s.ctx.Graph, s.ctx.K()
-	if cap(s.availMask) < k {
-		s.availMask = make([]bool, k)
+	if s.refSelect {
+		return s.availRegsIntoRef(out, n)
 	}
-	used := s.availMask[:k]
-	clear(used)
-	g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
-		if c := s.color[nb]; c >= 0 && c < k {
-			used[c] = true
+	k, kw := s.ctx.K(), s.kwords
+	row := s.forbid[int(n)*kw : int(n)*kw+kw]
+	for wi, w := range row {
+		base := wi << 6
+		hi := k - base
+		if hi <= 0 {
+			break
 		}
-	})
-	for r := 0; r < k; r++ {
-		if !used[r] {
-			out = append(out, r)
+		free := ^w
+		if hi < 64 {
+			free &= 1<<uint(hi) - 1
+		}
+		for free != 0 {
+			out = append(out, base+bits.TrailingZeros64(free))
+			free &= free - 1
 		}
 	}
 	return out
+}
+
+// initForbid seeds every web's forbidden-register mask with its
+// physical neighbors — the only colored nodes at round start — by
+// copying the phys-register prefix of the original adjacency row word
+// for word (a phys node's color is its own id, and only colors below
+// k count).
+func (s *selector) initForbid(g *ig.Graph, k int) {
+	kw := (k + 63) / 64
+	s.kwords = kw
+	n := g.NumNodes()
+	s.forbid = scratch.Slice(s.forbid, n*kw)
+	limit := g.NumPhys()
+	if k < limit {
+		limit = k
+	}
+	lw, rem := limit>>6, uint(limit&63)
+	for i := g.NumPhys(); i < n; i++ {
+		row := g.OrigRow(ig.NodeID(i))
+		dst := s.forbid[i*kw : i*kw+kw]
+		copy(dst[:lw], row[:lw])
+		if rem != 0 {
+			dst[lw] = row[lw] & (1<<rem - 1)
+		}
+	}
 }
 
 // availRegs returns n's candidate set in the selector's primary avail
@@ -436,7 +606,7 @@ func (s *selector) availRegs(n ig.NodeID) []int {
 // step 5's edge release.
 func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
 	tel := s.ctx.Telemetry
-	s.queue[n] = false
+	s.dropReady(n)
 	s.processed[n] = true
 	s.nProcessed++
 
@@ -490,7 +660,11 @@ func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
 			})
 		}
 	}
-	s.invalidateAround(n)
+	if chosen >= 0 && !s.refSelect {
+		s.noteColored(n, chosen)
+	} else {
+		s.invalidateAround(n)
+	}
 
 	// Step 5: release successors. The raw (unsorted) list is fine:
 	// each successor is touched once and the decrements commute.
@@ -500,7 +674,7 @@ func (s *selector) processNode(n ig.NodeID, res *regalloc.Result) {
 		}
 		s.predCount[succ]--
 		if s.predCount[succ] == 0 && !s.processed[succ] {
-			s.queue[succ] = true
+			s.pushReady(succ)
 		}
 	}
 }
@@ -618,21 +792,31 @@ func (s *selector) isSpillTemp(n ig.NodeID) bool {
 func (s *selector) evictForTemp(n ig.NodeID, res *regalloc.Result) bool {
 	g := s.ctx.Graph
 	best, bestCost := ig.NodeID(-1), math.Inf(1)
-	g.ForEachOrigNeighbor(n, func(nb ig.NodeID) {
-		if g.IsPhys(nb) || s.color[nb] < 0 || s.spilled[nb] || s.isSpillTemp(nb) {
-			return
+	for wi, w := range g.OrigRow(n) {
+		base := ig.NodeID(wi << 6)
+		for w != 0 {
+			nb := base + ig.NodeID(bits.TrailingZeros64(w))
+			w &= w - 1
+			if g.IsPhys(nb) || s.color[nb] < 0 || s.spilled[nb] || s.isSpillTemp(nb) {
+				continue
+			}
+			if c := g.SpillCost(nb); c < bestCost {
+				best, bestCost = nb, c
+			}
 		}
-		if c := g.SpillCost(nb); c < bestCost {
-			best, bestCost = nb, c
-		}
-	})
+	}
 	if best < 0 {
 		return false
 	}
+	old := s.color[best]
 	s.color[best] = -1
 	s.spilled[best] = true
 	res.Spilled = append(res.Spilled, best)
-	s.invalidateAround(best)
+	if s.refSelect {
+		s.invalidateAround(best)
+	} else {
+		s.noteUncolored(best, old)
+	}
 	return true
 }
 

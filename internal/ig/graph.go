@@ -345,6 +345,16 @@ func (g *Graph) ForEachOrigNeighbor(n NodeID, fn func(nb NodeID)) {
 	forEachBit(g.origAdj[n], fn)
 }
 
+// OrigRow exposes node n's pre-coalescing adjacency as a raw bitset
+// row (bit b set when n and b interfere), for callers whose inner
+// loops cannot afford ForEachOrigNeighbor's per-bit closure call.
+// The row is shared storage, WordsPerRow words long, and must not be
+// mutated.
+func (g *Graph) OrigRow(n NodeID) []uint64 { return g.origAdj[n] }
+
+// WordsPerRow returns the bitset row length in 64-bit words.
+func (g *Graph) WordsPerRow() int { return g.words }
+
 // Members returns the original nodes merged into representative n
 // (including n itself).
 func (g *Graph) Members(n NodeID) []NodeID { return g.members[n] }

@@ -41,6 +41,10 @@ type RenumberScratch struct {
 	gensMask [][]uint64
 	inMask   [][]uint64
 	outMask  [][]uint64
+
+	// Worklist scratch for the reaching-definitions fixpoint.
+	worklist   []int32
+	onWorklist []bool
 }
 
 // RenumberInfo records how Renumber mapped original virtual registers
@@ -158,15 +162,13 @@ func RenumberInto(f *ir.Func, ws *RenumberScratch) (*RenumberInfo, error) {
 		gensMask[b.ID] = gm
 	}
 
+	// mergeIn accumulates in[b] = ∪ out[p] in place. The previous value
+	// of rs is never cleared first: out sets only grow, so the prior
+	// in[b] is always a subset of the fresh union and re-unioning on top
+	// of it yields the identical sets (and skips a full clearing walk
+	// per merge).
 	mergeIn := func(b *ir.Block, out []regSites, rs regSites) {
 		im := inMask[b.ID]
-		for wi, w := range im {
-			base := wi << 6
-			for t := w; t != 0; t &= t - 1 {
-				rs[base+bits.TrailingZeros64(t)] = nil
-			}
-			im[wi] = 0
-		}
 		if b.ID == 0 {
 			for _, p := range f.Params {
 				if p.IsVirt() {
@@ -175,6 +177,22 @@ func RenumberInto(f *ir.Func, ws *RenumberScratch) (*RenumberInfo, error) {
 					im[r>>6] |= 1 << (uint(r) & 63)
 				}
 			}
+		} else if len(b.Preds) == 1 {
+			// Straight-line fast path: in[b] is exactly out[pred]. The
+			// masks are monotone, so every register rs already holds is
+			// covered by the predecessor's mask and gets overwritten
+			// with the (equal-or-larger) predecessor set.
+			p := b.Preds[0]
+			po := out[p]
+			for wi, w := range outMask[p] {
+				base := wi << 6
+				for t := w; t != 0; t &= t - 1 {
+					r := base + bits.TrailingZeros64(t)
+					rs[r] = po[r]
+				}
+				im[wi] |= w
+			}
+			return
 		}
 		for _, p := range b.Preds {
 			po := out[p]
@@ -196,36 +214,53 @@ func RenumberInto(f *ir.Func, ws *RenumberScratch) (*RenumberInfo, error) {
 		in[i] = scratch.Slice(in[i], nv)
 		out[i] = scratch.Slice(out[i], nv)
 	}
-	changed := true
-	for changed {
-		changed = false
-		for _, b := range f.Blocks {
-			rs := in[b.ID]
-			mergeIn(b, out, rs)
-			blockChanged := false
-			bg, bo := gens[b.ID], out[b.ID]
-			im, gm, om := inMask[b.ID], gensMask[b.ID], outMask[b.ID]
-			for wi := range im {
-				w := im[wi] | gm[wi]
-				om[wi] = w
-				base := wi << 6
-				for t := w; t != 0; t &= t - 1 {
-					r := base + bits.TrailingZeros64(t)
-					sites := rs[r]
-					if g := bg[r]; g != nil {
-						sites = g
-					}
-					if !sitesEqual(bo[r], sites) {
-						bo[r] = sites
-						blockChanged = true
-					}
+	// Iterate to the fixpoint with a FIFO worklist: a block re-merges
+	// only after a predecessor's out actually changed, so stabilized
+	// regions drop out of the schedule instead of being re-unioned on
+	// every sweep. The union dataflow is monotone with a unique least
+	// fixpoint, so the final in/out sets are identical to the
+	// full-sweep schedule's.
+	wl := ws.worklist[:0]
+	onWL := scratch.Slice(ws.onWorklist, nb)
+	for _, b := range f.Blocks {
+		wl = append(wl, int32(b.ID))
+		onWL[b.ID] = true
+	}
+	for head := 0; head < len(wl); head++ {
+		bid := wl[head]
+		onWL[bid] = false
+		b := f.Blocks[bid]
+		rs := in[bid]
+		mergeIn(b, out, rs)
+		blockChanged := false
+		bg, bo := gens[bid], out[bid]
+		im, gm, om := inMask[bid], gensMask[bid], outMask[bid]
+		for wi := range im {
+			w := im[wi] | gm[wi]
+			om[wi] = w
+			base := wi << 6
+			for t := w; t != 0; t &= t - 1 {
+				r := base + bits.TrailingZeros64(t)
+				sites := rs[r]
+				if g := bg[r]; g != nil {
+					sites = g
+				}
+				if !sitesEqual(bo[r], sites) {
+					bo[r] = sites
+					blockChanged = true
 				}
 			}
-			if blockChanged {
-				changed = true
+		}
+		if blockChanged {
+			for _, s := range b.Succs {
+				if !onWL[s] {
+					onWL[s] = true
+					wl = append(wl, int32(s))
+				}
 			}
 		}
 	}
+	ws.worklist, ws.onWorklist = wl[:0], onWL
 
 	// Walk each block, unioning every use with all of its reaching
 	// definitions.

@@ -7,7 +7,10 @@
 package liveness
 
 import (
+	"math/bits"
+
 	"prefcolor/internal/ir"
+	"prefcolor/internal/scratch"
 )
 
 // Info holds per-block live-in/live-out sets. An Info is not safe for
@@ -21,18 +24,23 @@ type Info struct {
 }
 
 // Scratch holds the buffers Compute needs, so repeated analyses (one
-// per spill round, per function) reuse the register sets instead of
-// reallocating them. The zero value is ready to use. A Scratch owns
-// the *Info it returns: the Info is valid only until the next
-// ComputeInto on the same Scratch, and a Scratch must not be shared
-// between goroutines.
+// per spill round, per function) reuse them instead of reallocating.
+// The zero value is ready to use. A Scratch owns the *Info it returns:
+// the Info is valid only until the next ComputeInto on the same
+// Scratch, and a Scratch must not be shared between goroutines.
+//
+// The dataflow itself runs on flat per-block bitsets over the dense
+// Reg encoding (physical registers below FirstVirtual, virtuals
+// above), so the iteration is word operations; the RegSet maps the
+// Info API exposes are materialized once, after the fixpoint.
 type Scratch struct {
-	info    Info
-	gen     []ir.RegSet
-	kill    []ir.RegSet
-	phiDefs []ir.RegSet
-	out     ir.RegSet
-	in      ir.RegSet
+	info     Info
+	genBits  []uint64 // nb rows of `words` words each
+	killBits []uint64
+	phiBits  []uint64
+	inBits   []uint64
+	outBits  []uint64
+	tmp      []uint64 // one row: the out set being merged
 }
 
 // Compute runs the backward dataflow to a fixed point and returns the
@@ -54,45 +62,50 @@ func ComputeInto(f *ir.Func, ws *Scratch) *Info {
 	info.liveIn = growSets(info.liveIn, n)
 	info.liveOut = growSets(info.liveOut, n)
 
+	// One bit per encodable register: NoReg and the physical range
+	// below FirstVirtual, then f's virtuals.
+	words := (int(ir.FirstVirtual) + f.NumVirt + 63) / 64
+	ws.genBits = scratch.Slice(ws.genBits, n*words)
+	ws.killBits = scratch.Slice(ws.killBits, n*words)
+	ws.phiBits = scratch.Slice(ws.phiBits, n*words)
+	ws.inBits = scratch.Slice(ws.inBits, n*words)
+	ws.outBits = scratch.Slice(ws.outBits, n*words)
+	ws.tmp = scratch.Slice(ws.tmp, words)
+
 	// Precompute per-block gen (upward-exposed uses, φ excluded),
 	// kill (all defs including φ), and the φ definitions at the block
-	// head (consulted once per edge per iteration below).
-	ws.gen = growSets(ws.gen, n)
-	ws.kill = growSets(ws.kill, n)
-	ws.phiDefs = growSets(ws.phiDefs, n)
+	// head (consulted once per edge per iteration below). NoReg never
+	// enters a set, matching RegSet.Add.
 	for _, b := range f.Blocks {
-		g, k := ws.gen[b.ID], ws.kill[b.ID]
+		g := ws.genBits[int(b.ID)*words : (int(b.ID)+1)*words]
+		k := ws.killBits[int(b.ID)*words : (int(b.ID)+1)*words]
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.Op == ir.Phi {
 				for _, d := range in.Defs {
-					k.Add(d)
+					setBit(k, d)
 				}
 				continue
 			}
 			for _, u := range in.Uses {
-				if !k.Has(u) {
-					g.Add(u)
+				if !hasBit(k, u) {
+					setBit(g, u)
 				}
 			}
 			for _, d := range in.Defs {
-				k.Add(d)
+				setBit(k, d)
 			}
 		}
-		pd := ws.phiDefs[b.ID]
+		pd := ws.phiBits[int(b.ID)*words : (int(b.ID)+1)*words]
 		for i := range b.Instrs {
 			if b.Instrs[i].Op != ir.Phi {
 				break
 			}
-			pd.Add(b.Instrs[i].Def())
+			setBit(pd, b.Instrs[i].Def())
 		}
 	}
 
-	if ws.out == nil {
-		ws.out = ir.NewRegSet()
-		ws.in = ir.NewRegSet()
-	}
-	out, in := ws.out, ws.in
+	out := ws.tmp
 	changed := true
 	for changed {
 		changed = false
@@ -102,11 +115,10 @@ func ComputeInto(f *ir.Func, ws *Scratch) *Info {
 			for _, sid := range b.Succs {
 				s := f.Blocks[sid]
 				// live-in of successor minus its φ defs...
-				pd := ws.phiDefs[sid]
-				for r := range info.liveIn[sid] {
-					if !pd.Has(r) {
-						out.Add(r)
-					}
+				sIn := ws.inBits[int(sid)*words : (int(sid)+1)*words]
+				pd := ws.phiBits[int(sid)*words : (int(sid)+1)*words]
+				for w := range out {
+					out[w] |= sIn[w] &^ pd[w]
 				}
 				// ...plus the φ arguments flowing along this edge.
 				// A block can appear several times in Preds (e.g. a
@@ -120,31 +132,58 @@ func ComputeInto(f *ir.Func, ws *Scratch) *Info {
 						if s.Instrs[j].Op != ir.Phi {
 							break
 						}
-						out.Add(s.Instrs[j].Uses[pi])
+						setBit(out, s.Instrs[j].Uses[pi])
 					}
 				}
 			}
-			clear(in)
-			for r := range ws.gen[b.ID] {
-				in[r] = struct{}{}
-			}
-			kill := ws.kill[b.ID]
-			for r := range out {
-				if !kill.Has(r) {
-					in.Add(r)
+			// in = gen | (out &^ kill), written straight into the
+			// block's row with change detection fused in.
+			g := ws.genBits[int(b.ID)*words : (int(b.ID)+1)*words]
+			k := ws.killBits[int(b.ID)*words : (int(b.ID)+1)*words]
+			bin := ws.inBits[int(b.ID)*words : (int(b.ID)+1)*words]
+			bout := ws.outBits[int(b.ID)*words : (int(b.ID)+1)*words]
+			for w := range out {
+				if bout[w] != out[w] {
+					bout[w] = out[w]
+					changed = true
 				}
-			}
-			if !out.Equal(info.liveOut[b.ID]) {
-				copySet(info.liveOut[b.ID], out)
-				changed = true
-			}
-			if !in.Equal(info.liveIn[b.ID]) {
-				copySet(info.liveIn[b.ID], in)
-				changed = true
+				if v := g[w] | out[w]&^k[w]; bin[w] != v {
+					bin[w] = v
+					changed = true
+				}
 			}
 		}
 	}
+
+	// Materialize the RegSet views the Info API exposes, once.
+	for _, b := range f.Blocks {
+		fillSet(info.liveIn[b.ID], ws.inBits[int(b.ID)*words:(int(b.ID)+1)*words])
+		fillSet(info.liveOut[b.ID], ws.outBits[int(b.ID)*words:(int(b.ID)+1)*words])
+	}
 	return info
+}
+
+// setBit marks r in the row; NoReg is ignored, like RegSet.Add.
+func setBit(row []uint64, r ir.Reg) {
+	if r != ir.NoReg {
+		row[int(r)>>6] |= 1 << (uint(r) & 63)
+	}
+}
+
+// hasBit reports r's membership in the row (NoReg is never a member).
+func hasBit(row []uint64, r ir.Reg) bool {
+	return row[int(r)>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// fillSet replaces dst's contents with the row's members.
+func fillSet(dst ir.RegSet, row []uint64) {
+	clear(dst)
+	for wi, w := range row {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			dst[ir.Reg(base+bits.TrailingZeros64(w))] = struct{}{}
+		}
+	}
 }
 
 // growSets resizes sets to n entries, reusing (and clearing) existing

@@ -1,0 +1,62 @@
+package metamorph
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prefcolor/internal/bench"
+	"prefcolor/internal/core"
+	"prefcolor/internal/ir"
+	"prefcolor/internal/regalloc"
+	"prefcolor/internal/target"
+)
+
+// diffSelectCase runs f through alloc with the incremental selector
+// and with the retained reference oracle, requiring a bit-identical
+// digest and identical driver statistics.
+func diffSelectCase(t *testing.T, f *ir.Func, m *target.Machine, alloc *core.Allocator, label string) {
+	t.Helper()
+	outF, statsF, err := regalloc.Run(f, m, alloc, regalloc.Options{})
+	if err != nil {
+		t.Fatalf("%s: incremental: %v", label, err)
+	}
+	outR, statsR, err := regalloc.Run(f, m, alloc.WithReferenceSelector(), regalloc.Options{})
+	if err != nil {
+		t.Fatalf("%s: reference: %v", label, err)
+	}
+	if df, dr := bench.FuncDigest(f.Name, statsF, outF), bench.FuncDigest(f.Name, statsR, outR); df != dr {
+		t.Errorf("%s: digest diverged from reference selector:\n  incremental %s\n  reference   %s", label, df, dr)
+	}
+	sf, sr := *statsF, *statsR
+	sf.Telemetry, sr.Telemetry = nil, nil
+	if sf != sr {
+		t.Errorf("%s: stats diverged from reference selector:\n  incremental %+v\n  reference   %+v", label, sf, sr)
+	}
+}
+
+// TestSelectorMatchesReferenceCorpus replays every corpus reproducer
+// — programs that each broke some allocator configuration once —
+// through the incremental-vs-reference selector check, on the corpus
+// case's own recorded machine. Complements the workload-profile sweep
+// in internal/bench with the adversarial shapes the matrix shrank.
+func TestSelectorMatchesReferenceCorpus(t *testing.T) {
+	cases, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Skip("empty corpus")
+	}
+	machines := map[string]*target.Machine{}
+	for _, m := range Machines() {
+		machines[m.Name] = m
+	}
+	for _, c := range cases {
+		m, ok := machines[c.Machine]
+		if !ok {
+			t.Fatalf("%s: machine %q not in Machines()", c.File, c.Machine)
+		}
+		diffSelectCase(t, c.F, m, core.New(), c.File+"/pref-full")
+		diffSelectCase(t, c.F, m, core.NewCoalesceOnly(), c.File+"/pref-coalesce")
+	}
+}

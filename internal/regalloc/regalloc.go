@@ -7,6 +7,7 @@ package regalloc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"prefcolor/internal/cfg"
 	"prefcolor/internal/costmodel"
@@ -182,10 +183,17 @@ func CheckResult(ctx *Context, res *Result) error {
 		if color[n] < 0 {
 			continue
 		}
-		for _, nb := range g.OrigNeighbors(n) {
-			if color[nb] >= 0 && color[nb] == color[n] {
-				return fmt.Errorf("regalloc: interfering nodes %v and %v share r%d",
-					g.RegOf(n), g.RegOf(nb), color[n])
+		// Word-at-a-time neighbor walk: OrigNeighbors materializes a
+		// slice per call, which made this validation pass the hottest
+		// allocation site in a warm allocate.
+		for wi, bw := range g.OrigRow(n) {
+			base := ig.NodeID(wi << 6)
+			for ; bw != 0; bw &= bw - 1 {
+				nb := base + ig.NodeID(bits.TrailingZeros64(bw))
+				if color[nb] >= 0 && color[nb] == color[n] {
+					return fmt.Errorf("regalloc: interfering nodes %v and %v share r%d",
+						g.RegOf(n), g.RegOf(nb), color[n])
+				}
 			}
 		}
 	}

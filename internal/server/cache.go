@@ -109,8 +109,9 @@ type lruCache struct {
 }
 
 type lruItem struct {
-	key Key
-	val *entry
+	key  Key
+	val  *entry
+	hits int64 // Get count for this entry; hotness signal for upgrades
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -131,8 +132,22 @@ func (c *lruCache) Get(key Key) (*entry, bool) {
 		return nil, false
 	}
 	c.hits++
+	it := el.Value.(*lruItem)
+	it.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*lruItem).val, true
+	return it.val, true
+}
+
+// Hits returns how many Gets key's entry has served — the upgrade
+// queue's hotness signal. Unlike Get it neither refreshes recency nor
+// counts as a hit; an absent (or evicted) key reports zero.
+func (c *lruCache) Hits(key Key) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruItem).hits
+	}
+	return 0
 }
 
 // Add inserts (or refreshes) key's entry, evicting the least recently

@@ -31,9 +31,13 @@ import (
 // pool: one background worker drains a bounded queue, a pending set
 // single-flights upgrades per cache key, and a full queue sheds the
 // upgrade (the fast entry simply remains) rather than blocking any
-// serving path. Draining stops new upgrade admissions immediately;
-// Close cancels the in-flight upgrade, since an upgrade is a quality
-// improvement to an already-correct cached result, never owed work.
+// serving path. The queue is hotness-ordered, not FIFO: the worker
+// always takes the pending job whose cache entry has served the most
+// hits (ties broken by arrival order), so a key being polled by many
+// callers upgrades ahead of a cold backlog. Draining stops new upgrade
+// admissions immediately; Close cancels the in-flight upgrade, since
+// an upgrade is a quality improvement to an already-correct cached
+// result, never owed work.
 
 // Entry (and response) tier names.
 const (
@@ -105,16 +109,66 @@ func (s *Server) computeFast(ctx context.Context, in srcInput, spec Spec,
 	}, 0, nil
 }
 
-// upgrader is the background escalation pipeline: a bounded job queue,
-// a single worker, and a pending set that single-flights upgrades per
-// cache key.
+// upgrader is the background escalation pipeline: a bounded
+// hotness-ordered job queue, a single worker, and a pending set that
+// single-flights upgrades per cache key.
 type upgrader struct {
-	jobs   chan upgradeJob
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// qmu guards the queue, which stays in arrival order; pop scans it
+	// for the hottest key at pop time (hit counts keep changing while a
+	// job waits, so ordering at push time would go stale). The queue is
+	// bounded by qcap and small, so the scan is cheap next to the
+	// pref-full run each pop triggers. notify has one slot: a push's
+	// non-blocking send either wakes the idle worker or is redundant
+	// with a wake-up already due.
+	qmu    sync.Mutex
+	queue  []upgradeJob
+	qcap   int
+	notify chan struct{}
+
 	pmu     sync.Mutex
 	pending map[Key]struct{}
+}
+
+// push appends job in arrival order, reporting false when the queue is
+// at capacity (the caller sheds).
+func (u *upgrader) push(job upgradeJob) bool {
+	u.qmu.Lock()
+	if len(u.queue) >= u.qcap {
+		u.qmu.Unlock()
+		return false
+	}
+	u.queue = append(u.queue, job)
+	u.qmu.Unlock()
+	select {
+	case u.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pop removes and returns the hottest queued job: the maximum
+// hits(key) at pop time, earliest-arrived on ties (strict > over the
+// arrival-ordered queue keeps the FIFO tie-break). ok is false when
+// the queue is empty.
+func (u *upgrader) pop(hits func(Key) int64) (job upgradeJob, ok bool) {
+	u.qmu.Lock()
+	defer u.qmu.Unlock()
+	if len(u.queue) == 0 {
+		return upgradeJob{}, false
+	}
+	best := 0
+	bestHits := hits(u.queue[0].key)
+	for i := 1; i < len(u.queue); i++ {
+		if h := hits(u.queue[i].key); h > bestHits {
+			best, bestHits = i, h
+		}
+	}
+	job = u.queue[best]
+	u.queue = append(u.queue[:best], u.queue[best+1:]...)
+	return job, true
 }
 
 // upgradeJob re-derives one cache entry at full quality. It carries
@@ -133,8 +187,9 @@ type upgradeJob struct {
 func (s *Server) startUpgrader(queueSize int) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.upgrades = &upgrader{
-		jobs:    make(chan upgradeJob, queueSize),
 		cancel:  cancel,
+		qcap:    queueSize,
+		notify:  make(chan struct{}, 1),
 		pending: make(map[Key]struct{}),
 	}
 	s.upgrades.wg.Add(1)
@@ -157,7 +212,9 @@ func (s *Server) upgradeDepth() (int, int) {
 	if s.upgrades == nil {
 		return 0, 0
 	}
-	return len(s.upgrades.jobs), cap(s.upgrades.jobs)
+	s.upgrades.qmu.Lock()
+	defer s.upgrades.qmu.Unlock()
+	return len(s.upgrades.queue), s.upgrades.qcap
 }
 
 // enqueueUpgrade schedules the background escalation of key's cache
@@ -180,10 +237,8 @@ func (s *Server) enqueueUpgrade(key Key, in srcInput, spec Spec,
 	u.pmu.Unlock()
 
 	in.f = nil // force a fresh decode; see upgradeJob
-	select {
-	case u.jobs <- upgradeJob{key: key, in: in, spec: spec, machine: machine,
-		fastCycles: fastCycles, enqueued: time.Now()}:
-	default:
+	if !u.push(upgradeJob{key: key, in: in, spec: spec, machine: machine,
+		fastCycles: fastCycles, enqueued: time.Now()}) {
 		s.metrics.CountTierShed()
 		u.pmu.Lock()
 		delete(u.pending, key)
@@ -195,12 +250,19 @@ func (s *Server) upgradeLoop(ctx context.Context) {
 	u := s.upgrades
 	defer u.wg.Done()
 	for {
-		select {
-		case <-ctx.Done():
-			return
-		case job := <-u.jobs:
-			s.runUpgrade(ctx, job)
+		job, ok := u.pop(s.cache.Hits)
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-u.notify:
+				continue
+			}
 		}
+		if ctx.Err() != nil {
+			return
+		}
+		s.runUpgrade(ctx, job)
 	}
 }
 

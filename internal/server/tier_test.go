@@ -182,6 +182,57 @@ func TestTierDrainStopsUpgrades(t *testing.T) {
 	}
 }
 
+// TestTierUpgradeHotFirst pins the queue's escalation order: the
+// worker pops the pending job whose cache entry has served the most
+// hits, so one hot key enqueued behind a cold backlog upgrades first,
+// while untouched keys keep their arrival (FIFO) order.
+func TestTierUpgradeHotFirst(t *testing.T) {
+	u := &upgrader{qcap: 8, notify: make(chan struct{}, 1), pending: map[Key]struct{}{}}
+	cache := newLRUCache(8)
+	for i := 0; i < 5; i++ {
+		key := Key{byte(i)}
+		cache.Add(key, &entry{Tier: tierFast})
+		if !u.push(upgradeJob{key: key}) {
+			t.Fatalf("push %d shed below capacity", i)
+		}
+	}
+	// Key 3 arrives last in hit order but hottest: poll it a few times.
+	hot := Key{3}
+	for i := 0; i < 3; i++ {
+		if _, ok := cache.Get(hot); !ok {
+			t.Fatal("hot entry missing")
+		}
+	}
+	if got := cache.Hits(hot); got != 3 {
+		t.Fatalf("Hits(hot) = %d, want 3", got)
+	}
+
+	var order []byte
+	for {
+		job, ok := u.pop(cache.Hits)
+		if !ok {
+			break
+		}
+		order = append(order, job.key[0])
+	}
+	want := []byte{3, 0, 1, 2, 4}
+	if string(order) != string(want) {
+		t.Fatalf("pop order = %v, want hot key 3 first then FIFO %v", order, want)
+	}
+	if d := len(u.queue); d != 0 {
+		t.Fatalf("queue not drained: %d left", d)
+	}
+
+	// Shedding: a full queue rejects the push.
+	u.qcap = 1
+	if !u.push(upgradeJob{key: Key{9}}) {
+		t.Fatal("push into empty queue shed")
+	}
+	if u.push(upgradeJob{key: Key{10}}) {
+		t.Fatal("push above capacity accepted")
+	}
+}
+
 // TestTrustKeyHeader pins the trusted-key fast path: with
 // Config.TrustKeyHeader on, a request carrying the router-computed
 // X-Prefgcd-Key header probes the cache without the replica parsing
